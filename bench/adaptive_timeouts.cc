@@ -1,0 +1,145 @@
+// E17 — Section 5.1: adaptive timeouts vs the fixed 30-second constant.
+//
+// An RPC client issues calls over a variable-latency network. We compare
+// three timeout policies on (a) failure-detection latency when the server
+// dies, (b) false-timeout rate during normal operation, and (c) behaviour
+// across a LAN -> WAN level shift (the travelling-user example):
+//   * fixed 30 s ("30 seconds is not enough!"-era constant),
+//   * SunRPC-style 500 ms with exponential backoff,
+//   * AdaptiveTimeout at 99% confidence over the learned distribution.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/adaptive/adaptive_timeout.h"
+#include "src/net/network.h"
+
+namespace tempo {
+namespace {
+
+struct Result {
+  double false_timeout_rate = 0.0;  // fraction of healthy ops flagged
+  double detect_seconds = 0.0;      // latency to report a dead server
+  double shift_false_rate = 0.0;    // false rate right after LAN->WAN shift
+};
+
+// One request/response exchange with sampled latency; the latency regime is
+// controlled by the caller.
+class Client {
+ public:
+  explicit Client(uint64_t seed) : rng_(seed) {}
+
+  // Samples a completion time in the current regime: log-normal around the
+  // base RTT plus server time, with a heavy tail.
+  SimDuration SampleCompletion() {
+    const double base = wan_ ? 0.130 : 0.0005;
+    double latency = base * rng_.LogNormal(0.0, 0.35) + 0.0002;
+    if (rng_.Bernoulli(0.01)) {
+      latency *= 8;  // occasional stall (queueing, retransmit)
+    }
+    return FromSeconds(latency);
+  }
+
+  void set_wan(bool wan) { wan_ = wan; }
+
+ private:
+  Rng rng_;
+  bool wan_ = false;
+};
+
+// Runs `ops` healthy operations, then a failure, under a timeout policy.
+// `current` returns the policy's timeout; `on_success`/`on_timeout` feed it.
+template <typename CurrentFn, typename SuccessFn, typename TimeoutFn>
+Result Evaluate(uint64_t seed, CurrentFn current, SuccessFn on_success,
+                TimeoutFn on_timeout) {
+  Client client(seed);
+  Result result;
+  constexpr int kOps = 5000;
+
+  int false_timeouts = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const SimDuration completion = client.SampleCompletion();
+    const SimDuration timeout = current();
+    if (completion > timeout) {
+      ++false_timeouts;
+      on_timeout();
+      // The operation eventually completes; the policy sees the (late)
+      // completion as a success sample too.
+      on_success(completion);
+    } else {
+      on_success(completion);
+    }
+  }
+  result.false_timeout_rate = static_cast<double>(false_timeouts) / kOps;
+
+  // Server dies: how long until the policy reports it? (One full timeout.)
+  result.detect_seconds = ToSeconds(current());
+
+  // Level shift: LAN -> WAN; measure the false rate over the next 200 ops.
+  client.set_wan(true);
+  int shift_false = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration completion = client.SampleCompletion();
+    const SimDuration timeout = current();
+    if (completion > timeout) {
+      ++shift_false;
+      on_timeout();
+    }
+    on_success(completion);
+  }
+  result.shift_false_rate = shift_false / 200.0;
+  return result;
+}
+
+}  // namespace
+}  // namespace tempo
+
+int main() {
+  using namespace tempo;
+  PrintHeader("Adaptive timeouts (Section 5.1)",
+              "fixed 30 s vs RPC backoff vs learned 99%-confidence timeout");
+  PrintPaperNote(
+      "fixed values give slow failure detection; adaptation from the learned "
+      "wait-time distribution detects failure at the timescale of the actual "
+      "latencies while keeping false timeouts rare, and must survive level "
+      "shifts (LAN -> WAN)");
+
+  std::printf("%-22s %16s %18s %20s\n", "policy", "false timeouts", "failure detection",
+              "false rate at shift");
+
+  {
+    // Fixed 30 s.
+    const SimDuration fixed = 30 * kSecond;
+    const Result r = Evaluate(
+        1, [&] { return fixed; }, [](SimDuration) {}, [] {});
+    std::printf("%-22s %15.2f%% %16.3f s %19.1f%%\n", "fixed 30 s",
+                100 * r.false_timeout_rate, r.detect_seconds, 100 * r.shift_false_rate);
+  }
+  {
+    // SunRPC 500 ms fixed initial with backoff on timeout.
+    int backoff = 0;
+    const Result r = Evaluate(
+        2, [&] { return (500 * kMillisecond) << std::min(backoff, 7); },
+        [&](SimDuration) { backoff = 0; }, [&] { ++backoff; });
+    std::printf("%-22s %15.2f%% %16.3f s %19.1f%%\n", "rpc 0.5 s + backoff",
+                100 * r.false_timeout_rate, r.detect_seconds, 100 * r.shift_false_rate);
+  }
+  {
+    AdaptiveTimeout adaptive;
+    const Result r = Evaluate(
+        3, [&] { return adaptive.Current(); },
+        [&](SimDuration d) { adaptive.RecordSuccess(d); },
+        [&] { adaptive.RecordTimeout(); });
+    std::printf("%-22s %15.2f%% %16.3f s %19.1f%%\n", "adaptive 99%",
+                100 * r.false_timeout_rate, r.detect_seconds, 100 * r.shift_false_rate);
+    std::printf("\nadaptive level shifts detected: %llu\n",
+                static_cast<unsigned long long>(adaptive.level_shifts()));
+  }
+
+  std::printf(
+      "\nreading: the adaptive policy detects a dead LAN server in"
+      " milliseconds-to-seconds\ninstead of 30 s, at a false-timeout rate"
+      " bounded by its confidence setting,\nand re-learns after the WAN"
+      " shift instead of failing permanently or paying 30 s forever.\n");
+  return 0;
+}

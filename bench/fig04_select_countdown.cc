@@ -1,0 +1,65 @@
+// E6 — Figure 4: dot plot of X's timer usage via select — the countdown
+// sawtooth of the written-back remaining time.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/workloads/linux_workloads.h"
+
+int main() {
+  using namespace tempo;
+  PrintHeader("Figure 4", "Xorg select countdown (timeout value vs time)");
+  PrintPaperNote(
+      "X sets a constant select timeout; on fd activity Linux writes back "
+      "the remaining time and X re-selects with it: values count down "
+      "linearly to zero, then reset (sawtooth with slope -1)");
+
+  WorkloadOptions options = BenchOptions();
+  TraceRun run = RunLinuxIdle(options);
+  const Pid xorg = run.pids.at("Xorg");
+
+  // Collect (set time, timeout value) for Xorg's select timer.
+  std::vector<std::pair<double, double>> points;
+  for (const auto& r : run.records) {
+    if (r.op == TimerOp::kSet && r.pid == xorg) {
+      points.emplace_back(ToSeconds(r.timestamp), ToSeconds(r.timeout));
+    }
+  }
+  std::printf("%zu Xorg select sets\n\n", points.size());
+
+  // Coarse ASCII dot plot (time on x, value on y), like the figure.
+  constexpr int kCols = 72;
+  constexpr int kRows = 20;
+  const double t_max = ToSeconds(options.duration);
+  double v_max = 0;
+  for (const auto& [t, v] : points) {
+    v_max = std::max(v_max, v);
+  }
+  std::vector<std::string> grid(kRows, std::string(kCols, ' '));
+  for (const auto& [t, v] : points) {
+    const int col = std::min(kCols - 1, static_cast<int>(t / t_max * kCols));
+    const int row =
+        kRows - 1 - std::min(kRows - 1, static_cast<int>(v / (v_max + 1e-9) * kRows));
+    grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = '.';
+  }
+  std::printf("timeout [0..%.0f s] vs time [0..%.0f s]\n", v_max, t_max);
+  for (const auto& row : grid) {
+    std::printf("|%s|\n", row.c_str());
+  }
+
+  // The sawtooth check: successive values decrease by the elapsed time
+  // until a reset to the full value.
+  size_t countdown_steps = 0;
+  size_t resets = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double expected = points[i - 1].second - (points[i].first - points[i - 1].first);
+    if (std::abs(points[i].second - expected) < 0.01) {
+      ++countdown_steps;
+    } else if (points[i].second > points[i - 1].second) {
+      ++resets;
+    }
+  }
+  std::printf("\ncountdown steps: %zu, resets to full value: %zu (of %zu sets)\n",
+              countdown_steps, resets, points.size());
+  return 0;
+}

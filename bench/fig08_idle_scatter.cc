@@ -1,0 +1,15 @@
+// E10 — Figure 8: expiry/cancellation scatter, Idle workload.
+
+#include "bench/scatter_bench.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+int main() {
+  using namespace tempo;
+  return RunScatterBench(
+      "Figure 8", "Idle",
+      "Linux: most timers expire at their set time, a few canceled "
+      "immediately; Vista: many more timeouts, small and large, delivered at "
+      "variable delays",
+      RunLinuxIdle, RunVistaIdle);
+}

@@ -1,0 +1,15 @@
+// E11 — Figure 9: expiry/cancellation scatter, Skype workload.
+
+#include "bench/scatter_bench.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+int main() {
+  using namespace tempo;
+  return RunScatterBench(
+      "Figure 9", "Skype",
+      "large cluster of adaptive/irregular points below 1 s (select/poll); "
+      "array of cancellations up to 50% at 3 s (socket timers); 5 s ARP "
+      "timeouts canceled at random; Linux jiffy quantisation visible",
+      RunLinuxSkype, RunVistaSkype);
+}

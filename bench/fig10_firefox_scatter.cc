@@ -1,0 +1,16 @@
+// E12 — Figure 10: expiry/cancellation scatter, Firefox workload.
+
+#include "bench/scatter_bench.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+int main() {
+  using namespace tempo;
+  return RunScatterBench(
+      "Figure 10", "Firefox",
+      "a very large number of very short timers (soft real time over a "
+      "best-effort substrate); sub-10 ms timeouts show the hyperbolic "
+      "delivery-latency curve; on Vista sub-ms timers land at essentially "
+      "random percentages (cut off at 250%)",
+      RunLinuxFirefox, RunVistaFirefox);
+}

@@ -1,0 +1,15 @@
+// E13 — Figure 11: expiry/cancellation scatter, Webserver workload.
+
+#include "bench/scatter_bench.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+int main() {
+  using namespace tempo;
+  return RunScatterBench(
+      "Figure 11", "Webserver",
+      "Linux: connection timeouts canceled at tiny percentages (RTT << "
+      "timeout), 7200 s keepalives canceled near 0%; Vista pane resembles "
+      "Idle and lacks the keepalive entirely",
+      RunLinuxWebserver, RunVistaWebserver);
+}

@@ -1,0 +1,132 @@
+// E16 — Section 2.2.2: the layered-timeout pathology.
+//
+// Healthy case: opening \\fileserver\share completes shortly after the
+// 130 ms round trip. Failure case: every layer (SMB connect retries, NFS's
+// SunRPC 500 ms-doubling backoff, WebDAV's 30 s connect timeout) must give
+// up before the user hears anything — over a minute, although the network
+// answered (with a refusal) within a round trip. The bench also shows what
+// the TimeoutStack elision and an adaptive timeout would do to the same
+// stack.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/adaptive/adaptive_timeout.h"
+#include "src/adaptive/interfaces.h"
+#include "src/net/fileaccess.h"
+
+namespace tempo {
+namespace {
+
+struct Scenario {
+  Simulator sim{2008};
+  SimNetwork net{&sim};
+  NodeId self;
+  NodeId dns_node;
+  NodeId server_node;
+  std::unique_ptr<NameProvider> dns;
+  std::unique_ptr<NameProvider> wins;
+  std::unique_ptr<ParallelResolver> resolver;
+  std::unique_ptr<RpcClient> rpc;
+  std::unique_ptr<RpcServer> server;
+  std::unique_ptr<FileBrowser> browser;
+
+  Scenario() {
+    self = net.AddNode("desktop");
+    dns_node = net.AddNode("dns");
+    server_node = net.AddNode("fileserver");
+    LinkParams wan;
+    wan.latency = 65 * kMillisecond;  // the paper's 130 ms round trip
+    wan.jitter_sigma = 0.05;
+    net.SetLinkBoth(self, server_node, wan);
+    dns = std::make_unique<NameProvider>(&sim, &net, self, dns_node, "dns",
+                                         NameProvider::Options{});
+    NameProvider::Options wins_options;
+    wins_options.timeout = FromMilliseconds(1500);
+    wins_options.retries = 2;
+    wins = std::make_unique<NameProvider>(&sim, &net, self, dns_node, "wins", wins_options);
+    dns->Register("fileserver", server_node);
+    resolver = std::make_unique<ParallelResolver>(&sim);
+    resolver->AddProvider(wins.get());
+    resolver->AddProvider(dns.get());
+    rpc = std::make_unique<RpcClient>(&sim, &net, self);
+    server = std::make_unique<RpcServer>(&sim, &net, server_node);
+    browser = std::make_unique<FileBrowser>(&sim, &net, resolver.get(), rpc.get(), self);
+    for (const auto& spec : DefaultFileProtocols()) {
+      browser->AddProtocol(spec);
+    }
+  }
+
+  FileBrowser::Result Open(const char* name, bool server_exists) {
+    FileBrowser::Result result;
+    browser->Open(name, server_exists ? server.get() : nullptr,
+                  [&](FileBrowser::Result r) { result = r; });
+    sim.RunUntil(sim.Now() + 10 * kMinute);
+    return result;
+  }
+};
+
+}  // namespace
+}  // namespace tempo
+
+int main() {
+  using namespace tempo;
+  PrintHeader("Layering failure (Section 2.2.2)",
+              "time to open \\\\fileserver\\share vs time to report failure");
+  PrintPaperNote(
+      "healthy open: shortly after the 130 ms RTT; recovering from a typo / "
+      "dead server: over a minute (NFS over SunRPC: 7 retries doubling "
+      "500 ms)");
+
+  {
+    Scenario healthy;
+    const auto r = healthy.Open("fileserver", true);
+    std::printf("healthy open:        %-8s via %-7s in %8.3f s\n",
+                r.success ? "success" : "FAILURE", r.protocol.c_str(),
+                ToSeconds(r.elapsed));
+  }
+  {
+    Scenario refused;
+    refused.server->set_refuse_connections(true);
+    const auto r = refused.Open("fileserver", true);
+    std::printf("server refusing:     %-8s             in %8.3f s  <- \"over a minute\"\n",
+                r.success ? "success" : "failure", ToSeconds(r.elapsed));
+  }
+  {
+    Scenario typo;
+    const auto r = typo.Open("fileserv3r", false);
+    std::printf("unresolvable typo:   %-8s             in %8.3f s  (resolver schedules)\n",
+                r.success ? "success" : "failure", ToSeconds(r.elapsed));
+  }
+
+  // What the Section-5 machinery would do to the same failure.
+  {
+    Simulator sim(7);
+    SimTimerService service(&sim);
+    TimeoutStack stack(&service);
+    // The nested stack of the example: the browser gives the whole open
+    // 60 s; NFS's SunRPC backoff would take 63.5 s (longer than anyone is
+    // still listening -> elided); TCP's 3 s SYN timer is binding.
+    const uint64_t gui = stack.Push(60 * kSecond, [] {});
+    const uint64_t rpc_frame = stack.Push(FromSeconds(63.5), [] {});
+    const uint64_t tcp_frame = stack.Push(3 * kSecond, [] {});
+    std::printf("\nnested timeouts armed without elision: 3; with TimeoutStack: %llu "
+                "(elided %llu)\n",
+                static_cast<unsigned long long>(stack.armed_count()),
+                static_cast<unsigned long long>(stack.elided_count()));
+    stack.Pop(tcp_frame);
+    stack.Pop(rpc_frame);
+    stack.Pop(gui);
+  }
+  {
+    // An adaptive timeout trained on healthy RTTs reports the same failure
+    // in well under a second.
+    AdaptiveTimeout adaptive;
+    for (int i = 0; i < 200; ++i) {
+      adaptive.RecordSuccess(130 * kMillisecond + i % 7 * kMillisecond);
+    }
+    std::printf("adaptive (99%% confidence) would report failure after: %.3f s\n",
+                ToSeconds(adaptive.Current()));
+  }
+  return 0;
+}

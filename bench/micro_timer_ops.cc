@@ -1,0 +1,96 @@
+// E18 — timing-wheel vs heap/tree micro-benchmarks (the Varghese & Lauck
+// claim the kernel designs rest on: O(1) wheel operations vs O(log n)).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/timer/queue.h"
+
+namespace tempo {
+namespace {
+
+std::unique_ptr<TimerQueue> MakeByIndex(int index) {
+  return MakeTimerQueue(TimerQueueNames()[static_cast<size_t>(index)]);
+}
+
+// Schedule/cancel churn at a given live population — the webserver pattern
+// (arm a timeout per request, cancel it a moment later).
+void BM_ScheduleCancel(benchmark::State& state) {
+  auto queue = MakeByIndex(static_cast<int>(state.range(0)));
+  const int population = static_cast<int>(state.range(1));
+  Rng rng(7);
+  std::vector<TimerHandle> live;
+  live.reserve(static_cast<size_t>(population));
+  SimTime now = 0;
+  for (int i = 0; i < population; ++i) {
+    live.push_back(queue->Schedule(now + rng.UniformInt(kMillisecond, 10 * kSecond),
+                                   [](TimerHandle) {}));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    queue->Cancel(live[cursor]);
+    live[cursor] = queue->Schedule(now + rng.UniformInt(kMillisecond, 10 * kSecond),
+                                   [](TimerHandle) {});
+    cursor = (cursor + 1) % live.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(queue->Name());
+}
+BENCHMARK(BM_ScheduleCancel)
+    ->ArgsProduct({{0, 1, 2, 3}, {100, 10000, 100000}});
+
+// Tick-driven advance with a steady timer population (the kernel-tick
+// pattern): cost per tick of walking the structure.
+void BM_AdvanceTick(benchmark::State& state) {
+  auto queue = MakeByIndex(static_cast<int>(state.range(0)));
+  const int population = static_cast<int>(state.range(1));
+  Rng rng(9);
+  SimTime now = 0;
+  // Self-rearming periodic timers keep the population constant.
+  std::function<void(TimerHandle)> rearm;
+  std::vector<SimDuration> periods(static_cast<size_t>(population));
+  for (auto& p : periods) {
+    p = rng.UniformInt(10 * kMillisecond, 10 * kSecond);
+  }
+  for (int i = 0; i < population; ++i) {
+    const SimDuration period = periods[static_cast<size_t>(i)];
+    std::shared_ptr<std::function<void(TimerHandle)>> self =
+        std::make_shared<std::function<void(TimerHandle)>>();
+    TimerQueue* q = queue.get();
+    SimTime* now_ptr = &now;
+    *self = [q, now_ptr, period, self](TimerHandle) {
+      q->Schedule(*now_ptr + period, *self);
+    };
+    queue->Schedule(now + rng.UniformInt(0, period), *self);
+  }
+  for (auto _ : state) {
+    now += kMillisecond;  // one tick
+    queue->Advance(now);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(queue->Name());
+}
+BENCHMARK(BM_AdvanceTick)->ArgsProduct({{0, 1, 2, 3}, {1000, 100000}});
+
+// NextExpiry query cost — what dynticks pays to pick the next wakeup; cheap
+// on a tree, expensive on wheels (one of the hrtimer motivations).
+void BM_NextExpiry(benchmark::State& state) {
+  auto queue = MakeByIndex(static_cast<int>(state.range(0)));
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    queue->Schedule(rng.UniformInt(kMillisecond, 100 * kSecond), [](TimerHandle) {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue->NextExpiry());
+  }
+  state.SetLabel(queue->Name());
+}
+BENCHMARK(BM_NextExpiry)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace tempo
+
+BENCHMARK_MAIN();

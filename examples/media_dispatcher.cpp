@@ -1,0 +1,96 @@
+// A soft-real-time media pipeline written against the temporal dispatcher
+// (Section 5.5) instead of timers.
+//
+// The paper observes that Skype and Firefox's Flash plugin flood the timer
+// subsystem with 1-3 jiffy timeouts "to create a soft real time execution
+// environment over a best-effort system". This example shows the same
+// application needs expressed the way Section 5.5 proposes: an audio pump
+// at a strict 10 ms cadence, a video compositor at 33 ms with a little
+// slack, UI housekeeping "about every second", and a stall watchdog over
+// the decode pipeline — all declared to the dispatcher, which runs the
+// right code at the right time from a single underlying timer.
+
+#include <cstdio>
+
+#include "src/dispatcher/dispatcher.h"
+#include "src/sim/random.h"
+
+int main() {
+  using namespace tempo;
+  Simulator sim(21);
+  TemporalDispatcher dispatcher(&sim);
+
+  // The audio pump has the tightest requirement and the highest weight.
+  DispatchTask* audio = dispatcher.CreateTask("audio", /*weight=*/8);
+  uint64_t audio_frames = 0;
+  audio->RunEvery(10 * kMillisecond, 0, [&] {
+    ++audio_frames;
+    audio->ChargeWork(500 * kMicrosecond);  // decode + mix
+  });
+
+  // Video can tolerate a few ms of slack — that tolerance is what lets the
+  // dispatcher batch it with other wakeups.
+  DispatchTask* video = dispatcher.CreateTask("video", /*weight=*/4);
+  uint64_t video_frames = 0;
+  video->RunEvery(33 * kMillisecond, 6 * kMillisecond, [&] {
+    ++video_frames;
+    video->ChargeWork(4 * kMillisecond);
+  });
+
+  // UI housekeeping: "about every second".
+  DispatchTask* ui = dispatcher.CreateTask("ui");
+  uint64_t ui_ticks = 0;
+  ui->RunEvery(kSecond, 800 * kMillisecond, [&] {
+    ++ui_ticks;
+    ui->ChargeWork(kMillisecond);
+  });
+
+  // The decode pipeline is guarded: every delivered network chunk kicks
+  // the watchdog; a 2 s gap means the stream stalled.
+  DispatchTask* pipeline = dispatcher.CreateTask("pipeline");
+  uint64_t stalls = 0;
+  const RequirementId guard = pipeline->Guard(2 * kSecond, [&] { ++stalls; });
+  // Chunks arrive roughly every 80 ms, except one 3-second outage at t=20 s.
+  struct Feed {
+    Simulator* sim;
+    DispatchTask* task;
+    RequirementId guard;
+    void Chunk() {
+      task->Kick(guard);
+      SimDuration gap = static_cast<SimDuration>(sim->rng().Uniform(0.05, 0.11) * kSecond);
+      if (sim->Now() >= 20 * kSecond && sim->Now() < 20 * kSecond + 200 * kMillisecond) {
+        gap = 3 * kSecond;  // network outage
+      }
+      sim->ScheduleAfter(gap, [this] { Chunk(); });
+    }
+  };
+  Feed feed{&sim, pipeline, guard};
+  feed.Chunk();
+
+  sim.RunUntil(kMinute);
+
+  std::printf("one minute of playback through the dispatcher:\n");
+  std::printf("  audio:    %llu frames, worst lateness %s\n",
+              static_cast<unsigned long long>(audio_frames),
+              FormatDuration(audio->worst_lateness()).c_str());
+  std::printf("  video:    %llu frames, worst lateness %s (6 ms slack declared)\n",
+              static_cast<unsigned long long>(video_frames),
+              FormatDuration(video->worst_lateness()).c_str());
+  std::printf("  ui:       %llu ticks\n", static_cast<unsigned long long>(ui_ticks));
+  std::printf("  pipeline: %llu stall(s) detected (the t=20 s outage)\n",
+              static_cast<unsigned long long>(stalls));
+  std::printf("\ndispatcher economics:\n");
+  std::printf("  requirements declared:     %llu\n",
+              static_cast<unsigned long long>(dispatcher.declared()));
+  std::printf("  dispatches performed:      %llu\n",
+              static_cast<unsigned long long>(dispatcher.dispatched()));
+  std::printf("  piggybacked (no own wakeup): %llu\n",
+              static_cast<unsigned long long>(dispatcher.piggybacked_dispatches()));
+  std::printf("  hardware timer programmings: %llu\n",
+              static_cast<unsigned long long>(dispatcher.hardware_programs()));
+  std::printf(
+      "\ncompare: the Flash-over-Firefox idiom in the paper issues a timer\n"
+      "syscall per frame (Figure 10's thousands of sub-10 ms timers); here\n"
+      "four declarations cover the whole run.\n");
+  return 0;
+}

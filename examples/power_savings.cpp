@@ -1,0 +1,107 @@
+// Power management with timers (Sections 2.1 and 5.3): how many times does
+// an idle machine wake up, and what do round_jiffies, dynticks, deferrable
+// timers, and explicit slack windows each buy?
+//
+// Uses the public workload/kernel options for the Linux ablations and the
+// BatchingTimerService + SlackTicker for the clean-slate design.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/adaptive/interfaces.h"
+#include "src/adaptive/slack.h"
+#include "src/workloads/linux_workloads.h"
+
+int main() {
+  using namespace tempo;
+
+  WorkloadOptions base;
+  base.duration = 10 * kMinute;
+  base.seed = 1;
+
+  struct Config {
+    const char* name;
+    bool round;
+    bool dynticks;
+    bool deferrable;
+  };
+  // round_jiffies and deferrable only pay off once dynticks has removed
+  // the unconditional periodic tick, so the ladder applies dynticks first.
+  const Config configs[] = {
+      {"periodic tick (pre-2.6.21)", false, false, false},
+      {"dynticks", false, true, false},
+      {"dynticks + round_jiffies", true, true, false},
+      {"dynticks + round + deferrable", true, true, true},
+  };
+
+  std::printf("idle desktop, %s simulated: CPU wakeups by kernel generation\n\n",
+              FormatDuration(base.duration).c_str());
+  std::printf("%-30s %12s %12s\n", "kernel", "timer irqs", "vs baseline");
+  uint64_t baseline = 0;
+  for (const Config& config : configs) {
+    WorkloadOptions options = base;
+    options.round_jiffies = config.round;
+    options.dynticks = config.dynticks;
+    options.deferrable = config.deferrable;
+    TraceRun run = RunLinuxIdle(options);
+    const uint64_t irqs = run.sim->cpu().timer_interrupts();
+    if (baseline == 0) {
+      baseline = irqs;
+    }
+    std::printf("%-30s %12llu %11.1f%%\n", config.name,
+                static_cast<unsigned long long>(irqs),
+                100.0 * static_cast<double>(irqs) / static_cast<double>(baseline));
+  }
+
+  // The Section 5.3 proposal: say what you mean. "Wake me at some
+  // convenient time in the next ten minutes" batches with everything else.
+  std::printf("\nclean-slate comparison: 16 housekeeping tasks over %s\n",
+              FormatDuration(base.duration).c_str());
+  static constexpr SimDuration kPeriods[] = {5 * kSecond, 15 * kSecond, 30 * kSecond,
+                                             60 * kSecond};
+  {
+    Simulator sim(3);
+    SimTimerService service(&sim);
+    std::vector<std::unique_ptr<PeriodicTicker>> tickers;
+    for (int i = 0; i < 16; ++i) {
+      tickers.push_back(
+          std::make_unique<PeriodicTicker>(&service, kPeriods[i % 4], [] {}));
+      tickers.back()->Start();
+    }
+    sim.RunUntil(base.duration);
+    uint64_t ticks = 0;
+    for (const auto& t : tickers) {
+      ticks += t->ticks();
+    }
+    std::printf("  precise periodic tickers: %llu ticks -> %llu wakeups\n",
+                static_cast<unsigned long long>(ticks),
+                static_cast<unsigned long long>(service.arms()));
+  }
+  {
+    Simulator sim(3);
+    SimTimerService base_service(&sim);
+    BatchingTimerService batching(&base_service);
+    std::vector<std::unique_ptr<SlackTicker>> tickers;
+    for (int i = 0; i < 16; ++i) {
+      const SimDuration period = kPeriods[i % 4];
+      tickers.push_back(std::make_unique<SlackTicker>(&batching, period,
+                                                      period / 2, [] {}));
+      tickers.back()->Start();
+    }
+    sim.RunUntil(base.duration);
+    uint64_t ticks = 0;
+    for (const auto& t : tickers) {
+      ticks += t->ticks();
+    }
+    std::printf("  50%% slack + batching:     %llu ticks -> %llu wakeups\n",
+                static_cast<unsigned long long>(ticks),
+                static_cast<unsigned long long>(batching.wakeups_scheduled()));
+    std::printf("  average periods held: ");
+    for (size_t i = 0; i < 4; ++i) {
+      std::printf("%s%.1fs", i ? ", " : "", ToSeconds(tickers[i]->average_period()));
+    }
+    std::printf(" (nominal 5/15/30/60 s)\n");
+  }
+  return 0;
+}

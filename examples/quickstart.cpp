@@ -1,0 +1,56 @@
+// Quickstart: trace a workload and analyse its timer usage.
+//
+// Runs a short Linux "idle desktop" trace on the simulated machine, then
+// runs the paper's analysis pipeline over it: trace summary (Table 1
+// style), usage-pattern classification (Figure 2), common timeout values
+// (Figure 3) and the origins table (Table 3).
+
+#include <cstdio>
+
+#include "src/analysis/classify.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/origins.h"
+#include "src/analysis/render.h"
+#include "src/analysis/summary.h"
+#include "src/trace/codec.h"
+#include "src/workloads/linux_workloads.h"
+
+int main() {
+  using namespace tempo;
+
+  // 1. Run a five-minute idle-desktop trace (the paper uses 30 minutes).
+  WorkloadOptions options;
+  options.duration = 5 * kMinute;
+  options.seed = 42;
+  TraceRun run = RunLinuxIdle(options);
+  std::printf("traced %zu records over %s of simulated time\n\n", run.records.size(),
+              FormatDuration(options.duration).c_str());
+
+  // A peek at the raw trace.
+  std::printf("first records:\n");
+  for (size_t i = 0; i < run.records.size() && i < 6; ++i) {
+    std::printf("  %s\n", FormatRecord(run.records[i], run.callsites()).c_str());
+  }
+  std::printf("\n");
+
+  // 2. Summary statistics (the Table 1 row for this workload).
+  const TraceSummary summary = Summarize(run.records, run.label);
+  std::printf("%s\n", RenderSummaryTable({summary}).c_str());
+
+  // 3. Usage-pattern classification (Figure 2).
+  const auto classes = ClassifyTrace(run.records, ClassifyOptions{});
+  std::printf("usage patterns:\n%s\n",
+              RenderPatternHistogram({{run.label, PatternHistogram(classes)}}).c_str());
+
+  // 4. Common timeout values (Figure 3).
+  HistogramOptions histogram_options;
+  const ValueHistogram histogram = ComputeValueHistogram(run.records, histogram_options);
+  std::printf("common timeout values:\n%s\n",
+              RenderValueHistogram(histogram, /*show_jiffies=*/true).c_str());
+
+  // 5. Who sets which value (Table 3).
+  OriginOptions origin_options;
+  const auto origins = ComputeOrigins(run.records, run.callsites(), origin_options);
+  std::printf("origins of frequent values:\n%s", RenderOrigins(origins).c_str());
+  return 0;
+}

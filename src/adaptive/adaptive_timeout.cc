@@ -1,0 +1,60 @@
+#include "src/adaptive/adaptive_timeout.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+SimDuration AdaptiveTimeout::Clamp(SimDuration d) const {
+  return std::clamp(d, options_.min_timeout, options_.max_timeout);
+}
+
+SimDuration AdaptiveTimeout::Current() const {
+  SimDuration base;
+  if (!warmed_up()) {
+    base = options_.initial;
+  } else {
+    const SimDuration q = distribution_.Quantile(options_.confidence);
+    base = static_cast<SimDuration>(static_cast<double>(q) * options_.safety_factor);
+  }
+  base = Clamp(base);
+  // Outstanding backoff from unanswered operations doubles the clamped
+  // base, up to the maximum.
+  const int shift = std::min(backoff_shift_, 16);
+  if (shift > 0) {
+    base = base << shift;
+  }
+  return Clamp(base);
+}
+
+void AdaptiveTimeout::RecordSuccess(SimDuration elapsed) {
+  backoff_shift_ = 0;
+  // Level-shift detection: successes that keep landing beyond the learned
+  // 90th percentile mean the environment changed (e.g. the network file
+  // system is now across a WAN). The detector deliberately uses a lower
+  // quantile than the timeout: the timeout quantile would absorb the new
+  // regime's samples before a run could accumulate. Old evidence is
+  // decayed away so the new regime dominates quickly.
+  if (warmed_up()) {
+    const SimDuration bound = distribution_.Quantile(0.9);
+    if (elapsed > bound) {
+      ++over_bound_run_;
+      if (over_bound_run_ >= options_.shift_run) {
+        distribution_.Decay(options_.shift_decay);
+        over_bound_run_ = 0;
+        ++level_shifts_;
+      }
+    } else {
+      over_bound_run_ = 0;
+    }
+  }
+  distribution_.Add(elapsed);
+}
+
+void AdaptiveTimeout::RecordTimeout() {
+  // An unanswered operation tells us nothing about the completion-time
+  // distribution (the reply may never come) but plenty about the immediate
+  // environment: back off, as TCP does.
+  ++backoff_shift_;
+}
+
+}  // namespace tempo

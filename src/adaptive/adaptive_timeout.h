@@ -1,0 +1,79 @@
+// Adaptive timeouts (Section 5.1).
+//
+// Instead of an arbitrary hardcoded constant ("wait 30 seconds"), an
+// AdaptiveTimeout learns the distribution of completion times for an
+// operation and picks the timeout at a requested confidence level:
+// "time out once the system is 99% confident a reply will never arrive".
+//
+// Two complications the paper raises are handled:
+//   * before enough samples exist, a conservative initial timeout is used
+//     (learning must not cause premature failure reports);
+//   * sudden level shifts (LAN -> WAN in the travelling-user example) make
+//     the learned distribution wrong; a run of observations beyond the
+//     current confidence bound triggers decay of the old distribution and
+//     a temporary fallback to backoff, so the estimator re-learns quickly.
+
+#ifndef TEMPO_SRC_ADAPTIVE_ADAPTIVE_TIMEOUT_H_
+#define TEMPO_SRC_ADAPTIVE_ADAPTIVE_TIMEOUT_H_
+
+#include <cstdint>
+
+#include "src/adaptive/distribution.h"
+
+namespace tempo {
+
+// Learns completion times and produces timeout values.
+class AdaptiveTimeout {
+ public:
+  struct Options {
+    double confidence;         // quantile used for the timeout (0.99)
+    double safety_factor;      // multiplier on the quantile (2.0)
+    SimDuration initial;       // before warmup completes (the classic 30 s)
+    SimDuration min_timeout;
+    SimDuration max_timeout;
+    uint64_t warmup_samples;   // samples before the estimate is trusted
+    int shift_run;             // consecutive over-bound events => level shift
+    double shift_decay;        // weight multiplier applied on shift
+
+    Options()
+        : confidence(0.99),
+          safety_factor(2.0),
+          initial(30 * kSecond),
+          min_timeout(1 * kMillisecond),
+          max_timeout(600 * kSecond),
+          warmup_samples(10),
+          shift_run(4),
+          shift_decay(0.05) {}
+  };
+
+  AdaptiveTimeout() : AdaptiveTimeout(Options()) {}
+  explicit AdaptiveTimeout(Options options) : options_(options) {}
+
+  // Records a completed wait of `elapsed`.
+  void RecordSuccess(SimDuration elapsed);
+
+  // Records that the current timeout fired without completion. Applies
+  // exponential backoff to subsequent timeouts until a success arrives.
+  void RecordTimeout();
+
+  // The timeout to use now.
+  SimDuration Current() const;
+
+  bool warmed_up() const { return distribution_.count() >= options_.warmup_samples; }
+  uint64_t level_shifts() const { return level_shifts_; }
+  int backoff_shift() const { return backoff_shift_; }
+  const StreamingDistribution& distribution() const { return distribution_; }
+
+ private:
+  SimDuration Clamp(SimDuration d) const;
+
+  Options options_;
+  StreamingDistribution distribution_;
+  int over_bound_run_ = 0;
+  int backoff_shift_ = 0;
+  uint64_t level_shifts_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ADAPTIVE_ADAPTIVE_TIMEOUT_H_

@@ -1,0 +1,133 @@
+#include "src/adaptive/dependency.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace tempo {
+
+const char* TimerRelationName(TimerRelation relation) {
+  switch (relation) {
+    case TimerRelation::kOverlapMaxWins:
+      return "overlap-max-wins";
+    case TimerRelation::kOverlapMinWins:
+      return "overlap-min-wins";
+    case TimerRelation::kOverlapCancelTogether:
+      return "overlap-cancel-together";
+    case TimerRelation::kDependsOn:
+      return "depends-on";
+  }
+  return "?";
+}
+
+uint32_t TimerDependencyGraph::AddTimer(const std::string& label, SimDuration timeout) {
+  const uint32_t id = static_cast<uint32_t>(timers_.size());
+  timers_.push_back(DeclaredTimer{id, label, timeout});
+  return id;
+}
+
+bool TimerDependencyGraph::Relate(uint32_t t1, uint32_t t2, TimerRelation relation) {
+  if (t1 == t2 && relation != TimerRelation::kDependsOn) {
+    return false;  // only self-dependency (periodic) is meaningful
+  }
+  if (t1 >= timers_.size() || t2 >= timers_.size()) {
+    return false;
+  }
+  // Overlap relations constrain the timeout ordering: t1 is the enclosing
+  // timer, so for it to "overlap" t2 its expiry must not be earlier.
+  if (relation == TimerRelation::kOverlapMaxWins ||
+      relation == TimerRelation::kOverlapMinWins ||
+      relation == TimerRelation::kOverlapCancelTogether) {
+    if (timers_[t1].timeout < timers_[t2].timeout) {
+      return false;
+    }
+  }
+  edges_.push_back(TimerEdge{t1, t2, relation});
+  return true;
+}
+
+DependencyAnalysis TimerDependencyGraph::Analyse() const {
+  DependencyAnalysis analysis;
+  std::set<uint32_t> removable;
+
+  // Redundancy: under max-wins, the enclosed (shorter) timer t2 never
+  // changes the outcome; under min-wins, the enclosing t1 does not.
+  for (const TimerEdge& edge : edges_) {
+    if (edge.relation == TimerRelation::kOverlapMaxWins) {
+      removable.insert(edge.t2);
+    } else if (edge.relation == TimerRelation::kOverlapMinWins) {
+      removable.insert(edge.t1);
+    }
+  }
+  analysis.removable.assign(removable.begin(), removable.end());
+
+  // Cancel groups: connected components over cancel-together edges.
+  std::map<uint32_t, uint32_t> parent;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second != x) {
+      it->second = find(it->second);
+    }
+    return it->second;
+  };
+  for (const TimerEdge& edge : edges_) {
+    if (edge.relation == TimerRelation::kOverlapCancelTogether) {
+      parent[find(edge.t1)] = find(edge.t2);
+    }
+  }
+  std::map<uint32_t, std::vector<uint32_t>> groups;
+  for (const auto& [node, p] : parent) {
+    groups[find(node)].push_back(node);
+  }
+  for (auto& [root, members] : groups) {
+    if (members.size() > 1) {
+      std::sort(members.begin(), members.end());
+      analysis.cancel_groups.push_back(members);
+    }
+  }
+
+  // Concurrency: naively, every non-removable timer is armed at once.
+  // Rewriting each overlap edge into a dependency chain (arm t2; on its
+  // completion arm t1 for the remaining time) means each overlap chain
+  // contributes a single armed timer at any instant.
+  std::set<uint32_t> live;
+  for (const DeclaredTimer& t : timers_) {
+    live.insert(t.id);
+  }
+  analysis.concurrent_before = live.size();
+  // Chained timers: an overlap edge merges two concurrent slots into one.
+  // Count connected components over all overlap edges among live timers.
+  std::map<uint32_t, uint32_t> cparent;
+  std::function<uint32_t(uint32_t)> cfind = [&](uint32_t x) {
+    auto it = cparent.find(x);
+    if (it == cparent.end()) {
+      cparent[x] = x;
+      return x;
+    }
+    if (it->second != x) {
+      it->second = cfind(it->second);
+    }
+    return it->second;
+  };
+  for (uint32_t id : live) {
+    cfind(id);
+  }
+  for (const TimerEdge& edge : edges_) {
+    if (edge.relation != TimerRelation::kDependsOn && edge.t1 != edge.t2) {
+      cparent[cfind(edge.t1)] = cfind(edge.t2);
+    }
+  }
+  std::set<uint32_t> roots;
+  for (uint32_t id : live) {
+    roots.insert(cfind(id));
+  }
+  analysis.concurrent_after = roots.size();
+  return analysis;
+}
+
+}  // namespace tempo

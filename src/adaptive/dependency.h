@@ -1,0 +1,97 @@
+// Timer provenance and dependency tracking (Section 5.2).
+//
+// Timers rarely stand alone: layered software nests them ("operations that
+// time out at one layer are retried until an enclosing timeout fires").
+// The paper enumerates the possible relationships between two timers t1
+// (set first / enclosing) and t2:
+//
+//   1. t1 overlaps t2 (t1 set no later, expires later), waiting on the
+//      same event:
+//      (a) max-wins — both (or just t1) expiring signals failure: the
+//          effective expiry is max(t1, t2), so t2 is redundant;
+//      (b) min-wins — only t2 matters: effective expiry min(t1, t2), so
+//          t1 is redundant;
+//      (c) cancel-together — neither needs to expire; when one is
+//          canceled, cancel the other.
+//   2. t2 depends on t1 — t2 is set only on t1's expiry/cancellation
+//      (periodic timers are self-dependent).
+//
+// Overlap and dependency are interchangeable: an overlap can be rewritten
+// as a dependency (set only t2; on expiry set t1 for the remainder),
+// reducing the number of concurrently armed timers. The graph computes
+// which timers are redundant and what the rewrite saves.
+
+#ifndef TEMPO_SRC_ADAPTIVE_DEPENDENCY_H_
+#define TEMPO_SRC_ADAPTIVE_DEPENDENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Relationship kinds between two timers, per Section 5.2.
+enum class TimerRelation : uint8_t {
+  kOverlapMaxWins = 0,     // 1(a): expiry is max(t1, t2); t2 removable
+  kOverlapMinWins = 1,     // 1(b): expiry is min(t1, t2); t1 removable
+  kOverlapCancelTogether,  // 1(c): cancellation propagates
+  kDependsOn,              // 2: t2 set upon t1's completion
+};
+
+const char* TimerRelationName(TimerRelation relation);
+
+// A declared-timer node.
+struct DeclaredTimer {
+  uint32_t id = 0;
+  std::string label;
+  SimDuration timeout = 0;
+};
+
+// An edge t1 -> t2.
+struct TimerEdge {
+  uint32_t t1 = 0;
+  uint32_t t2 = 0;
+  TimerRelation relation = TimerRelation::kDependsOn;
+};
+
+// Result of analysing the graph.
+struct DependencyAnalysis {
+  // Timers provably redundant under max-wins/min-wins overlaps.
+  std::vector<uint32_t> removable;
+  // Cancel-propagation groups (each inner vector cancels together).
+  std::vector<std::vector<uint32_t>> cancel_groups;
+  // Concurrent-timer count before/after rewriting overlaps to
+  // dependencies (chained arming): the Section 5.2 optimisation.
+  size_t concurrent_before = 0;
+  size_t concurrent_after = 0;
+};
+
+// Declared relationships between the timers of one logical operation.
+class TimerDependencyGraph {
+ public:
+  // Declares a timer; returns its id.
+  uint32_t AddTimer(const std::string& label, SimDuration timeout);
+
+  // Declares a relationship. For overlaps, t1 must be the one set first
+  // with the later expiry where that matters; the graph validates the
+  // timeout ordering for max/min-wins edges and rejects inconsistent ones.
+  // Returns false if the edge is invalid (unknown ids, self-edge, or
+  // timeout order contradicting the relation).
+  bool Relate(uint32_t t1, uint32_t t2, TimerRelation relation);
+
+  // Runs the redundancy / rewrite analysis.
+  DependencyAnalysis Analyse() const;
+
+  const std::vector<DeclaredTimer>& timers() const { return timers_; }
+  const std::vector<TimerEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<DeclaredTimer> timers_;
+  std::vector<TimerEdge> edges_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ADAPTIVE_DEPENDENCY_H_

@@ -1,0 +1,67 @@
+#include "src/adaptive/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tempo {
+
+namespace {
+// Bucket 0 starts at 1 us.
+constexpr double kLogBase = 1e3;  // 1 us in nanoseconds
+}  // namespace
+
+int StreamingDistribution::BucketFor(SimDuration value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const double ratio = static_cast<double>(value) / kLogBase;
+  if (ratio <= 1.0) {
+    return 0;
+  }
+  const int bucket =
+      static_cast<int>(std::floor(std::log10(ratio) * kBucketsPerDecade));
+  return std::clamp(bucket, 0, kBuckets - 1);
+}
+
+SimDuration StreamingDistribution::BucketUpperEdge(int index) {
+  const double edge =
+      kLogBase * std::pow(10.0, static_cast<double>(index + 1) / kBucketsPerDecade);
+  return static_cast<SimDuration>(edge);
+}
+
+void StreamingDistribution::Add(SimDuration value) {
+  weights_[static_cast<size_t>(BucketFor(value))] += 1.0;
+  total_ += 1.0;
+  ++count_;
+}
+
+void StreamingDistribution::Decay(double factor) {
+  if (factor < 0.0) {
+    factor = 0.0;
+  }
+  if (factor > 1.0) {
+    factor = 1.0;
+  }
+  for (double& w : weights_) {
+    w *= factor;
+  }
+  total_ *= factor;
+}
+
+SimDuration StreamingDistribution::Quantile(double q) const {
+  if (total_ <= 0.0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double acc = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    acc += weights_[static_cast<size_t>(i)];
+    if (acc >= target) {
+      return BucketUpperEdge(i);
+    }
+  }
+  return BucketUpperEdge(kBuckets - 1);
+}
+
+}  // namespace tempo

@@ -1,0 +1,58 @@
+// Streaming wait-time distributions.
+//
+// Section 5.1 proposes learning the distribution of wait times per timer
+// object so a timeout can be phrased as "fire once the system is 99%
+// confident the event will never arrive". The estimator here is a
+// log-bucketed streaming histogram: constant memory, O(1) insert,
+// monotone quantile queries, and exponential decay so the learned
+// distribution can track level shifts.
+
+#ifndef TEMPO_SRC_ADAPTIVE_DISTRIBUTION_H_
+#define TEMPO_SRC_ADAPTIVE_DISTRIBUTION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Log-bucketed histogram over durations in [1 us, ~10^5 s).
+class StreamingDistribution {
+ public:
+  // 12 buckets per decade over 11 decades.
+  static constexpr int kBucketsPerDecade = 12;
+  static constexpr int kDecades = 11;
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  StreamingDistribution() { weights_.fill(0.0); }
+
+  // Inserts one observation.
+  void Add(SimDuration value);
+
+  // Multiplies all weights by `factor` (0 < factor <= 1). Used to age the
+  // distribution so newer observations dominate after a level shift.
+  void Decay(double factor);
+
+  // Value below which a fraction `q` (0..1) of the observed weight lies.
+  // Returns 0 when empty. Quantiles are resolved to bucket granularity
+  // (about 21% relative error at 12 buckets/decade), which is ample for
+  // timeout selection.
+  SimDuration Quantile(double q) const;
+
+  double total_weight() const { return total_; }
+  uint64_t count() const { return count_; }
+
+  // Upper edge of bucket i (exposed for tests).
+  static SimDuration BucketUpperEdge(int index);
+  static int BucketFor(SimDuration value);
+
+ private:
+  std::array<double, kBuckets> weights_;
+  double total_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ADAPTIVE_DISTRIBUTION_H_

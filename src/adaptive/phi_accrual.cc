@@ -1,0 +1,85 @@
+#include "src/adaptive/phi_accrual.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tempo {
+
+void PhiAccrualDetector::Heartbeat(SimTime now) {
+  if (last_heartbeat_ != kNeverTime && now > last_heartbeat_) {
+    intervals_.push_back(now - last_heartbeat_);
+    if (intervals_.size() > options_.window_size) {
+      intervals_.pop_front();
+    }
+  }
+  last_heartbeat_ = now;
+}
+
+SimDuration PhiAccrualDetector::mean_interval() const {
+  if (intervals_.empty()) {
+    return options_.initial_interval;
+  }
+  long double sum = 0;
+  for (SimDuration d : intervals_) {
+    sum += static_cast<long double>(d);
+  }
+  return static_cast<SimDuration>(sum / static_cast<long double>(intervals_.size()));
+}
+
+SimDuration PhiAccrualDetector::stddev_interval() const {
+  if (intervals_.size() < 2) {
+    return std::max(options_.min_stddev, options_.initial_interval / 4);
+  }
+  const long double mean = static_cast<long double>(mean_interval());
+  long double acc = 0;
+  for (SimDuration d : intervals_) {
+    const long double err = static_cast<long double>(d) - mean;
+    acc += err * err;
+  }
+  const auto stddev = static_cast<SimDuration>(
+      std::sqrt(static_cast<double>(acc / static_cast<long double>(intervals_.size()))));
+  return std::max(stddev, options_.min_stddev);
+}
+
+double PhiAccrualDetector::Phi(SimTime now) const {
+  if (last_heartbeat_ == kNeverTime || now <= last_heartbeat_) {
+    return 0.0;
+  }
+  const double elapsed = static_cast<double>(now - last_heartbeat_);
+  const double mean = static_cast<double>(mean_interval());
+  const double stddev = static_cast<double>(stddev_interval());
+  // P(next heartbeat later than `elapsed`) under a normal model, using the
+  // logistic approximation of the normal CDF that production detectors use
+  // (numerically stable far into the tail).
+  const double y = (elapsed - mean) / stddev;
+  const double e = std::exp(-y * (1.5976 + 0.070566 * y * y));
+  double p_later;
+  if (elapsed > mean) {
+    p_later = e / (1.0 + e);
+  } else {
+    p_later = 1.0 - 1.0 / (1.0 + e);
+  }
+  p_later = std::max(p_later, 1e-300);
+  return -std::log10(p_later);
+}
+
+SimDuration PhiAccrualDetector::TimeoutForThreshold(double threshold) const {
+  // Invert phi by bisection over elapsed time; phi is monotone in elapsed.
+  SimDuration lo = 0;
+  SimDuration hi = std::max<SimDuration>(mean_interval(), kMillisecond);
+  const SimTime base = last_heartbeat_ == kNeverTime ? 0 : last_heartbeat_;
+  while (Phi(base + hi) < threshold && hi < 100 * kHour) {
+    hi *= 2;
+  }
+  for (int i = 0; i < 64 && lo + 1 < hi; ++i) {
+    const SimDuration mid = lo + (hi - lo) / 2;
+    if (Phi(base + mid) < threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace tempo

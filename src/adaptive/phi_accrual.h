@@ -1,0 +1,71 @@
+// Phi-accrual failure detection — the fully-adaptive endpoint of the
+// paper's Section 5.1 proposal.
+//
+// "Rather than specifying a willingness to wait for an (arbitrary) 30
+//  seconds, the programmer should request to 'time out' once the system is
+//  99% confident that a message will never be arriving."
+//
+// A binary timeout answers late; a *suspicion level* answers continuously.
+// The phi-accrual detector (Hayashibara et al., and the design inside
+// today's Cassandra/Akka) models heartbeat inter-arrival times and reports
+//   phi(t) = -log10( P(a heartbeat arrives after waiting t) )
+// so phi = 2 means 99% confidence the peer is gone, phi = 3 means 99.9%.
+// Callers pick the confidence, not a duration — exactly the interface the
+// paper argues for.
+
+#ifndef TEMPO_SRC_ADAPTIVE_PHI_ACCRUAL_H_
+#define TEMPO_SRC_ADAPTIVE_PHI_ACCRUAL_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Accrual failure detector over heartbeat arrivals.
+class PhiAccrualDetector {
+ public:
+  struct Options {
+    // Sliding window of inter-arrival samples.
+    size_t window_size;
+    // Conservative default before the window fills.
+    SimDuration initial_interval;
+    // Variance floor, so a perfectly regular stream does not make the
+    // detector infinitely confident after one lost heartbeat.
+    SimDuration min_stddev;
+
+    Options()
+        : window_size(128), initial_interval(kSecond), min_stddev(20 * kMillisecond) {}
+  };
+
+  PhiAccrualDetector() : PhiAccrualDetector(Options()) {}
+  explicit PhiAccrualDetector(Options options) : options_(options) {}
+
+  // Records a heartbeat arrival at `now`.
+  void Heartbeat(SimTime now);
+
+  // Suspicion level at `now`: 0 when a heartbeat just arrived, rising as
+  // the silence outgrows the learned inter-arrival distribution.
+  double Phi(SimTime now) const;
+
+  // True once phi exceeds `threshold` (e.g. 2.0 for 99%, 3.0 for 99.9%).
+  bool Suspect(SimTime now, double threshold) const { return Phi(now) >= threshold; }
+
+  // How long after the last heartbeat phi crosses `threshold` — the
+  // effective (adaptive) timeout this detector implies.
+  SimDuration TimeoutForThreshold(double threshold) const;
+
+  size_t samples() const { return intervals_.size(); }
+  SimDuration mean_interval() const;
+  SimDuration stddev_interval() const;
+
+ private:
+  Options options_;
+  std::deque<SimDuration> intervals_;
+  SimTime last_heartbeat_ = kNeverTime;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ADAPTIVE_PHI_ACCRUAL_H_

@@ -1,0 +1,99 @@
+#include "src/analysis/histogram.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/oslinux/jiffies.h"
+
+namespace tempo {
+
+ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
+                                     const HistogramOptions& options) {
+  // Optionally identify countdown timers to filter out.
+  std::unordered_set<TimerId> countdown_timers;
+  if (options.exclude_countdowns) {
+    for (const TimerClass& c : ClassifyTrace(records, options.classify)) {
+      if (c.pattern == UsagePattern::kCountdown && c.key.b == 0) {
+        countdown_timers.insert(c.key.a);
+      }
+    }
+  }
+
+  struct BucketKey {
+    int64_t quantised;
+    bool jiffy;
+    bool operator<(const BucketKey& o) const {
+      if (jiffy != o.jiffy) {
+        return jiffy < o.jiffy;
+      }
+      return quantised < o.quantised;
+    }
+  };
+  std::map<BucketKey, uint64_t> counts;
+  uint64_t total = 0;
+
+  for (const TraceRecord& r : records) {
+    if (r.op != TimerOp::kSet && r.op != TimerOp::kBlock) {
+      continue;
+    }
+    if (options.user_only && !r.is_user()) {
+      continue;
+    }
+    if (options.exclude_pids.count(r.pid) != 0) {
+      continue;
+    }
+    if (options.exclude_countdowns && countdown_timers.count(r.timer) != 0) {
+      continue;
+    }
+    ++total;
+    BucketKey key{};
+    if (options.jiffy_quantise_kernel && !r.is_user() &&
+        (r.flags & kFlagJiffyWheel) != 0) {
+      // Kernel wheel timers: read the exact jiffy delta off the absolute
+      // expiry, as the paper's instrumentation does — this undoes the
+      // sub-2 ms conversion jitter of the observed relative value.
+      key.jiffy = true;
+      key.quantised = static_cast<int64_t>(TimeToJiffies(r.expiry)) -
+                      static_cast<int64_t>(TimeToJiffies(r.timestamp));
+    } else {
+      key.jiffy = false;
+      // 0.1 ms buckets for exactly supplied values.
+      const SimDuration grain = kMillisecond / 10;
+      key.quantised = (r.timeout + grain / 2) / grain;
+    }
+    ++counts[key];
+  }
+
+  ValueHistogram histogram;
+  histogram.total_sets = total;
+  if (total == 0) {
+    return histogram;
+  }
+  uint64_t covered = 0;
+  for (const auto& [key, count] : counts) {
+    const double percent = 100.0 * static_cast<double>(count) / static_cast<double>(total);
+    if (percent < options.min_percent) {
+      continue;
+    }
+    ValueBucket bucket;
+    bucket.count = count;
+    bucket.percent = percent;
+    if (key.jiffy) {
+      bucket.jiffies = key.quantised;
+      bucket.value = key.quantised * kJiffy;
+    } else {
+      bucket.jiffies = -1;
+      bucket.value = key.quantised * (kMillisecond / 10);
+    }
+    covered += count;
+    histogram.buckets.push_back(bucket);
+  }
+  std::sort(histogram.buckets.begin(), histogram.buckets.end(),
+            [](const ValueBucket& a, const ValueBucket& b) { return a.value < b.value; });
+  histogram.coverage_percent =
+      100.0 * static_cast<double>(covered) / static_cast<double>(total);
+  return histogram;
+}
+
+}  // namespace tempo

@@ -1,0 +1,107 @@
+#include "src/analysis/lifetimes.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace tempo {
+
+SimDuration CanonicalTimeout(const TraceRecord& r) {
+  // Kernel-side wheel timers: the tracepoint reads the absolute jiffy
+  // expiry, so the canonical relative value is the exact jiffy delta.
+  if (r.op == TimerOp::kSet && !r.is_user() && (r.flags & kFlagJiffyWheel) != 0 &&
+      r.expiry > 0) {
+    const Jiffies delta = TimeToJiffies(r.expiry) - TimeToJiffies(r.timestamp);
+    return JiffiesToTime(delta);
+  }
+  return r.timeout;
+}
+
+ClusterKey ClusterKeyFor(const Episode& episode) {
+  if ((episode.flags & kFlagDynamicAlloc) != 0) {
+    // No stable identity: cluster by call-site and thread (Section 3.3).
+    return ClusterKey{(uint64_t{1} << 63) | episode.callsite,
+                      (static_cast<uint64_t>(static_cast<uint32_t>(episode.pid)) << 32) |
+                          static_cast<uint32_t>(episode.tid)};
+  }
+  return ClusterKey{episode.timer, 0};
+}
+
+std::vector<Episode> BuildEpisodes(const std::vector<TraceRecord>& records) {
+  std::vector<Episode> episodes;
+  episodes.reserve(records.size() / 2);
+  // Open episode per timer id (sets) and per (timer,tid) for waits.
+  std::map<TimerId, size_t> open;  // timer id -> index into episodes
+
+  auto close = [&](TimerId timer, SimTime at, EpisodeEnd end) {
+    auto it = open.find(timer);
+    if (it == open.end()) {
+      return;
+    }
+    Episode& e = episodes[it->second];
+    e.end_time = at;
+    e.end = end;
+    open.erase(it);
+  };
+
+  for (const TraceRecord& r : records) {
+    switch (r.op) {
+      case TimerOp::kInit:
+        break;
+      case TimerOp::kSet:
+      case TimerOp::kBlock: {
+        // Arming a pending timer ends the previous episode as a reset.
+        close(r.timer, r.timestamp, EpisodeEnd::kReset);
+        Episode e;
+        e.timer = r.timer;
+        e.callsite = r.callsite;
+        e.pid = r.pid;
+        e.tid = r.tid;
+        e.set_time = r.timestamp;
+        e.timeout = r.timeout;
+        e.canonical = CanonicalTimeout(r);
+        e.flags = r.flags;
+        open.emplace(r.timer, episodes.size());
+        episodes.push_back(e);
+        break;
+      }
+      case TimerOp::kCancel:
+        close(r.timer, r.timestamp, EpisodeEnd::kCanceled);
+        break;
+      case TimerOp::kExpire:
+        close(r.timer, r.timestamp, EpisodeEnd::kExpired);
+        break;
+      case TimerOp::kUnblock:
+        close(r.timer, r.timestamp,
+              (r.flags & kFlagWaitSatisfied) != 0 ? EpisodeEnd::kCanceled
+                                                  : EpisodeEnd::kExpired);
+        break;
+    }
+  }
+  // Episodes still open at trace end keep kOpen with end_time unset; give
+  // them the last timestamp so held() is meaningful.
+  if (!records.empty()) {
+    const SimTime last = records.back().timestamp;
+    for (auto& [timer, idx] : open) {
+      episodes[idx].end_time = last;
+    }
+  }
+  return episodes;
+}
+
+std::vector<std::vector<Episode>> GroupEpisodes(std::vector<Episode> episodes) {
+  std::map<ClusterKey, std::vector<Episode>> groups;
+  for (Episode& e : episodes) {
+    groups[ClusterKeyFor(e)].push_back(std::move(e));
+  }
+  std::vector<std::vector<Episode>> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const Episode& x, const Episode& y) { return x.set_time < y.set_time; });
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace tempo

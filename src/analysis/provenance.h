@@ -1,0 +1,72 @@
+// Timeout provenance analysis (Section 5.2).
+//
+// "There are clear benefits to be gained from preserving and propagating
+//  information about how timers have been set, and by whom, throughout the
+//  system ... being able to trace execution through the system is a
+//  critical requirement for understanding anomalous behavior."
+//
+// Call-sites in tempo declare a provenance parent (the facility they
+// multiplex onto), so each record carries an implicit chain from the leaf
+// tracepoint up to the subsystem that caused it. This module aggregates a
+// trace along those chains and produces the two reports the paper wants:
+//   * an attribution tree: which subsystem is responsible for how much
+//     timer activity (directly and through everything below it);
+//   * a blame report for a time interval: who kept the CPU waiting, with
+//     held-time totals — the "why did this take a minute" question of the
+//     file-browser pathology.
+
+#ifndef TEMPO_SRC_ANALYSIS_PROVENANCE_H_
+#define TEMPO_SRC_ANALYSIS_PROVENANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lifetimes.h"
+#include "src/trace/callsite.h"
+
+namespace tempo {
+
+// One node of the attribution tree.
+struct ProvenanceNode {
+  CallsiteId callsite = kUnknownCallsite;
+  std::string name;
+  // Operations recorded at exactly this call-site.
+  uint64_t direct_ops = 0;
+  uint64_t direct_sets = 0;
+  // Operations at this call-site plus everything that multiplexes onto it.
+  uint64_t subtree_ops = 0;
+  uint64_t subtree_sets = 0;
+  std::vector<ProvenanceNode> children;  // sorted by subtree_ops, descending
+};
+
+// Builds the attribution forest (one tree per provenance root) for a trace.
+// Roots are sorted by subtree_ops, descending.
+std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>& records,
+                                                  const CallsiteRegistry& callsites);
+
+// One blame entry: a call-site's contribution to waiting inside a window.
+struct BlameEntry {
+  CallsiteId callsite = kUnknownCallsite;
+  std::string name;
+  uint64_t episodes = 0;       // episodes overlapping the window
+  SimDuration held = 0;        // pending time accumulated inside the window
+  SimDuration longest = 0;     // longest single episode within the window
+};
+
+// For [start, end): which call-sites had timers pending, for how long.
+// Sorted by held time, descending. Answers "what was the system waiting
+// on" for a stall the user experienced.
+std::vector<BlameEntry> BlameWindow(const std::vector<TraceRecord>& records,
+                                    const CallsiteRegistry& callsites, SimTime start,
+                                    SimTime end);
+
+// Renders the forest with indentation and counts.
+std::string RenderProvenance(const std::vector<ProvenanceNode>& forest);
+
+// Renders a blame report.
+std::string RenderBlame(const std::vector<BlameEntry>& entries, SimTime start, SimTime end);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_PROVENANCE_H_

@@ -1,0 +1,60 @@
+#include "src/analysis/rates.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+std::vector<RateSeries> ComputeRates(const std::vector<TraceRecord>& records,
+                                     const RateGrouping& grouping, const RateOptions& options) {
+  std::map<std::string, std::vector<uint64_t>> series;
+  const SimTime end =
+      options.end > 0 ? options.end : (records.empty() ? 0 : records.back().timestamp);
+  if (end <= options.start || options.window <= 0) {
+    return {};
+  }
+  const size_t windows =
+      static_cast<size_t>((end - options.start + options.window - 1) / options.window);
+
+  for (const TraceRecord& r : records) {
+    if (r.timestamp < options.start || r.timestamp >= end) {
+      continue;
+    }
+    if (options.sets_only && r.op != TimerOp::kSet && r.op != TimerOp::kBlock) {
+      continue;
+    }
+    std::string label;
+    if (r.pid == kKernelPid) {
+      label = grouping.kernel_label;
+    } else {
+      auto it = grouping.pid_labels.find(r.pid);
+      if (it != grouping.pid_labels.end()) {
+        label = it->second;
+      } else {
+        label = grouping.default_label;
+      }
+    }
+    if (label.empty()) {
+      continue;
+    }
+    auto& buckets = series[label];
+    if (buckets.empty()) {
+      buckets.resize(windows, 0);
+    }
+    const size_t idx = static_cast<size_t>((r.timestamp - options.start) / options.window);
+    if (idx < buckets.size()) {
+      ++buckets[idx];
+    }
+  }
+
+  std::vector<RateSeries> out;
+  out.reserve(series.size());
+  for (auto& [label, buckets] : series) {
+    if (buckets.empty()) {
+      buckets.resize(windows, 0);
+    }
+    out.push_back(RateSeries{label, std::move(buckets)});
+  }
+  return out;
+}
+
+}  // namespace tempo

@@ -1,0 +1,46 @@
+// Per-process timer-set rate timelines — Figure 1.
+//
+// "The graph shows the number of timers used per second by Outlook,
+//  Internet Explorer, system processes and the kernel over a 90 second
+//  excerpt from a trace."
+
+#ifndef TEMPO_SRC_ANALYSIS_RATES_H_
+#define TEMPO_SRC_ANALYSIS_RATES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace tempo {
+
+// One labelled series of events-per-window counts.
+struct RateSeries {
+  std::string label;
+  std::vector<uint64_t> per_window;
+};
+
+struct RateOptions {
+  SimDuration window = kSecond;
+  SimTime start = 0;
+  SimTime end = 0;  // 0: run to the last record
+  // Count only arming operations (set/block); false counts all accesses.
+  bool sets_only = true;
+};
+
+// Groups pids under labels ("Outlook", "System", ...); pids not mentioned
+// fall under `default_label` (empty: dropped).
+struct RateGrouping {
+  std::map<Pid, std::string> pid_labels;
+  std::string default_label = "System";
+  std::string kernel_label = "Kernel";
+};
+
+// Computes one series per label. Series are ordered by label.
+std::vector<RateSeries> ComputeRates(const std::vector<TraceRecord>& records,
+                                     const RateGrouping& grouping, const RateOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_RATES_H_

@@ -1,0 +1,251 @@
+#include "src/analysis/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tempo {
+
+namespace {
+
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string FormatCount(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Timeout value in the paper's style: seconds with up to 4 significant
+// decimals ("0.004", "0.4999", "7200").
+std::string FormatValueSeconds(SimDuration d) {
+  const double s = ToSeconds(d);
+  char buf[64];
+  if (s >= 1.0 && std::fabs(s - std::round(s)) < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "%.0f", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", s);
+    // Trim trailing zeros but keep at least one decimal.
+    std::string out = buf;
+    while (out.size() > 1 && out.back() == '0' && out[out.size() - 2] != '.') {
+      out.pop_back();
+    }
+    return out;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        out << cell << std::string(widths[c] - cell.size(), ' ');
+      } else {
+        out << std::string(widths[c] - cell.size(), ' ') << cell;
+      }
+    }
+    out << "\n";
+  };
+  emit(header);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows) {
+    emit(row);
+  }
+  return out.str();
+}
+
+std::string RenderSummaryTable(const std::vector<TraceSummary>& summaries) {
+  std::vector<std::string> header{""};
+  for (const auto& s : summaries) {
+    header.push_back(s.label);
+  }
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> r{name};
+    for (const auto& s : summaries) {
+      r.push_back(FormatCount(getter(s)));
+    }
+    return r;
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(row("Timers", [](const TraceSummary& s) { return s.timers; }));
+  rows.push_back(row("Concurrency", [](const TraceSummary& s) { return s.concurrency; }));
+  rows.push_back(row("Accesses", [](const TraceSummary& s) { return s.accesses; }));
+  rows.push_back(row("User-space", [](const TraceSummary& s) { return s.user_space; }));
+  rows.push_back(row("Kernel", [](const TraceSummary& s) { return s.kernel; }));
+  rows.push_back(row("Set", [](const TraceSummary& s) { return s.set; }));
+  rows.push_back(row("Expired", [](const TraceSummary& s) { return s.expired; }));
+  rows.push_back(row("Canceled", [](const TraceSummary& s) { return s.canceled; }));
+  return RenderTable(header, rows);
+}
+
+std::string RenderPatternHistogram(
+    const std::vector<std::pair<std::string, std::map<UsagePattern, double>>>& workloads) {
+  static constexpr UsagePattern kOrder[] = {
+      UsagePattern::kDelay,    UsagePattern::kPeriodic, UsagePattern::kTimeout,
+      UsagePattern::kWatchdog, UsagePattern::kDeferred, UsagePattern::kCountdown,
+      UsagePattern::kOther,
+  };
+  std::vector<std::string> header{"pattern"};
+  for (const auto& [label, histogram] : workloads) {
+    header.push_back(label);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (UsagePattern pattern : kOrder) {
+    std::vector<std::string> row{UsagePatternName(pattern)};
+    bool any = false;
+    for (const auto& [label, histogram] : workloads) {
+      auto it = histogram.find(pattern);
+      const double v = it != histogram.end() ? it->second : 0.0;
+      any = any || v > 0;
+      row.push_back(Format("%5.1f%%", v));
+    }
+    if (any) {
+      rows.push_back(std::move(row));
+    }
+  }
+  return RenderTable(header, rows);
+}
+
+std::string RenderValueHistogram(const ValueHistogram& histogram, bool show_jiffies) {
+  std::ostringstream out;
+  std::vector<std::string> header{"timeout [s]"};
+  if (show_jiffies) {
+    header.push_back("(jiffies)");
+  }
+  header.push_back("% of values");
+  header.push_back("count");
+  header.push_back("");
+  std::vector<std::vector<std::string>> rows;
+  for (const ValueBucket& b : histogram.buckets) {
+    std::vector<std::string> row;
+    row.push_back(FormatValueSeconds(b.value));
+    if (show_jiffies) {
+      row.push_back(b.jiffies >= 0 ? "(" + FormatCount(static_cast<uint64_t>(b.jiffies)) + ")"
+                                   : "");
+    }
+    row.push_back(Format("%5.1f", b.percent));
+    row.push_back(FormatCount(b.count));
+    row.push_back(std::string(static_cast<size_t>(std::lround(b.percent)), '#'));
+    rows.push_back(std::move(row));
+  }
+  out << RenderTable(header, rows);
+  out << Format("shown buckets cover %.1f%% of ", histogram.coverage_percent)
+      << histogram.total_sets << " sets\n";
+  return out.str();
+}
+
+std::string RenderScatter(const std::vector<ScatterPoint>& points) {
+  // Coarse character plot: x = log10(timeout) from 1e-4 to 1e4, y = 0..250%.
+  constexpr int kCols = 64;
+  constexpr int kRows = 25;
+  std::vector<std::string> grid(kRows, std::string(kCols, ' '));
+  uint64_t max_count = 1;
+  for (const ScatterPoint& p : points) {
+    max_count = std::max(max_count, p.count);
+  }
+  for (const ScatterPoint& p : points) {
+    const double lx = std::log10(p.timeout_seconds);
+    int col = static_cast<int>((lx + 4.0) / 8.0 * kCols);
+    int row = kRows - 1 - static_cast<int>(p.percent / 250.0 * kRows);
+    col = std::clamp(col, 0, kCols - 1);
+    row = std::clamp(row, 0, kRows - 1);
+    const double weight =
+        std::log10(static_cast<double>(p.count)) / std::log10(static_cast<double>(max_count) + 1.0);
+    const char mark = weight > 0.66 ? 'O' : (weight > 0.33 ? 'o' : '.');
+    char& cell = grid[row][col];
+    if (cell == ' ' || mark == 'O' || (mark == 'o' && cell == '.')) {
+      cell = mark;
+    }
+  }
+  std::ostringstream out;
+  out << "expired/canceled [% of set timeout] vs timeout [s] "
+         "(. few, o some, O many)\n";
+  for (int r = 0; r < kRows; ++r) {
+    const int pct = static_cast<int>((kRows - r) * 250 / kRows);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4d%% |", pct);
+    out << label << grid[r] << "\n";
+  }
+  out << "       +" << std::string(kCols, '-') << "\n";
+  out << "        1e-4      1e-2      1e0       1e2       1e4\n";
+  return out.str();
+}
+
+std::string RenderRates(const std::vector<RateSeries>& series, SimDuration window) {
+  std::ostringstream out;
+  const double seconds = ToSeconds(window);
+  for (const RateSeries& s : series) {
+    uint64_t peak = 0;
+    uint64_t total = 0;
+    for (uint64_t v : s.per_window) {
+      peak = std::max(peak, v);
+      total += v;
+    }
+    const double mean = s.per_window.empty()
+                            ? 0
+                            : static_cast<double>(total) /
+                                  (static_cast<double>(s.per_window.size()) * seconds);
+    out << s.label << ": mean " << Format("%.1f", mean) << "/s, peak "
+        << Format("%.0f", static_cast<double>(peak) / seconds) << "/s over "
+        << s.per_window.size() << " windows\n";
+  }
+  return out.str();
+}
+
+std::string RenderOrigins(const std::vector<OriginRow>& rows) {
+  std::vector<std::string> header{"Timeout [s]", "Origin", "Class", "Sets"};
+  std::vector<std::vector<std::string>> table;
+  for (const OriginRow& row : rows) {
+    table.push_back({FormatValueSeconds(row.value), row.origin,
+                     UsagePatternName(row.pattern), FormatCount(row.sets)});
+  }
+  return RenderTable(header, table);
+}
+
+std::string ScatterColumns(const std::vector<ScatterPoint>& points) {
+  std::ostringstream out;
+  out << "# timeout_s percent count expired\n";
+  for (const ScatterPoint& p : points) {
+    out << p.timeout_seconds << " " << p.percent << " " << p.count << " "
+        << (p.expired ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+std::string RateColumns(const std::vector<RateSeries>& series, SimDuration window) {
+  std::ostringstream out;
+  for (const RateSeries& s : series) {
+    out << "# " << s.label << "\n";
+    for (size_t i = 0; i < s.per_window.size(); ++i) {
+      out << ToSeconds(static_cast<SimDuration>(i) * window) << " " << s.per_window[i] << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tempo

@@ -1,0 +1,53 @@
+// ASCII renderers for analysis output.
+//
+// Benches print tables and figures in the same layout as the paper's so the
+// two can be compared side by side; gnuplot-ready column output is also
+// available for every figure.
+
+#ifndef TEMPO_SRC_ANALYSIS_RENDER_H_
+#define TEMPO_SRC_ANALYSIS_RENDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/origins.h"
+#include "src/analysis/rates.h"
+#include "src/analysis/scatter.h"
+#include "src/analysis/summary.h"
+
+namespace tempo {
+
+// Generic aligned table: header row plus data rows.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// Tables 1/2: one column per workload summary.
+std::string RenderSummaryTable(const std::vector<TraceSummary>& summaries);
+
+// Figure 2-style pattern histogram: one column per workload.
+std::string RenderPatternHistogram(
+    const std::vector<std::pair<std::string, std::map<UsagePattern, double>>>& workloads);
+
+// Figure 3/5/6/7-style value histogram with bars.
+std::string RenderValueHistogram(const ValueHistogram& histogram, bool show_jiffies);
+
+// Figures 8-11: coarse ASCII scatter plus per-point listing.
+std::string RenderScatter(const std::vector<ScatterPoint>& points);
+
+// Figure 1: rates over time (log-scale ASCII) plus peak statistics.
+std::string RenderRates(const std::vector<RateSeries>& series, SimDuration window);
+
+// Table 3.
+std::string RenderOrigins(const std::vector<OriginRow>& rows);
+
+// gnuplot-ready columns (x y [size] per line, series separated by blank
+// lines with a "# label" comment).
+std::string ScatterColumns(const std::vector<ScatterPoint>& points);
+std::string RateColumns(const std::vector<RateSeries>& series, SimDuration window);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_RENDER_H_

@@ -1,0 +1,47 @@
+// Expiry/cancellation scatter data — Figures 8-11.
+//
+// For every episode, the paper plots the value the timer was set to against
+// the percentage of that value after which the timer was canceled or
+// expired, aggregating equal points into sized circles. Points above 250 %
+// are cut off; timers set to expire immediately or in the past are not
+// plotted. The hyperbolic curve at short timeouts comes from the
+// near-constant delivery latency of tick-driven expiry.
+
+#ifndef TEMPO_SRC_ANALYSIS_SCATTER_H_
+#define TEMPO_SRC_ANALYSIS_SCATTER_H_
+
+#include <set>
+#include <vector>
+
+#include "src/analysis/lifetimes.h"
+
+namespace tempo {
+
+// One aggregated scatter point.
+struct ScatterPoint {
+  double timeout_seconds = 0.0;  // bucket centre (log-scale bucketing)
+  double percent = 0.0;          // bucket centre of elapsed/timeout * 100
+  uint64_t count = 0;            // episodes aggregated into this point
+  bool expired = false;          // vs canceled
+};
+
+struct ScatterOptions {
+  double max_percent = 250.0;   // cut-off, as in the figures
+  int buckets_per_decade = 12;  // timeout-axis resolution
+  double percent_bucket = 5.0;  // percent-axis resolution
+  bool include_resets = false;  // count re-arms as cancellations
+  // Exclude these pids (X/icewm filter, as in the figures).
+  std::set<Pid> exclude_pids;
+};
+
+// Builds scatter points from a trace's episodes.
+std::vector<ScatterPoint> ComputeScatter(const std::vector<Episode>& episodes,
+                                         const ScatterOptions& options);
+
+// Convenience: episodes from records, then scatter.
+std::vector<ScatterPoint> ComputeScatter(const std::vector<TraceRecord>& records,
+                                         const ScatterOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_SCATTER_H_

@@ -1,0 +1,54 @@
+#include "src/analysis/summary.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tempo {
+
+TraceSummary Summarize(const std::vector<TraceRecord>& records, const std::string& label) {
+  TraceSummary s;
+  s.label = label;
+  std::unordered_set<TimerId> timers;
+  std::unordered_set<TimerId> outstanding;
+  for (const TraceRecord& r : records) {
+    ++s.accesses;
+    if (r.is_user()) {
+      ++s.user_space;
+    } else {
+      ++s.kernel;
+    }
+    if (r.timer != kInvalidTimerId) {
+      timers.insert(r.timer);
+    }
+    switch (r.op) {
+      case TimerOp::kInit:
+        break;
+      case TimerOp::kSet:
+      case TimerOp::kBlock:
+        ++s.set;
+        outstanding.insert(r.timer);
+        s.concurrency = std::max<uint64_t>(s.concurrency, outstanding.size());
+        break;
+      case TimerOp::kExpire:
+        ++s.expired;
+        outstanding.erase(r.timer);
+        break;
+      case TimerOp::kCancel:
+        ++s.canceled;
+        outstanding.erase(r.timer);
+        break;
+      case TimerOp::kUnblock:
+        if ((r.flags & kFlagWaitSatisfied) != 0) {
+          ++s.canceled;
+        } else {
+          ++s.expired;
+        }
+        outstanding.erase(r.timer);
+        break;
+    }
+  }
+  s.timers = timers.size();
+  return s;
+}
+
+}  // namespace tempo

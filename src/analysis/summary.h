@@ -1,0 +1,38 @@
+// Trace summaries — the rows of Tables 1 and 2.
+
+#ifndef TEMPO_SRC_ANALYSIS_SUMMARY_H_
+#define TEMPO_SRC_ANALYSIS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace tempo {
+
+// Aggregate statistics of one trace, matching the fields the paper reports:
+// "timers shows the total number of allocated timer data structures in each
+//  trace, concurrency the maximum number of outstanding timers at any time,
+//  accesses is the total number of accesses to the timer subsystem, and
+//  user-space / kernel show the number of explicit and implicit accesses
+//  from user-space and the kernel. Set, expired, and canceled show the
+//  total number of operations of each type."
+struct TraceSummary {
+  std::string label;
+  uint64_t timers = 0;       // distinct timer identities observed
+  uint64_t concurrency = 0;  // max simultaneously outstanding
+  uint64_t accesses = 0;     // total records
+  uint64_t user_space = 0;   // records flagged kFlagUser
+  uint64_t kernel = 0;       // the rest
+  uint64_t set = 0;          // kSet + kBlock (arming operations)
+  uint64_t expired = 0;      // kExpire + timed-out unblocks
+  uint64_t canceled = 0;     // kCancel + satisfied unblocks
+};
+
+// Computes the summary of a time-ordered trace.
+TraceSummary Summarize(const std::vector<TraceRecord>& records, const std::string& label);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_SUMMARY_H_

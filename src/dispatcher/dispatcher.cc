@@ -1,0 +1,247 @@
+#include "src/dispatcher/dispatcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tempo {
+
+// --- DispatchTask ---
+
+RequirementId DispatchTask::RunWithin(SimDuration earliest, SimDuration latest,
+                                      std::function<void()> fn) {
+  const SimTime now = dispatcher_->sim_->Now();
+  if (latest < earliest) {
+    latest = earliest;
+  }
+  return dispatcher_->Declare(this, TemporalDispatcher::Kind::kOneShot, now + earliest,
+                              now + latest, std::move(fn));
+}
+
+RequirementId DispatchTask::RunAfter(SimDuration delay, std::function<void()> fn) {
+  return RunWithin(delay, delay, std::move(fn));
+}
+
+RequirementId DispatchTask::RunEvery(SimDuration period, SimDuration slack,
+                                     std::function<void()> fn) {
+  const SimTime now = dispatcher_->sim_->Now();
+  const RequirementId id =
+      dispatcher_->Declare(this, TemporalDispatcher::Kind::kPeriodic,
+                           now + std::max<SimDuration>(period - slack / 2, 0),
+                           now + period + slack / 2, std::move(fn));
+  TemporalDispatcher::Requirement* req = dispatcher_->requirements_.at(id).get();
+  req->period = period;
+  req->slack = slack;
+  req->epoch = now;
+  req->iteration = 1;
+  return id;
+}
+
+RequirementId DispatchTask::Guard(SimDuration timeout, std::function<void()> on_expire) {
+  const SimTime now = dispatcher_->sim_->Now();
+  const RequirementId id = dispatcher_->Declare(
+      this, TemporalDispatcher::Kind::kGuard, now + timeout, now + timeout,
+      std::move(on_expire));
+  TemporalDispatcher::Requirement* req = dispatcher_->requirements_.at(id).get();
+  req->period = timeout;  // remember the timeout for kicks
+  req->guard_deadline = now + timeout;
+  return id;
+}
+
+void DispatchTask::Kick(RequirementId id) {
+  auto it = dispatcher_->requirements_.find(id);
+  if (it == dispatcher_->requirements_.end() || !it->second->alive) {
+    return;
+  }
+  // A kick is bookkeeping only: no timer is re-armed. The stale wakeup (if
+  // any) notices the extended deadline and goes back to sleep.
+  TemporalDispatcher::Requirement* req = it->second.get();
+  req->guard_deadline = dispatcher_->sim_->Now() + req->period;
+  req->earliest = req->guard_deadline;
+  req->latest = req->guard_deadline;
+}
+
+void DispatchTask::Complete(RequirementId id) {
+  auto it = dispatcher_->requirements_.find(id);
+  if (it == dispatcher_->requirements_.end()) {
+    return;
+  }
+  it->second->completed = true;
+  it->second->alive = false;
+  dispatcher_->requirements_.erase(it);
+}
+
+bool DispatchTask::Cancel(RequirementId id) {
+  auto it = dispatcher_->requirements_.find(id);
+  if (it == dispatcher_->requirements_.end()) {
+    return false;
+  }
+  ++dispatcher_->canceled_;
+  dispatcher_->requirements_.erase(it);
+  return true;
+}
+
+void DispatchTask::ChargeWork(SimDuration cpu_time) {
+  vruntime_ += cpu_time / static_cast<SimDuration>(weight_);
+}
+
+// --- TemporalDispatcher ---
+
+TemporalDispatcher::TemporalDispatcher(Simulator* sim)
+    : TemporalDispatcher(sim, Options{}) {}
+
+TemporalDispatcher::TemporalDispatcher(Simulator* sim, Options options)
+    : sim_(sim), options_(options) {}
+
+TemporalDispatcher::~TemporalDispatcher() = default;
+
+DispatchTask* TemporalDispatcher::CreateTask(const std::string& name, uint64_t weight) {
+  tasks_.push_back(std::unique_ptr<DispatchTask>(new DispatchTask()));
+  DispatchTask* task = tasks_.back().get();
+  task->dispatcher_ = this;
+  task->name_ = name;
+  task->weight_ = std::max<uint64_t>(weight, 1);
+  return task;
+}
+
+RequirementId TemporalDispatcher::Declare(DispatchTask* task, Kind kind, SimTime earliest,
+                                          SimTime latest, std::function<void()> fn) {
+  auto req = std::make_unique<Requirement>();
+  const RequirementId id = next_id_++;
+  req->id = id;
+  req->task = task;
+  req->kind = kind;
+  req->earliest = earliest;
+  req->latest = latest;
+  req->fn = std::move(fn);
+  requirements_.emplace(id, std::move(req));
+  ++declared_;
+  if (!in_dispatch_) {
+    Reprogram();
+  }
+  return id;
+}
+
+void TemporalDispatcher::Reprogram() {
+  // One hardware timer for the whole system: the earliest must-run-by
+  // deadline across every declared requirement.
+  SimTime needed = kNeverTime;
+  for (const auto& [id, req] : requirements_) {
+    needed = std::min(needed, req->latest);
+  }
+  if (needed == wakeup_at_) {
+    return;
+  }
+  if (wakeup_event_ != kInvalidEventId) {
+    sim_->Cancel(wakeup_event_);
+    wakeup_event_ = kInvalidEventId;
+    wakeup_at_ = kNeverTime;
+  }
+  if (needed == kNeverTime) {
+    return;
+  }
+  needed = std::max(needed, sim_->Now());
+  ++hardware_programs_;
+  wakeup_at_ = needed;
+  wakeup_event_ = sim_->ScheduleAt(needed, [this] { OnWakeup(); });
+}
+
+size_t TemporalDispatcher::DispatchDue(bool piggyback_pass) {
+  const SimTime now = sim_->Now();
+  // Collect candidate ids (snapshotted: dispatched callbacks may cancel or
+  // declare requirements, invalidating pointers): mandatory (latest <= now)
+  // or, in the piggyback pass, any open window (earliest <= now).
+  struct Candidate {
+    RequirementId id;
+    SimTime latest;
+    SimDuration vruntime;
+  };
+  std::vector<Candidate> due;
+  for (auto& [id, req] : requirements_) {
+    if (!req->alive) {
+      continue;
+    }
+    const bool mandatory = req->latest <= now;
+    const bool open = req->earliest <= now;
+    if (mandatory || (piggyback_pass && open && options_.piggyback)) {
+      due.push_back(Candidate{id, req->latest, req->task->vruntime_});
+    }
+  }
+  // Deadline order first; ties broken by the owning task's virtual runtime
+  // (the weighted-fair policy deciding who gets the CPU first).
+  std::sort(due.begin(), due.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.latest != b.latest) {
+      return a.latest < b.latest;
+    }
+    if (a.vruntime != b.vruntime) {
+      return a.vruntime < b.vruntime;
+    }
+    return a.id < b.id;
+  });
+
+  size_t count = 0;
+  for (const Candidate& candidate : due) {
+    auto it = requirements_.find(candidate.id);
+    if (it == requirements_.end() || !it->second->alive) {
+      continue;  // canceled by an earlier dispatch this round
+    }
+    Requirement* req = it->second.get();
+    const bool was_mandatory = req->latest <= now;
+    // Lateness bookkeeping against the declared window.
+    const SimDuration lateness = std::max<SimDuration>(0, now - req->latest);
+    DispatchTask* task = req->task;
+    task->total_lateness_ += lateness;
+    task->worst_lateness_ = std::max(task->worst_lateness_, lateness);
+    ++task->dispatches_;
+    ++dispatched_;
+    if (!was_mandatory) {
+      ++piggybacked_;
+    }
+
+    std::function<void()> fn;
+    switch (req->kind) {
+      case Kind::kGuard:
+        if (req->guard_deadline > now) {
+          // Kicked since the wakeup was programmed: nothing to do yet.
+          --task->dispatches_;
+          --dispatched_;
+          piggybacked_ -= was_mandatory ? 0 : 1;
+          continue;
+        }
+        fn = std::move(req->fn);
+        requirements_.erase(req->id);
+        break;
+      case Kind::kOneShot:
+        fn = std::move(req->fn);
+        requirements_.erase(req->id);
+        break;
+      case Kind::kPeriodic: {
+        fn = req->fn;  // keep for the next iteration
+        ++req->iteration;
+        const SimTime nominal =
+            req->epoch + static_cast<SimDuration>(req->iteration) * req->period;
+        req->earliest = std::max(now, nominal - req->slack / 2);
+        req->latest = std::max(req->earliest, nominal + req->slack / 2);
+        break;
+      }
+    }
+    if (fn) {
+      fn();
+    }
+    ++count;
+  }
+  return count;
+}
+
+void TemporalDispatcher::OnWakeup() {
+  wakeup_event_ = kInvalidEventId;
+  wakeup_at_ = kNeverTime;
+  in_dispatch_ = true;
+  // Mandatory work first, then everything whose window is already open
+  // (the batching that a per-timer design cannot do).
+  DispatchDue(/*piggyback_pass=*/false);
+  DispatchDue(/*piggyback_pass=*/true);
+  in_dispatch_ = false;
+  Reprogram();
+}
+
+}  // namespace tempo

@@ -1,0 +1,188 @@
+// A temporal CPU dispatcher — the clean-slate design of Section 5.5.
+//
+// "Setting a timer implicitly requests that a piece of code run at a
+//  particular time in the future. ... an application-level interface to
+//  the CPU scheduler, rather than an explicit multiplexer of hardware
+//  timers, is what applications would find most useful."
+//
+// The dispatcher unifies the paper's timer use cases with CPU scheduling:
+// tasks do not arm timers; they declare WHAT CODE should run WHEN —
+// one-shot windows, periodic cadences with slack, watchdogs, and guarded
+// operations — and the dispatcher runs the right piece of code at the
+// right time, directly on the task (a scheduler-activations-style upcall),
+// subject to a system-wide weighted-fair CPU allocation policy.
+//
+// Because the dispatcher owns every temporal requirement, it can do what no
+// layered timer stack can:
+//   * program ONE underlying hardware timer for the earliest hard deadline
+//     (everything else piggybacks on natural dispatch points);
+//   * batch slack-tolerant work into existing wakeups;
+//   * skip watchdog re-arms entirely (a deadline is data, not a timer);
+//   * account dispatch latency against the declared windows.
+
+#ifndef TEMPO_SRC_DISPATCHER_DISPATCHER_H_
+#define TEMPO_SRC_DISPATCHER_DISPATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace tempo {
+
+class TemporalDispatcher;
+
+// Identifies a declared requirement; 0 invalid.
+using RequirementId = uint64_t;
+inline constexpr RequirementId kInvalidRequirement = 0;
+
+// A schedulable entity. Owned by the dispatcher.
+class DispatchTask {
+ public:
+  const std::string& name() const { return name_; }
+
+  // --- Declaring temporal requirements (Section 5.4's vocabulary) ---
+
+  // "Any time within [earliest, latest] from now, run fn."
+  RequirementId RunWithin(SimDuration earliest, SimDuration latest,
+                          std::function<void()> fn);
+
+  // "After exactly delay, run fn" (zero-slack one-shot).
+  RequirementId RunAfter(SimDuration delay, std::function<void()> fn);
+
+  // "Every period (with per-dispatch slack), run fn." Drift-free cadence.
+  RequirementId RunEvery(SimDuration period, SimDuration slack, std::function<void()> fn);
+
+  // "If Complete(id) has not been called within timeout, run on_expire."
+  // The watchdog is pure bookkeeping: re-arming it (Kick) costs no timer
+  // operation, only a timestamp update.
+  RequirementId Guard(SimDuration timeout, std::function<void()> on_expire);
+
+  // Postpones a Guard's deadline by its full timeout (watchdog kick).
+  void Kick(RequirementId id);
+
+  // Completes a Guard: the failure continuation will not run.
+  void Complete(RequirementId id);
+
+  // Cancels any requirement.
+  bool Cancel(RequirementId id);
+
+  // CPU work accounting: a dispatched callback that performs work calls
+  // this to charge virtual CPU time against the task's fair share.
+  void ChargeWork(SimDuration cpu_time);
+
+  // --- Introspection ---
+  uint64_t dispatches() const { return dispatches_; }
+  SimDuration total_lateness() const { return total_lateness_; }
+  SimDuration worst_lateness() const { return worst_lateness_; }
+  SimDuration virtual_runtime() const { return vruntime_; }
+
+ private:
+  friend class TemporalDispatcher;
+  DispatchTask() = default;
+
+  TemporalDispatcher* dispatcher_ = nullptr;
+  std::string name_;
+  uint64_t weight_ = 1;
+  SimDuration vruntime_ = 0;
+  uint64_t dispatches_ = 0;
+  SimDuration total_lateness_ = 0;
+  SimDuration worst_lateness_ = 0;
+};
+
+// The dispatcher.
+class TemporalDispatcher {
+ public:
+  struct Options {
+    // Minimum spacing between forced hardware wakeups (the dispatcher's
+    // only real timer); batching happens inside this resolution.
+    SimDuration min_timer_spacing;
+    // How far ahead of a window's `latest` the dispatcher aims to run
+    // slack-tolerant work when piggybacking on another wakeup.
+    bool piggyback;
+
+    Options() : min_timer_spacing(100 * kMicrosecond), piggyback(true) {}
+  };
+
+  explicit TemporalDispatcher(Simulator* sim);
+  TemporalDispatcher(Simulator* sim, Options options);
+  TemporalDispatcher(const TemporalDispatcher&) = delete;
+  TemporalDispatcher& operator=(const TemporalDispatcher&) = delete;
+  ~TemporalDispatcher();
+
+  // Creates a task with a fair-share weight.
+  DispatchTask* CreateTask(const std::string& name, uint64_t weight = 1);
+
+  // --- The power-and-correctness metrics of the design ---
+
+  // Hardware timer programmings performed (the wakeup/power proxy: a raw
+  // timer subsystem performs one per armed timer).
+  uint64_t hardware_programs() const { return hardware_programs_; }
+
+  // Requirements dispatched on a piggybacked wakeup (no extra hardware
+  // timer was needed for them).
+  uint64_t piggybacked_dispatches() const { return piggybacked_; }
+
+  // Total requirements declared / dispatched / canceled.
+  uint64_t declared() const { return declared_; }
+  uint64_t dispatched() const { return dispatched_; }
+  uint64_t canceled() const { return canceled_; }
+
+ private:
+  friend class DispatchTask;
+
+  enum class Kind : uint8_t { kOneShot, kPeriodic, kGuard };
+
+  struct Requirement {
+    RequirementId id = kInvalidRequirement;
+    DispatchTask* task = nullptr;
+    Kind kind = Kind::kOneShot;
+    // Dispatch window [earliest, latest]; for guards, latest is the
+    // deadline and earliest == latest.
+    SimTime earliest = 0;
+    SimTime latest = 0;
+    // Periodic state.
+    SimDuration period = 0;
+    SimDuration slack = 0;
+    SimTime epoch = 0;
+    uint64_t iteration = 0;
+    // Guard state.
+    SimTime guard_deadline = 0;
+    bool completed = false;
+    std::function<void()> fn;
+    bool alive = true;
+  };
+
+  RequirementId Declare(DispatchTask* task, Kind kind, SimTime earliest, SimTime latest,
+                        std::function<void()> fn);
+  void Reprogram();
+  void OnWakeup();
+  // Runs every requirement whose window permits execution now, in
+  // deadline-then-fairness order. Returns the count dispatched.
+  size_t DispatchDue(bool piggyback_pass);
+
+  Simulator* sim_;
+  Options options_;
+  std::deque<std::unique_ptr<DispatchTask>> tasks_;
+  std::map<RequirementId, std::unique_ptr<Requirement>> requirements_;
+  RequirementId next_id_ = 1;
+
+  EventId wakeup_event_ = kInvalidEventId;
+  SimTime wakeup_at_ = kNeverTime;
+  bool in_dispatch_ = false;
+
+  uint64_t hardware_programs_ = 0;
+  uint64_t piggybacked_ = 0;
+  uint64_t declared_ = 0;
+  uint64_t dispatched_ = 0;
+  uint64_t canceled_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_DISPATCHER_DISPATCHER_H_

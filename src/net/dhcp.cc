@@ -1,0 +1,122 @@
+#include "src/net/dhcp.h"
+
+namespace tempo {
+
+const char* DhcpStateName(DhcpState state) {
+  switch (state) {
+    case DhcpState::kInit:
+      return "INIT";
+    case DhcpState::kBound:
+      return "BOUND";
+    case DhcpState::kRenewing:
+      return "RENEWING";
+    case DhcpState::kRebinding:
+      return "REBINDING";
+  }
+  return "?";
+}
+
+DhcpClient::DhcpClient(LinuxKernel* kernel, SimNetwork* net, NodeId node,
+                       DhcpServer* server, Pid pid)
+    : kernel_(kernel), net_(net), node_(node), server_(server), pid_(pid) {
+  t1_ = kernel_->InitTimer("dhcp/t1_renew", [this] { OnT1(); }, pid_);
+  t2_ = kernel_->InitTimer("dhcp/t2_rebind", [this] { OnT2(); }, pid_);
+  expiry_ = kernel_->InitTimer("dhcp/lease_expiry", [this] { OnExpiry(); }, pid_);
+}
+
+void DhcpClient::Start() { AcquireLease(); }
+
+void DhcpClient::AcquireLease() {
+  // DISCOVER -> OFFER -> REQUEST -> ACK collapsed to one round trip.
+  const uint64_t generation = lease_generation_;
+  net_->Send(node_, server_->node(), 300, [this, generation] {
+    if (server_->down() || generation != lease_generation_) {
+      return;
+    }
+    net_->Send(server_->node(), node_, 300, [this, generation] {
+      if (generation != lease_generation_) {
+        return;
+      }
+      OnLeaseAcquired();
+    });
+  });
+}
+
+void DhcpClient::OnLeaseAcquired() {
+  state_ = DhcpState::kBound;
+  const SimDuration lease = server_->lease_time();
+  // RFC 2131 4.4.5: T1 defaults to 0.5 * lease, T2 to 0.875 * lease. All
+  // three are armed together — the overlapping max-wins set the paper uses
+  // as its example: only the expiry means real failure.
+  kernel_->ModTimerUser(t1_, lease / 2);
+  kernel_->ModTimerUser(t2_, lease * 7 / 8);
+  kernel_->ModTimerUser(expiry_, lease);
+}
+
+void DhcpClient::SendRenewRequest(bool broadcast) {
+  const uint64_t generation = lease_generation_;
+  const size_t bytes = broadcast ? 590 : 300;  // broadcast REQUEST is padded
+  net_->Send(node_, server_->node(), bytes, [this, generation] {
+    if (server_->down() || generation != lease_generation_) {
+      return;  // no ACK will come; T2/expiry keep counting
+    }
+    net_->Send(server_->node(), node_, 300, [this, generation] {
+      if (generation != lease_generation_) {
+        return;
+      }
+      // ACK: lease extended. Cancel the whole overlapping set and re-arm
+      // from scratch (dhclient's idiom: del_timer on all three).
+      ++(state_ == DhcpState::kRenewing ? renewals_ : rebinds_);
+      CancelAll();
+      OnLeaseAcquired();
+    });
+  });
+}
+
+void DhcpClient::OnT1() {
+  if (state_ == DhcpState::kBound) {
+    state_ = DhcpState::kRenewing;
+  }
+  if (state_ != DhcpState::kRenewing) {
+    return;
+  }
+  // Unicast renewal attempt; keep retrying on a fraction of the remaining
+  // time, per the RFC's guidance, until T2 takes over.
+  SendRenewRequest(/*broadcast=*/false);
+  const SimDuration retry = server_->lease_time() * 3 / 32;
+  kernel_->ModTimerUser(t1_, retry);  // reuse T1 as the retransmit timer
+}
+
+void DhcpClient::OnT2() {
+  if (state_ == DhcpState::kRenewing || state_ == DhcpState::kBound) {
+    state_ = DhcpState::kRebinding;
+    kernel_->DelTimer(t1_);  // renewing is over
+  }
+  if (state_ != DhcpState::kRebinding) {
+    return;
+  }
+  // Broadcast rebind attempts, retransmitted until the lease expires.
+  SendRenewRequest(/*broadcast=*/true);
+  kernel_->ModTimerUser(t2_, server_->lease_time() / 32);
+}
+
+void DhcpClient::OnExpiry() {
+  // The only timer whose expiry is a real failure (max-wins).
+  state_ = DhcpState::kInit;
+  ++lease_losses_;
+  ++lease_generation_;
+  kernel_->DelTimer(t1_);
+  kernel_->DelTimer(t2_);
+  if (on_lease_lost) {
+    on_lease_lost();
+  }
+}
+
+void DhcpClient::CancelAll() {
+  ++lease_generation_;
+  kernel_->DelTimer(t1_);
+  kernel_->DelTimer(t2_);
+  kernel_->DelTimer(expiry_);
+}
+
+}  // namespace tempo

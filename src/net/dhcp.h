@@ -1,0 +1,108 @@
+// DHCP client lease timers (RFC 2131) — the paper's own example of
+// overlapping timers (Section 5.2 cites RFC 2131 Section 4.4.5 for the
+// "max-wins" overlap relationship).
+//
+// A bound DHCP client keeps three timers against the same event (losing the
+// lease): T1 (renewing, default 0.5 * lease), T2 (rebinding, default
+// 0.875 * lease) and the lease expiry itself. T1 < T2 < expiry always, all
+// armed together when the lease is (re)acquired, all canceled together on
+// renewal — exactly relationship 1(a): only the *latest* matters for
+// failure, the earlier ones exist to start recovery early.
+//
+// The model runs over the instrumented Linux kernel (dhclient arms its
+// timeouts through the syscall path on a real system; we arm kernel timers
+// with a dhcp call-site so the trace shows the idiom).
+
+#ifndef TEMPO_SRC_NET_DHCP_H_
+#define TEMPO_SRC_NET_DHCP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/network.h"
+#include "src/oslinux/kernel.h"
+
+namespace tempo {
+
+// The DHCP client states of RFC 2131 that matter for timers.
+enum class DhcpState : uint8_t {
+  kInit = 0,
+  kBound = 1,      // lease held; T1 pending
+  kRenewing = 2,   // unicast renewals; T2 pending
+  kRebinding = 3,  // broadcast renewals; expiry pending
+};
+
+const char* DhcpStateName(DhcpState state);
+
+// A DHCP server granting leases; may be taken down to exercise the
+// renew -> rebind -> expire path.
+class DhcpServer {
+ public:
+  DhcpServer(Simulator* sim, SimNetwork* net, NodeId node, SimDuration lease_time)
+      : sim_(sim), net_(net), node_(node), lease_time_(lease_time) {}
+
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+  SimDuration lease_time() const { return lease_time_; }
+  NodeId node() const { return node_; }
+
+ private:
+  friend class DhcpClient;
+  Simulator* sim_;
+  SimNetwork* net_;
+  NodeId node_;
+  SimDuration lease_time_;
+  bool down_ = false;
+};
+
+// The client.
+class DhcpClient {
+ public:
+  DhcpClient(LinuxKernel* kernel, SimNetwork* net, NodeId node, DhcpServer* server,
+             Pid pid);
+
+  // Acquires the initial lease (DISCOVER/OFFER collapsed into one round
+  // trip) and starts the T1/T2/expiry machinery.
+  void Start();
+
+  DhcpState state() const { return state_; }
+  bool has_lease() const { return state_ != DhcpState::kInit; }
+  uint64_t renewals() const { return renewals_; }
+  uint64_t rebinds() const { return rebinds_; }
+  uint64_t lease_losses() const { return lease_losses_; }
+
+  // Fired when the lease is lost (expiry with no server response).
+  std::function<void()> on_lease_lost;
+
+ private:
+  void AcquireLease();
+  void OnLeaseAcquired();
+  void SendRenewRequest(bool broadcast);
+  void OnT1();
+  void OnT2();
+  void OnExpiry();
+  void CancelAll();
+
+  LinuxKernel* kernel_;
+  SimNetwork* net_;
+  NodeId node_;
+  DhcpServer* server_;
+  Pid pid_;
+  DhcpState state_ = DhcpState::kInit;
+  uint64_t lease_generation_ = 0;
+
+  // The three overlapping timers of RFC 2131 4.4.5 (all against "lease
+  // lost"; the earlier ones begin progressively more desperate recovery).
+  LinuxTimer* t1_ = nullptr;      // renewing at 0.5 * lease
+  LinuxTimer* t2_ = nullptr;      // rebinding at 0.875 * lease
+  LinuxTimer* expiry_ = nullptr;  // the lease itself
+
+  uint64_t renewals_ = 0;
+  uint64_t rebinds_ = 0;
+  uint64_t lease_losses_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_DHCP_H_

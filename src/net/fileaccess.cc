@@ -1,0 +1,121 @@
+#include "src/net/fileaccess.h"
+
+#include <memory>
+#include <utility>
+
+namespace tempo {
+
+std::vector<FileProtocolSpec> DefaultFileProtocols() {
+  std::vector<FileProtocolSpec> protocols;
+  FileProtocolSpec smb;
+  smb.name = "smb";
+  smb.connect_timeout = 3 * kSecond;  // TCP SYN schedule per attempt
+  smb.retries = 2;
+  protocols.push_back(smb);
+
+  FileProtocolSpec nfs;
+  nfs.name = "nfs";
+  nfs.rpc_backoff = true;  // SunRPC: 500 ms doubling, 7 retries
+  protocols.push_back(nfs);
+
+  FileProtocolSpec webdav;
+  webdav.name = "webdav";
+  webdav.connect_timeout = 30 * kSecond;  // HTTP connect timeout
+  webdav.retries = 0;
+  protocols.push_back(webdav);
+  return protocols;
+}
+
+FileBrowser::FileBrowser(Simulator* sim, SimNetwork* net, ParallelResolver* resolver,
+                         RpcClient* rpc, NodeId self)
+    : sim_(sim), net_(net), resolver_(resolver), rpc_(rpc), self_(self) {}
+
+void FileBrowser::Open(const std::string& server_name, RpcServer* file_server,
+                       std::function<void(Result)> cb) {
+  const SimTime started = sim_->Now();
+  resolver_->Resolve(server_name, [this, file_server, started, cb](bool found, NodeId,
+                                                                   SimDuration) {
+    if (!found || file_server == nullptr) {
+      Result result;
+      result.success = false;
+      result.resolved = false;
+      result.elapsed = sim_->Now() - started;
+      cb(result);
+      return;
+    }
+    TryProtocols(file_server, started, cb);
+  });
+}
+
+void FileBrowser::TryProtocols(RpcServer* server, SimTime started,
+                               std::function<void(Result)> cb) {
+  struct State {
+    bool done = false;
+    size_t outstanding = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->outstanding = protocols_.size();
+  for (const FileProtocolSpec& spec : protocols_) {
+    auto finish = [this, state, started, name = spec.name, cb](bool ok, SimDuration) {
+      if (state->done) {
+        return;
+      }
+      if (ok) {
+        state->done = true;
+        Result result;
+        result.success = true;
+        result.resolved = true;
+        result.protocol = name;
+        result.elapsed = sim_->Now() - started;
+        cb(result);
+        return;
+      }
+      if (--state->outstanding == 0) {
+        // Only now — after the slowest, most conservative layer gave up —
+        // does the user learn the open failed.
+        state->done = true;
+        Result result;
+        result.success = false;
+        result.resolved = true;
+        result.elapsed = sim_->Now() - started;
+        cb(result);
+      }
+    };
+    if (spec.rpc_backoff) {
+      rpc_->Connect(server, finish);
+    } else {
+      AttemptConnect(spec, server, 1, sim_->Now(), finish);
+    }
+  }
+}
+
+void FileBrowser::AttemptConnect(const FileProtocolSpec& spec, RpcServer* server, int attempt,
+                                 SimTime started,
+                                 std::function<void(bool, SimDuration)> done) {
+  auto answered = std::make_shared<bool>(false);
+  net_->Send(self_, server->node(), 64, [this, server, answered, started, done] {
+    if (server->refuse_connections() || server->down()) {
+      return;  // RST/ignored; the timeout path handles retries
+    }
+    net_->Send(server->node(), self_, 64, [this, answered, started, done] {
+      if (!*answered) {
+        *answered = true;
+        done(true, sim_->Now() - started);
+      }
+    });
+  });
+  sim_->ScheduleAfter(spec.connect_timeout,
+                      [this, spec, server, attempt, started, answered, done] {
+    if (*answered) {
+      return;
+    }
+    *answered = true;
+    if (attempt > spec.retries) {
+      done(false, sim_->Now() - started);
+      return;
+    }
+    AttemptConnect(spec, server, attempt + 1, started, done);
+  });
+}
+
+}  // namespace tempo

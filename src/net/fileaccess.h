@@ -1,0 +1,78 @@
+// The layered file-access scenario of Section 2.2.2.
+//
+// When the user types a server name into the file browser:
+//   1. parallel name lookups are started (WINS, DNS, ...), each with its own
+//      timeouts and retries;
+//   2. on resolution, connections are attempted in parallel over SMB, NFS
+//      and WebDAV, each with its own timeout discipline — NFS over SunRPC
+//      retries refused connections 7 times with a doubling 500 ms backoff;
+//   3. the first protocol to succeed wins; failure is reported only when
+//      every alternative has given up.
+//
+// The healthy case completes shortly after the 130 ms round-trip; the
+// failure case takes over a minute, dominated by the most conservative
+// layer — the pathology bench/layering_failure quantifies (E16).
+
+#ifndef TEMPO_SRC_NET_FILEACCESS_H_
+#define TEMPO_SRC_NET_FILEACCESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/resolver.h"
+#include "src/net/rpc.h"
+
+namespace tempo {
+
+// One file-service protocol attempt (SMB / NFS / WebDAV) with its own
+// connection discipline.
+struct FileProtocolSpec {
+  std::string name;
+  // Per-attempt connect timeout and retry count (SMB/WebDAV style).
+  SimDuration connect_timeout = 3 * kSecond;
+  int retries = 2;
+  // If true, use SunRPC refused-connection backoff instead (NFS style).
+  bool rpc_backoff = false;
+};
+
+// The file browser.
+class FileBrowser {
+ public:
+  struct Result {
+    bool success = false;
+    std::string protocol;     // winning protocol, if any
+    SimDuration elapsed = 0;  // user-visible wait
+    bool resolved = false;    // did name resolution succeed?
+  };
+
+  FileBrowser(Simulator* sim, SimNetwork* net, ParallelResolver* resolver,
+              RpcClient* rpc, NodeId self);
+
+  // Adds a protocol to try (order matters only for reporting).
+  void AddProtocol(const FileProtocolSpec& spec) { protocols_.push_back(spec); }
+
+  // Opens `\\server_name\share`. The server's willingness to talk is taken
+  // from `file_server` (may be null if the name will not resolve).
+  void Open(const std::string& server_name, RpcServer* file_server,
+            std::function<void(Result)> cb);
+
+ private:
+  void TryProtocols(RpcServer* server, SimTime started, std::function<void(Result)> cb);
+  void AttemptConnect(const FileProtocolSpec& spec, RpcServer* server, int attempt,
+                      SimTime started, std::function<void(bool, SimDuration)> done);
+
+  Simulator* sim_;
+  SimNetwork* net_;
+  ParallelResolver* resolver_;
+  RpcClient* rpc_;
+  NodeId self_;
+  std::vector<FileProtocolSpec> protocols_;
+};
+
+// Returns the three protocols with their paper-era defaults.
+std::vector<FileProtocolSpec> DefaultFileProtocols();
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_FILEACCESS_H_

@@ -1,0 +1,265 @@
+#include "src/net/http.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tempo {
+
+// Per-worker state machine.
+struct HttpServer::Worker {
+  enum class Phase { kIdle, kAwaitRequest, kProcessing, kKeepalive };
+
+  HttpServer* server = nullptr;
+  Tid tid = 0;
+  SelectChannel* channel = nullptr;
+  Phase phase = Phase::kIdle;
+  TcpConnection* conn = nullptr;
+  bool request_arrived = false;
+  bool peer_closed = false;
+
+  void Assign(TcpConnection* connection) {
+    conn = connection;
+    phase = Phase::kAwaitRequest;
+    request_arrived = false;
+    peer_closed = false;
+    conn->on_data = [this](size_t) { OnRequestData(); };
+    conn->on_peer_close = [this] { OnPeerClose(); };
+    // Block in poll() for the request, with Apache's socket-poll timeout.
+    channel->Select(server->options_.worker_poll, [this](SimDuration, bool timed_out) {
+      OnPollComplete(timed_out);
+    });
+  }
+
+  void OnRequestData() {
+    if (phase == Phase::kAwaitRequest) {
+      request_arrived = true;
+      channel->Wake();
+    }
+    // Data in other phases (pipelined requests) is ignored by this model.
+  }
+
+  void OnPeerClose() {
+    peer_closed = true;
+    conn = nullptr;  // endpoint is recycled by the stack after this upcall
+    if (phase == Phase::kAwaitRequest || phase == Phase::kKeepalive) {
+      channel->Wake();
+    } else if (phase == Phase::kProcessing) {
+      // The response path will notice peer_closed and abort.
+    }
+  }
+
+  void OnPollComplete(bool timed_out) {
+    if (phase == Phase::kAwaitRequest) {
+      if (request_arrived && !peer_closed) {
+        Process();
+        return;
+      }
+      // Timed out waiting for the request, or the client went away.
+      Finish(timed_out);
+      return;
+    }
+    if (phase == Phase::kKeepalive) {
+      // Either the keep-alive window expired (server closes) or the client
+      // closed first — both end the connection.
+      Finish(timed_out);
+      return;
+    }
+  }
+
+  void Process() {
+    phase = Phase::kProcessing;
+    Simulator& sim = server->kernel_->sim();
+    const SimDuration service = static_cast<SimDuration>(
+        sim.rng().Exponential(ToSeconds(server->options_.service_time_mean)) * kSecond);
+    sim.ScheduleAfter(service, [this] {
+      if (peer_closed || conn == nullptr) {
+        Finish(false);
+        return;
+      }
+      if (server->disk_ != nullptr && server->options_.disk_log) {
+        server->disk_->SubmitBlockIo();  // append to the access log
+      }
+      ++server->requests_served_;
+      conn->Send(server->options_.response_bytes, [this] { OnResponseAcked(); });
+    });
+  }
+
+  void OnResponseAcked() {
+    if (peer_closed || conn == nullptr) {
+      Finish(false);
+      return;
+    }
+    // Poll for a follow-up request on the kept-alive connection; httperf
+    // uses one connection per request, so the client's FIN normally cancels
+    // this watchdog almost immediately.
+    phase = Phase::kKeepalive;
+    channel->Select(server->options_.keepalive_timeout, [this](SimDuration, bool timed_out) {
+      OnPollComplete(timed_out);
+    });
+  }
+
+  void Finish(bool server_closes) {
+    if (conn != nullptr && server_closes) {
+      conn->Close();
+    }
+    conn = nullptr;
+    phase = Phase::kIdle;
+    server->WorkerIdle(this);
+  }
+};
+
+HttpServer::HttpServer(LinuxKernel* kernel, LinuxSyscalls* syscalls, TcpStack* tcp, Pid pid,
+                       Options options, KernelSubsystems* disk)
+    : kernel_(kernel), syscalls_(syscalls), tcp_(tcp), pid_(pid), options_(options),
+      disk_(disk) {}
+
+HttpServer::~HttpServer() = default;
+
+TcpListener* HttpServer::Start() {
+  ProcessTable& processes = kernel_->sim().processes();
+  const Tid event_tid = processes.AddThread(pid_);
+  event_channel_ = syscalls_->Channel(pid_, event_tid, "apache2/event_loop");
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->server = this;
+    worker->tid = processes.AddThread(pid_);
+    worker->channel = syscalls_->Channel(pid_, worker->tid, "apache2/socket_poll");
+    workers_.push_back(std::move(worker));
+  }
+  listener_ = tcp_->Listen();
+  listener_->on_accept = [this](TcpConnection* conn) {
+    // New connection: the event loop's select returns early.
+    Dispatch(conn);
+    if (event_channel_->blocked()) {
+      event_channel_->Wake();
+    }
+  };
+  EventLoopIteration(options_.event_loop_timeout);
+  return listener_;
+}
+
+void HttpServer::EventLoopIteration(SimDuration timeout) {
+  event_channel_->Select(timeout, [this](SimDuration, bool) {
+    // Whether woken by activity or by timeout, Apache's event loop performs
+    // housekeeping and re-enters select with the full timeout.
+    EventLoopIteration(options_.event_loop_timeout);
+  });
+}
+
+HttpServer::Worker* HttpServer::FreeWorker() {
+  for (auto& worker : workers_) {
+    if (worker->phase == Worker::Phase::kIdle) {
+      return worker.get();
+    }
+  }
+  return nullptr;
+}
+
+void HttpServer::Dispatch(TcpConnection* conn) {
+  Worker* worker = FreeWorker();
+  if (worker == nullptr) {
+    // All workers busy: refuse (the load generator's per-state watchdog
+    // will record the failure). With workers == client parallelism this
+    // does not happen in the standard workload.
+    conn->Close();
+    return;
+  }
+  worker->Assign(conn);
+}
+
+void HttpServer::WorkerIdle(Worker* worker) { (void)worker; }
+
+HttpLoadGenerator::HttpLoadGenerator(TcpStack* tcp, TcpListener* server, Options options)
+    : tcp_(tcp), server_(server), options_(options) {}
+
+void HttpLoadGenerator::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  if (options_.total_requests <= 0) {
+    if (on_done_) {
+      on_done_();
+    }
+    return;
+  }
+  for (int slot = 0; slot < options_.parallel; ++slot) {
+    SlotIssue(slot);
+  }
+}
+
+void HttpLoadGenerator::FinishOne(bool ok) {
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  if (completed_ + failed_ == static_cast<uint64_t>(options_.total_requests) && on_done_) {
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    done();
+  }
+}
+
+void HttpLoadGenerator::SlotIssue(int slot) {
+  if (issued_ >= options_.total_requests) {
+    return;
+  }
+  ++issued_;
+  Simulator& sim = tcp_->sim();
+
+  // Shared per-request state for the 5 s per-state watchdogs (these run on
+  // the untraced load-generator machine).
+  struct Request {
+    bool finished = false;
+    TcpConnection* conn = nullptr;
+    EventId watchdog = kInvalidEventId;
+  };
+  auto req = std::make_shared<Request>();
+
+  auto finish = [this, slot, req, &sim_ref = sim](bool ok) {
+    if (req->finished) {
+      return;
+    }
+    req->finished = true;
+    if (req->watchdog != kInvalidEventId) {
+      sim_ref.Cancel(req->watchdog);
+      req->watchdog = kInvalidEventId;
+    }
+    if (req->conn != nullptr) {
+      req->conn->Close();
+      req->conn = nullptr;
+    }
+    FinishOne(ok);
+    const SimDuration think = static_cast<SimDuration>(
+        sim_ref.rng().Exponential(ToSeconds(options_.think_time_mean)) * kSecond);
+    sim_ref.ScheduleAfter(think, [this, slot] { SlotIssue(slot); });
+  };
+
+  auto arm_watchdog = [req, &sim_ref = sim, finish, this] {
+    if (req->watchdog != kInvalidEventId) {
+      sim_ref.Cancel(req->watchdog);
+    }
+    req->watchdog = sim_ref.ScheduleAfter(options_.state_timeout, [req, finish] {
+      req->watchdog = kInvalidEventId;
+      finish(false);  // state timeout: the connection is considered broken
+    });
+  };
+
+  arm_watchdog();  // connect state
+  tcp_->Connect(server_,
+                [this, req, finish, arm_watchdog](TcpConnection* conn) {
+                  if (req->finished) {
+                    conn->Close();
+                    return;
+                  }
+                  req->conn = conn;
+                  conn->on_peer_close = [req, finish] {
+                    req->conn = nullptr;
+                    finish(false);
+                  };
+                  conn->on_data = [finish](size_t) { finish(true); };
+                  arm_watchdog();  // response state
+                  conn->Send(options_.request_bytes, nullptr);
+                },
+                [finish] { finish(false); });
+}
+
+}  // namespace tempo

@@ -1,0 +1,132 @@
+// Apache-style HTTP server and httperf-style load generator.
+//
+// The web-server workload of Section 3.5: "the stock Apache 2.2.3" on the
+// traced machine, driven by httperf from another machine on the LAN with an
+// artificial workload of 30000 requests, 10 parallel, each request in its
+// own connection with a 5-second per-state timeout.
+//
+// The server's timer footprint (visible in the Linux trace):
+//   * the accept/event loop's select with a 1 s timeout (Table 3);
+//   * per-worker socket polls at 15 s while waiting for the request
+//     ("apache2 socket poll", Table 3);
+//   * a 5 s keep-alive poll after each response, canceled when the client
+//     closes — Apache's connection watchdogs (Figure 2's webserver bar);
+//   * the kernel TCP timers of every connection (SYN-ACK 3 s, delayed ACK
+//     40 ms, retransmit >= 204 ms, keepalive 7200 s).
+// The load generator's own 5 s timeouts run on the *untraced* client.
+
+#ifndef TEMPO_SRC_NET_HTTP_H_
+#define TEMPO_SRC_NET_HTTP_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/tcp.h"
+#include "src/oslinux/subsystems.h"
+#include "src/oslinux/syscalls.h"
+
+namespace tempo {
+
+// The server.
+class HttpServer {
+ public:
+  struct Options {
+    int workers;
+    SimDuration event_loop_timeout;  // select timeout in the accept loop
+    SimDuration worker_poll;         // poll while awaiting the request
+    SimDuration keepalive_timeout;   // poll for a follow-up request
+    SimDuration service_time_mean;   // request processing time (exponential)
+    size_t response_bytes;
+    bool disk_log;                   // one block-I/O (access log) per request
+
+    Options()
+        : workers(10),
+          event_loop_timeout(1 * kSecond),
+          worker_poll(15 * kSecond),
+          keepalive_timeout(5 * kSecond),
+          service_time_mean(FromMilliseconds(1.2)),
+          response_bytes(8 * 1024),
+          disk_log(true) {}
+  };
+
+  // `disk` (optional) receives one SubmitBlockIo per logged request.
+  HttpServer(LinuxKernel* kernel, LinuxSyscalls* syscalls, TcpStack* tcp, Pid pid,
+             Options options, KernelSubsystems* disk);
+  ~HttpServer();
+
+  // Opens the listener and starts the event loop. Returns the listener the
+  // load generator connects to.
+  TcpListener* Start();
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Worker;
+  void EventLoopIteration(SimDuration timeout);
+  void Dispatch(TcpConnection* conn);
+  void WorkerIdle(Worker* worker);
+  Worker* FreeWorker();
+
+  LinuxKernel* kernel_;
+  LinuxSyscalls* syscalls_;
+  TcpStack* tcp_;
+  Pid pid_;
+  Options options_;
+  KernelSubsystems* disk_;
+
+  TcpListener* listener_ = nullptr;
+  SelectChannel* event_channel_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  uint64_t requests_served_ = 0;
+};
+
+// The load generator (10 parallel connection slots, paced so the request
+// total spreads over the configured duration).
+class HttpLoadGenerator {
+ public:
+  struct Options {
+    int total_requests;
+    int parallel;
+    SimDuration state_timeout;  // per-state watchdog (connect, reply)
+    size_t request_bytes;
+    // Mean gap between a slot's requests; 600 ms spreads 30000 requests
+    // over 10 slots across ~30 minutes, matching the trace length.
+    SimDuration think_time_mean;
+
+    Options()
+        : total_requests(30000),
+          parallel(10),
+          state_timeout(5 * kSecond),
+          request_bytes(256),
+          think_time_mean(600 * kMillisecond) {}
+  };
+
+  // `tcp` should be a stack on the load-generator machine (null kernel:
+  // its timers are not part of the trace).
+  HttpLoadGenerator(TcpStack* tcp, TcpListener* server, Options options);
+
+  // Starts all slots; `on_done` fires when every request completed or
+  // failed.
+  void Start(std::function<void()> on_done);
+
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  void SlotIssue(int slot);
+  void FinishOne(bool ok);
+
+  TcpStack* tcp_;
+  TcpListener* server_;
+  Options options_;
+  int issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_HTTP_H_

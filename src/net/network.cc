@@ -1,0 +1,49 @@
+#include "src/net/network.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tempo {
+
+NodeId SimNetwork::AddNode(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  return id;
+}
+
+LinkParams& SimNetwork::Link(NodeId from, NodeId to) { return links_[{from, to}]; }
+
+void SimNetwork::SetLink(NodeId from, NodeId to, const LinkParams& params) {
+  links_[{from, to}] = params;
+}
+
+void SimNetwork::SetLinkBoth(NodeId a, NodeId b, const LinkParams& params) {
+  SetLink(a, b, params);
+  SetLink(b, a, params);
+}
+
+bool SimNetwork::Send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver) {
+  ++packets_sent_;
+  const LinkParams& link = Link(from, to);
+  if (link.unreachable || sim_->rng().Bernoulli(link.loss)) {
+    ++packets_dropped_;
+    return false;
+  }
+  SimDuration latency = link.latency;
+  if (link.jitter_sigma > 0) {
+    latency = static_cast<SimDuration>(
+        static_cast<double>(link.latency) *
+        sim_->rng().LogNormal(0.0, link.jitter_sigma));
+  }
+  latency += static_cast<SimDuration>(bytes) * link.per_byte;
+  SimTime deliver_at = sim_->Now() + latency;
+  SimTime& last = last_delivery_[{from, to}];
+  if (deliver_at < last) {
+    deliver_at = last;  // FIFO per directed link
+  }
+  last = deliver_at;
+  sim_->ScheduleAt(deliver_at, std::move(deliver));
+  return true;
+}
+
+}  // namespace tempo

@@ -1,0 +1,84 @@
+// Simulated network.
+//
+// A minimal message-passing fabric: named nodes, per-link latency
+// distributions and loss. Packets are opaque (a byte count plus a delivery
+// callback); protocol state lives in the endpoints (tcp.h, http.h, ...).
+// The default link models the paper's department LAN (sub-millisecond RTT);
+// tests reconfigure links to model WAN shifts for the adaptive-timeout
+// experiments (Section 5.1's "user who travels" scenario).
+
+#ifndef TEMPO_SRC_NET_NETWORK_H_
+#define TEMPO_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace tempo {
+
+// Identifies a network node.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// One-way link characteristics.
+struct LinkParams {
+  // Median one-way latency.
+  SimDuration latency = 65 * kMicrosecond;  // ~130 us RTT LAN
+  // Log-normal latency spread (sigma of the underlying normal); 0 = fixed.
+  double jitter_sigma = 0.25;
+  // Probability that a packet is silently dropped.
+  double loss = 0.0;
+  // Per-byte serialisation cost (1 Gb/s default).
+  SimDuration per_byte = kSecond / (1000 * 1000 * 1000 / 8);
+  // If true the destination is unreachable: packets vanish (connection
+  // refused / typo'd server name scenarios).
+  bool unreachable = false;
+};
+
+// The fabric. Owned by the experiment; nodes are dense small integers.
+class SimNetwork {
+ public:
+  explicit SimNetwork(Simulator* sim) : sim_(sim) {}
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Adds a node; returns its id.
+  NodeId AddNode(const std::string& name);
+
+  // Sets the parameters of the directed link a->b (and only that
+  // direction). Unset links use the defaults.
+  void SetLink(NodeId from, NodeId to, const LinkParams& params);
+
+  // Sets both directions at once.
+  void SetLinkBoth(NodeId a, NodeId b, const LinkParams& params);
+
+  // Sends `bytes` from `from` to `to`; `deliver` runs at the destination
+  // after the sampled latency, unless the packet is lost. Returns false if
+  // the packet was dropped at send time (loss or unreachable) — callers do
+  // NOT get to observe this; it exists for test assertions only.
+  bool Send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver);
+
+  const std::string& NodeName(NodeId id) const { return names_.at(static_cast<size_t>(id)); }
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  LinkParams& Link(NodeId from, NodeId to);
+
+  Simulator* sim_;
+  // Links are FIFO: a packet never overtakes an earlier one on the same
+  // directed link (LAN semantics; TCP-level reordering is out of scope).
+  std::map<std::pair<NodeId, NodeId>, SimTime> last_delivery_;
+  std::vector<std::string> names_;
+  std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_NETWORK_H_

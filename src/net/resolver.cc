@@ -1,0 +1,84 @@
+#include "src/net/resolver.h"
+
+#include <memory>
+#include <utility>
+
+namespace tempo {
+
+NameProvider::NameProvider(Simulator* sim, SimNetwork* net, NodeId self, NodeId server,
+                           std::string label, Options options)
+    : sim_(sim), net_(net), self_(self), server_(server), label_(std::move(label)),
+      options_(options) {}
+
+void NameProvider::Register(const std::string& name, NodeId node) { table_[name] = node; }
+
+void NameProvider::Lookup(const std::string& name,
+                          std::function<void(bool, NodeId, SimDuration)> cb) {
+  Attempt(name, 1, sim_->Now(), std::move(cb));
+}
+
+void NameProvider::Attempt(const std::string& name, int attempt, SimTime started,
+                           std::function<void(bool, NodeId, SimDuration)> cb) {
+  // State shared between the response path and the timeout path.
+  auto answered = std::make_shared<bool>(false);
+  auto it = table_.find(name);
+  if (it != table_.end()) {
+    const NodeId result = it->second;
+    net_->Send(self_, server_, 64, [this, result, answered, started, cb] {
+      // Server-side processing, then the reply.
+      net_->Send(server_, self_, 128, [this, result, answered, started, cb] {
+        if (*answered) {
+          return;
+        }
+        *answered = true;
+        cb(true, result, sim_->Now() - started);
+      });
+    });
+  }
+  // Unknown names get no reply at all; known names may still lose packets.
+  sim_->ScheduleAfter(options_.timeout, [this, name, attempt, started, answered, cb] {
+    if (*answered) {
+      return;
+    }
+    *answered = true;  // this attempt is dead either way
+    if (attempt <= options_.retries) {
+      Attempt(name, attempt + 1, started, cb);
+    } else {
+      cb(false, kInvalidNode, sim_->Now() - started);
+    }
+  });
+}
+
+void ParallelResolver::Resolve(const std::string& name,
+                               std::function<void(bool, NodeId, SimDuration)> cb) {
+  struct State {
+    bool done = false;
+    size_t outstanding = 0;
+    SimTime started = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->outstanding = providers_.size();
+  state->started = sim_->Now();
+  if (providers_.empty()) {
+    cb(false, kInvalidNode, 0);
+    return;
+  }
+  for (NameProvider* provider : providers_) {
+    provider->Lookup(name, [this, state, cb](bool found, NodeId node, SimDuration) {
+      if (state->done) {
+        return;
+      }
+      if (found) {
+        state->done = true;
+        cb(true, node, sim_->Now() - state->started);
+        return;
+      }
+      if (--state->outstanding == 0) {
+        state->done = true;
+        cb(false, kInvalidNode, sim_->Now() - state->started);
+      }
+    });
+  }
+}
+
+}  // namespace tempo

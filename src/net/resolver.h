@@ -1,0 +1,78 @@
+// Name resolution with fixed, layered timeouts.
+//
+// Models the Windows file-browser behaviour of Section 2.2.2: typing a
+// server name triggers *parallel* lookups via WINS, DNS and other name
+// providers, each with its own fixed timeout and retry schedule. A wrong
+// name means waiting for the slowest provider to give up.
+
+#ifndef TEMPO_SRC_NET_RESOLVER_H_
+#define TEMPO_SRC_NET_RESOLVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace tempo {
+
+// A name provider (DNS or WINS style): request/response over the network
+// with fixed timeout and a fixed number of retries.
+class NameProvider {
+ public:
+  struct Options {
+    SimDuration timeout;
+    int retries;  // total attempts = retries + 1
+
+    Options() : timeout(5 * kSecond), retries(1) {}
+  };
+
+  // `server` is the node answering queries. Lookup results are configured
+  // with Register().
+  NameProvider(Simulator* sim, SimNetwork* net, NodeId self, NodeId server,
+               std::string label, Options options);
+
+  // Registers a name -> node binding on the server.
+  void Register(const std::string& name, NodeId node);
+
+  // Resolves `name`; cb(found, node, elapsed). Unknown names are never
+  // answered (the server stays silent), so failure costs the full
+  // (retries+1) * timeout.
+  void Lookup(const std::string& name, std::function<void(bool, NodeId, SimDuration)> cb);
+
+  const std::string& label() const { return label_; }
+
+ private:
+  void Attempt(const std::string& name, int attempt, SimTime started,
+               std::function<void(bool, NodeId, SimDuration)> cb);
+
+  Simulator* sim_;
+  SimNetwork* net_;
+  NodeId self_;
+  NodeId server_;
+  std::string label_;
+  Options options_;
+  std::map<std::string, NodeId> table_;
+};
+
+// The parallel multi-provider resolution used by the file browser: returns
+// the first positive answer, or failure once every provider has given up.
+class ParallelResolver {
+ public:
+  explicit ParallelResolver(Simulator* sim) : sim_(sim) {}
+
+  void AddProvider(NameProvider* provider) { providers_.push_back(provider); }
+
+  // cb(found, node, elapsed). `elapsed` on failure is the time until the
+  // slowest provider gave up — the user-visible wait.
+  void Resolve(const std::string& name, std::function<void(bool, NodeId, SimDuration)> cb);
+
+ private:
+  Simulator* sim_;
+  std::vector<NameProvider*> providers_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_RESOLVER_H_

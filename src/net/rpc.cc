@@ -1,0 +1,104 @@
+#include "src/net/rpc.h"
+
+#include <memory>
+#include <utility>
+
+namespace tempo {
+
+RpcServer::RpcServer(Simulator* sim, SimNetwork* net, NodeId node)
+    : sim_(sim), net_(net), node_(node) {}
+
+RpcClient::RpcClient(Simulator* sim, SimNetwork* net, NodeId node)
+    : RpcClient(sim, net, node, Options()) {}
+
+RpcClient::RpcClient(Simulator* sim, SimNetwork* net, NodeId node, Options options)
+    : sim_(sim), net_(net), node_(node), options_(options) {}
+
+void RpcClient::Call(RpcServer* server, size_t bytes, std::function<void(Result)> cb) {
+  CallAttempt(server, bytes, 1, sim_->Now(), options_.initial_timeout, std::move(cb));
+}
+
+void RpcClient::CallAttempt(RpcServer* server, size_t bytes, int attempt, SimTime started,
+                            SimDuration timeout, std::function<void(Result)> cb) {
+  auto answered = std::make_shared<bool>(false);
+  if (!server->down()) {
+    net_->Send(node_, server->node(), bytes, [this, server, answered, started, attempt, cb] {
+      // Service time, then the reply travels back.
+      sim_->ScheduleAfter(server->service_time(), [this, server, answered, started, attempt,
+                                                   cb] {
+        net_->Send(server->node(), node_, 256, [this, answered, started, attempt, cb] {
+          if (*answered) {
+            return;  // a retransmitted duplicate raced the timeout
+          }
+          *answered = true;
+          cb(Result{true, sim_->Now() - started, attempt});
+        });
+      });
+    });
+  }
+  sim_->ScheduleAfter(timeout, [this, server, bytes, answered, started, attempt, timeout, cb] {
+    if (*answered) {
+      return;
+    }
+    *answered = true;
+    if (attempt > options_.max_retries) {
+      cb(Result{false, sim_->Now() - started, attempt});
+      return;
+    }
+    const SimDuration next =
+        options_.exponential_backoff ? timeout * 2 : timeout;
+    CallAttempt(server, bytes, attempt + 1, started, next, cb);
+  });
+}
+
+void RpcClient::Connect(RpcServer* server, std::function<void(bool, SimDuration)> cb) {
+  ConnectAttempt(server, 1, sim_->Now(), options_.initial_timeout, std::move(cb));
+}
+
+void RpcClient::ConnectAttempt(RpcServer* server, int attempt, SimTime started,
+                               SimDuration delay, std::function<void(bool, SimDuration)> cb) {
+  // Give up immediately once the schedule is exhausted: the paper's
+  // 7-retry schedule waits 0.5+1+2+4+8+16+32 = 63.5 s in total.
+  auto give_up_or_sleep = [this, server, attempt, started, delay, cb] {
+    if (attempt > options_.max_retries) {
+      cb(false, sim_->Now() - started);
+      return;
+    }
+    sim_->ScheduleAfter(delay, [this, server, attempt, started, delay, cb] {
+      const SimDuration next = options_.exponential_backoff ? delay * 2 : delay;
+      ConnectAttempt(server, attempt + 1, started, next, cb);
+    });
+  };
+  auto answered = std::make_shared<bool>(false);
+  // One connection round-trip.
+  net_->Send(node_, server->node(), 64,
+             [this, server, answered, started, give_up_or_sleep, cb] {
+    if (!server->refuse_connections() && !server->down()) {
+      net_->Send(server->node(), node_, 64, [this, answered, started, cb] {
+        if (!*answered) {
+          *answered = true;
+          cb(true, sim_->Now() - started);
+        }
+      });
+      return;
+    }
+    // RST comes straight back; the client then sleeps the backoff delay
+    // before trying again — the 500 ms * 2^k schedule.
+    net_->Send(server->node(), node_, 64, [answered, give_up_or_sleep] {
+      if (*answered) {
+        return;
+      }
+      *answered = true;
+      give_up_or_sleep();
+    });
+  });
+  // Unreachable hosts (dropped SYNs) fall back to the same backoff delay.
+  sim_->ScheduleAfter(delay + kSecond, [answered, give_up_or_sleep] {
+    if (!*answered) {
+      *answered = true;
+      give_up_or_sleep();
+    }
+  });
+}
+
+}  // namespace tempo

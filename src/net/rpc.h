@@ -1,0 +1,97 @@
+// SunRPC-style client with fixed exponential backoff, plus the per-call
+// timeout structure of Section 2.2.2.
+//
+// "In the case of NFS (implemented over SunRPC) many implementations
+//  respond to refused connections with an exponential backoff which retries
+//  7 times, doubling the initial 500 ms timeout each iteration."
+// That schedule — 0.5 + 1 + 2 + 4 + 8 + 16 + 32 + 64 s — is what makes
+// recovering from a typo take over a minute, and is the fixed baseline the
+// adaptive-timeout experiment (E17) compares against.
+
+#ifndef TEMPO_SRC_NET_RPC_H_
+#define TEMPO_SRC_NET_RPC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+
+namespace tempo {
+
+// An RPC server endpoint: answers calls after a service time, unless down.
+class RpcServer {
+ public:
+  RpcServer(Simulator* sim, SimNetwork* net, NodeId node);
+
+  // A server that is "down" silently ignores requests (crashed process); an
+  // "unreachable" one is modelled at the link level (see LinkParams).
+  void set_down(bool down) { down_ = down; }
+  // If true, connection attempts are actively refused (RST) rather than
+  // ignored — the case SunRPC's backoff loop was written for.
+  void set_refuse_connections(bool refuse) { refuse_ = refuse; }
+
+  void set_service_time(SimDuration t) { service_time_ = t; }
+
+  NodeId node() const { return node_; }
+  bool down() const { return down_; }
+  bool refuse_connections() const { return refuse_; }
+  SimDuration service_time() const { return service_time_; }
+
+ private:
+  friend class RpcClient;
+  Simulator* sim_;
+  SimNetwork* net_;
+  NodeId node_;
+  bool down_ = false;
+  bool refuse_ = false;
+  SimDuration service_time_ = 500 * kMicrosecond;
+};
+
+// The classic fixed-timeout RPC client.
+class RpcClient {
+ public:
+  struct Options {
+    SimDuration initial_timeout;  // 500 ms
+    int max_retries;              // 7 doublings
+    bool exponential_backoff;
+
+    Options() : initial_timeout(500 * kMillisecond), max_retries(7),
+                exponential_backoff(true) {}
+  };
+
+  RpcClient(Simulator* sim, SimNetwork* net, NodeId node, Options options);
+  RpcClient(Simulator* sim, SimNetwork* net, NodeId node);
+
+  struct Result {
+    bool ok = false;
+    SimDuration elapsed = 0;  // time until success or final failure
+    int attempts = 0;
+  };
+
+  // Issues one call against `server`; cb runs on reply or when the retry
+  // schedule is exhausted.
+  void Call(RpcServer* server, size_t bytes, std::function<void(Result)> cb);
+
+  // "Connects" with the SunRPC refused-connection backoff: each refused
+  // attempt fails after one RTT, then the client sleeps the backoff delay.
+  // cb(ok, elapsed).
+  void Connect(RpcServer* server, std::function<void(bool, SimDuration)> cb);
+
+  const Options& options() const { return options_; }
+
+ private:
+  void CallAttempt(RpcServer* server, size_t bytes, int attempt, SimTime started,
+                   SimDuration timeout, std::function<void(Result)> cb);
+  void ConnectAttempt(RpcServer* server, int attempt, SimTime started, SimDuration delay,
+                      std::function<void(bool, SimDuration)> cb);
+
+  Simulator* sim_;
+  SimNetwork* net_;
+  NodeId node_;
+  Options options_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_RPC_H_

@@ -1,0 +1,86 @@
+// Jacobson/Karels retransmission-timeout estimation.
+//
+// TCP is the paper's canonical adaptive timeout (Section 5.1): it maintains
+// smoothed estimates of the round-trip mean (SRTT) and variance (RTTVAR)
+// and sets RTO = SRTT + 4*RTTVAR, with exponential backoff on loss. The
+// estimator is shared by the TCP model and by the adaptive-timeout library.
+
+#ifndef TEMPO_SRC_NET_RTO_H_
+#define TEMPO_SRC_NET_RTO_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Classic RFC 6298-style estimator with Linux-like clamps.
+class JacobsonEstimator {
+ public:
+  struct Params {
+    SimDuration initial_rto;  // before any sample (3 s classic)
+    SimDuration min_rto;      // Linux: ~HZ/5 => 204 ms at HZ=250
+    SimDuration max_rto;      // 120 s
+    int max_backoff_shift;    // cap the exponential backoff
+
+    Params()
+        : initial_rto(3 * kSecond),
+          min_rto(204 * kMillisecond),
+          max_rto(120 * kSecond),
+          max_backoff_shift(16) {}
+  };
+
+  JacobsonEstimator() : JacobsonEstimator(Params()) {}
+  explicit JacobsonEstimator(Params params) : params_(params) {}
+
+  // Feeds one RTT measurement (from an un-retransmitted exchange — Karn's
+  // rule is the caller's responsibility). Resets any backoff.
+  void Sample(SimDuration rtt) {
+    rtt = std::max<SimDuration>(rtt, 1);
+    if (!has_sample_) {
+      has_sample_ = true;
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      // SRTT <- 7/8 SRTT + 1/8 RTT ; RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT-RTT|
+      const SimDuration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    backoff_shift_ = 0;
+  }
+
+  // Current timeout including backoff, clamped to [min_rto, max_rto].
+  SimDuration Rto() const {
+    SimDuration base = has_sample_ ? srtt_ + 4 * rttvar_ : params_.initial_rto;
+    base = std::max(base, params_.min_rto);
+    const SimDuration shifted = base << backoff_shift_;
+    return std::min(shifted, params_.max_rto);
+  }
+
+  // Doubles the timeout (retransmission fired), up to the cap.
+  void Backoff() {
+    if (backoff_shift_ < params_.max_backoff_shift) {
+      ++backoff_shift_;
+    }
+  }
+
+  void ResetBackoff() { backoff_shift_ = 0; }
+
+  bool has_sample() const { return has_sample_; }
+  SimDuration srtt() const { return srtt_; }
+  SimDuration rttvar() const { return rttvar_; }
+  int backoff_shift() const { return backoff_shift_; }
+
+ private:
+  Params params_;
+  bool has_sample_ = false;
+  SimDuration srtt_ = 0;
+  SimDuration rttvar_ = 0;
+  int backoff_shift_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_RTO_H_

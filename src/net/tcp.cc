@@ -1,0 +1,540 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace tempo {
+
+namespace {
+constexpr size_t kSynBytes = 40;
+constexpr size_t kAckBytes = 40;
+}  // namespace
+
+// Kernel-or-simulator timer wrapper. When a stack is bound to a LinuxKernel
+// the wrapper owns an instrumented timer struct drawn from the stack's
+// slab-like pool (reused identity across connections); otherwise it uses a
+// bare simulator event (untraced machine).
+struct TcpConnection::Timer {
+  TcpStack* stack = nullptr;
+  LinuxTimer* ktimer = nullptr;
+  EventId event = kInvalidEventId;
+  TimerHandle wheel_handle = kInvalidTimerHandle;
+  std::function<void()> fn;
+  std::string callsite;
+  bool armed = false;
+
+  void Arm(SimDuration timeout) {
+    if (armed) {
+      Cancel();
+    }
+    armed = true;
+    if (stack->private_wheel_ != nullptr) {
+      // Vista mode: the stack's own wheel, invisible to the trace.
+      wheel_handle = stack->private_wheel_->Schedule(
+          stack->sim().Now() + timeout, [this](TimerHandle) {
+            armed = false;
+            if (fn) {
+              fn();
+            }
+          });
+    } else if (ktimer != nullptr) {
+      stack->kernel_->ModTimerRelative(ktimer, timeout);
+    } else {
+      event = stack->sim().ScheduleAfter(timeout, [this] {
+        armed = false;
+        if (fn) {
+          fn();
+        }
+      });
+    }
+  }
+
+  void Cancel() {
+    if (!armed) {
+      return;
+    }
+    armed = false;
+    if (stack->private_wheel_ != nullptr) {
+      stack->private_wheel_->Cancel(wheel_handle);
+      wheel_handle = kInvalidTimerHandle;
+    } else if (ktimer != nullptr) {
+      stack->kernel_->DelTimer(ktimer);
+    } else {
+      stack->sim().Cancel(event);
+      event = kInvalidEventId;
+    }
+  }
+};
+
+TcpStack::TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* kernel, Pid pid)
+    : TcpStack(sim, net, node, kernel, pid, TcpOptions()) {}
+
+TcpStack::TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* kernel, Pid pid,
+                   TcpOptions options)
+    : sim_fallback_(sim), net_(net), node_(node), kernel_(kernel), pid_(pid),
+      options_(options) {}
+
+TcpStack::~TcpStack() = default;
+
+void TcpStack::UsePrivateWheel(SimDuration dpc_period) {
+  if (private_wheel_ != nullptr) {
+    return;
+  }
+  private_wheel_ = std::make_unique<HashedWheelTimerQueue>(kMillisecond, 512);
+  wheel_dpc_period_ = std::max<SimDuration>(dpc_period, kMillisecond);
+  ServiceWheel();  // the per-CPU DPC that walks the wheel
+}
+
+void TcpStack::ServiceWheel() {
+  sim().ScheduleAfter(wheel_dpc_period_, [this] {
+    ++wheel_services_;
+    private_wheel_->Advance(sim().Now());
+    ServiceWheel();
+  });
+}
+
+Simulator& TcpStack::sim() {
+  return kernel_ != nullptr ? kernel_->sim() : *sim_fallback_;
+}
+
+TcpListener* TcpStack::Listen() {
+  listeners_.push_back(std::unique_ptr<TcpListener>(new TcpListener()));
+  TcpListener* listener = listeners_.back().get();
+  listener->stack_ = this;
+  return listener;
+}
+
+TcpConnection* TcpStack::AllocConnection() {
+  TcpConnection* conn = nullptr;
+  if (!free_connections_.empty()) {
+    conn = free_connections_.back();
+    free_connections_.pop_back();
+  } else {
+    connections_.push_back(std::unique_ptr<TcpConnection>(new TcpConnection()));
+    conn = connections_.back().get();
+  }
+  ++connections_opened_;
+  ++conn->generation_;
+  conn->stack_ = this;
+  conn->peer_ = nullptr;
+  conn->state_ = TcpConnection::State::kIdle;
+  conn->rto_ = JacobsonEstimator(JacobsonEstimator::Params{});
+  {
+    JacobsonEstimator::Params params;
+    params.initial_rto = options_.initial_rto;
+    params.min_rto = options_.min_rto;
+    params.max_rto = options_.max_rto;
+    conn->rto_ = JacobsonEstimator(params);
+  }
+  conn->next_seq_ = 1;
+  conn->acked_seq_ = 0;
+  conn->retransmits_ = 0;
+  conn->synack_attempts_ = 0;
+  conn->accept_listener_ = nullptr;
+  conn->peer_generation_ = 0;
+  conn->handshake_sent_at_ = 0;
+  conn->handshake_retransmitted_ = false;
+  conn->inflight_ = false;
+  conn->delack_pending_ = false;
+  conn->send_queue_.clear();
+  conn->syn_attempts_ = 0;
+  conn->on_data = nullptr;
+  conn->on_peer_close = nullptr;
+  conn->rtx_timer_ = AllocTimer("tcp/retransmit");
+  conn->delack_timer_ = AllocTimer("net/sockets_delack");
+  conn->keepalive_timer_ = AllocTimer("tcp/keepalive");
+  conn->handshake_timer_ = AllocTimer("net/sockets");
+  return conn;
+}
+
+void TcpStack::RecycleConnection(TcpConnection* conn) {
+  RecycleTimer(conn->rtx_timer_);
+  RecycleTimer(conn->delack_timer_);
+  RecycleTimer(conn->keepalive_timer_);
+  RecycleTimer(conn->handshake_timer_);
+  conn->rtx_timer_ = conn->delack_timer_ = conn->keepalive_timer_ = conn->handshake_timer_ =
+      nullptr;
+  conn->on_data = nullptr;
+  conn->on_peer_close = nullptr;
+  conn->inflight_acked_ = nullptr;
+  conn->on_established_ = nullptr;
+  conn->on_connect_fail_ = nullptr;
+  ++conn->generation_;
+  free_connections_.push_back(conn);
+}
+
+TcpConnection::Timer* TcpStack::AllocTimer(const char* callsite) {
+  // Timer structs are pooled per call-site, modelling slab reuse of sock
+  // structures: a high-turnover web-server workload sees only a handful of
+  // distinct timer identities (Table 1).
+  auto& free_list = free_timers_[callsite];
+  if (!free_list.empty()) {
+    TcpConnection::Timer* t = free_list.back();
+    free_list.pop_back();
+    t->fn = nullptr;
+    return t;
+  }
+  timers_.push_back(std::make_unique<TcpConnection::Timer>());
+  TcpConnection::Timer* t = timers_.back().get();
+  t->stack = this;
+  t->callsite = callsite;
+  // In private-wheel (Vista) mode no instrumented kernel timer struct is
+  // ever allocated: TCP is entirely invisible to the trace.
+  if (kernel_ != nullptr && private_wheel_ == nullptr) {
+    // TCP registers its timers through the IP subsystem's functions, so a
+    // naive "who called __mod_timer" attribution would blame IP — the
+    // paper's Section 3.1 example. The provenance parent records the
+    // containment so analysis can aggregate either way.
+    const CallsiteId ip = kernel_->callsites().Intern("net/ip");
+    t->ktimer = kernel_->InitTimer(callsite, [t] {
+      t->armed = false;
+      if (t->fn) {
+        t->fn();
+      }
+    }, pid_, 0, false, ip);
+  }
+  return t;
+}
+
+void TcpStack::RecycleTimer(TcpConnection::Timer* timer) {
+  if (timer == nullptr) {
+    return;
+  }
+  timer->Cancel();
+  timer->fn = nullptr;
+  free_timers_[timer->callsite].push_back(timer);
+}
+
+void TcpStack::SendPacket(NodeId to, size_t bytes, std::function<void()> deliver) {
+  net_->Send(node_, to, bytes, std::move(deliver));
+}
+
+void TcpStack::Connect(TcpListener* remote, std::function<void(TcpConnection*)> on_established,
+                       std::function<void()> on_fail) {
+  TcpConnection* conn = AllocConnection();
+  conn->state_ = TcpConnection::State::kSynSent;
+  conn->connect_target_ = remote;
+  conn->on_established_ = std::move(on_established);
+  conn->on_connect_fail_ = std::move(on_fail);
+  conn->SendSyn();
+}
+
+void TcpConnection::SendSyn() {
+  ++syn_attempts_;
+  if (syn_attempts_ == 1) {
+    handshake_sent_at_ = stack_->sim().Now();
+  } else {
+    handshake_retransmitted_ = true;
+  }
+  TcpListener* target = connect_target_;
+  TcpConnection* self = this;
+  const uint64_t gen = generation_;
+  stack_->SendPacket(target->stack_->node_, kSynBytes, [target, self, gen] {
+    if (self->generation_ == gen) {
+      target->OnSyn(self);
+    } else {
+      target->OnSyn(nullptr);  // stale SYN for a dead connection: ignored
+    }
+  });
+  // SYN retransmission with doubling timeout (3 s, 6 s, 12 s, ...).
+  const SimDuration timeout = stack_->options().syn_timeout << (syn_attempts_ - 1);
+  handshake_timer_->fn = [this] {
+    if (state_ != State::kSynSent) {
+      return;
+    }
+    if (syn_attempts_ > stack_->options().syn_retries) {
+      auto fail = std::move(on_connect_fail_);
+      state_ = State::kClosed;
+      Teardown();
+      if (fail) {
+        fail();
+      }
+      return;
+    }
+    SendSyn();
+  };
+  handshake_timer_->Arm(timeout);
+}
+
+void TcpListener::OnSyn(TcpConnection* client) {
+  if (client == nullptr) {
+    return;
+  }
+  TcpConnection* server = stack_->AllocConnection();
+  server->state_ = TcpConnection::State::kSynRcvd;
+  server->peer_ = client;
+  server->peer_generation_ = client->generation_;
+  server->accept_listener_ = this;
+  server->SendSynAck();
+}
+
+void TcpConnection::SendSynAck() {
+  if (synack_attempts_ == 0) {
+    handshake_sent_at_ = stack_->sim().Now();
+  } else {
+    handshake_retransmitted_ = true;
+  }
+  TcpConnection* client = peer_;
+  TcpConnection* self = this;
+  const uint64_t self_gen = generation_;
+  const uint64_t client_gen = peer_generation_;
+  stack_->SendPacket(client->stack_->node_, kSynBytes, [self, self_gen, client, client_gen] {
+    if (client->generation_ == client_gen) {
+      client->OnSynAck(self, self_gen);
+    }
+  });
+  // The 3 s handshake timer of Table 3's "Sockets" entry: re-sends the
+  // SYN-ACK if the final ACK never arrives, eventually giving up.
+  handshake_timer_->fn = [this] {
+    if (state_ != State::kSynRcvd) {
+      return;
+    }
+    ++synack_attempts_;
+    if (synack_attempts_ > 5) {
+      state_ = State::kClosed;
+      Teardown();
+      return;
+    }
+    SendSynAck();
+  };
+  handshake_timer_->Arm(stack_->options().synack_timeout);
+}
+
+void TcpConnection::OnSynAck(TcpConnection* server, uint64_t server_gen) {
+  if (state_ == State::kEstablished && peer_ == server) {
+    // Duplicate SYN-ACK: our final ACK was lost; re-send it so the server
+    // can leave SYN_RCVD.
+    TcpConnection* self = this;
+    const uint64_t self_gen = generation_;
+    stack_->SendPacket(server->stack_->node_, kAckBytes,
+                       [server, server_gen, self, self_gen] {
+                         if (server->generation_ == server_gen) {
+                           server->OnAckOfSyn(self, self_gen);
+                         }
+                       });
+    return;
+  }
+  if (state_ != State::kSynSent) {
+    return;  // stale SYN-ACK
+  }
+  handshake_timer_->Cancel();
+  peer_ = server;
+  peer_generation_ = server_gen;
+  state_ = State::kEstablished;
+  if (!handshake_retransmitted_) {
+    rto_.Sample(stack_->sim().Now() - handshake_sent_at_);  // SYN <-> SYN-ACK
+  }
+  ArmKeepalive();
+  TcpConnection* self = this;
+  const uint64_t self_gen = generation_;
+  stack_->SendPacket(server->stack_->node_, kAckBytes, [server, server_gen, self, self_gen] {
+    if (server->generation_ == server_gen) {
+      server->OnAckOfSyn(self, self_gen);
+    }
+  });
+  auto established = std::move(on_established_);
+  on_established_ = nullptr;
+  if (established) {
+    established(this);
+  }
+}
+
+void TcpConnection::OnAckOfSyn(TcpConnection* client, uint64_t client_gen) {
+  (void)client;
+  (void)client_gen;
+  if (state_ != State::kSynRcvd) {
+    return;
+  }
+  // Establish even if the client side has since moved on (e.g. it closed
+  // right after connecting): real TCP cannot know; the in-flight FIN will
+  // close us a round-trip later.
+  handshake_timer_->Cancel();
+  state_ = State::kEstablished;
+  if (!handshake_retransmitted_) {
+    rto_.Sample(stack_->sim().Now() - handshake_sent_at_);  // SYN-ACK <-> ACK
+  }
+  ArmKeepalive();
+  if (accept_listener_ != nullptr && accept_listener_->on_accept) {
+    accept_listener_->on_accept(this);
+  }
+}
+
+void TcpConnection::ArmKeepalive() {
+  if (!stack_->options().enable_keepalive) {
+    return;
+  }
+  // Armed once per connection; Linux checks activity lazily at expiry
+  // rather than re-arming per packet.
+  keepalive_timer_->fn = [this] {
+    if (state_ == State::kEstablished) {
+      ArmKeepalive();  // peer considered alive; probe cycle restarts
+    }
+  };
+  keepalive_timer_->Arm(stack_->options().keepalive);
+}
+
+void TcpConnection::Send(size_t bytes, std::function<void()> on_acked) {
+  assert(state_ == State::kEstablished);
+  if (inflight_) {
+    // Stop-and-wait window is full: queue behind the in-flight segment.
+    send_queue_.emplace_back(bytes, std::move(on_acked));
+    return;
+  }
+  // Piggyback any pending delayed ACK on this data segment.
+  if (delack_pending_) {
+    delack_pending_ = false;
+    delack_timer_->Cancel();
+    SendAck(delack_seq_);
+  }
+  inflight_ = true;
+  inflight_seq_ = next_seq_++;
+  inflight_bytes_ = bytes;
+  inflight_retransmitted_ = false;
+  inflight_sent_at_ = stack_->sim().Now();
+  inflight_acked_ = std::move(on_acked);
+  SendSegmentInternal(bytes, inflight_seq_, false);
+}
+
+void TcpConnection::SendSegmentInternal(size_t bytes, uint64_t seq, bool retransmission) {
+  if (retransmission) {
+    inflight_retransmitted_ = true;
+    ++retransmits_;
+  }
+  TcpConnection* receiver = peer_;
+  const uint64_t receiver_gen = peer_generation_;
+  stack_->SendPacket(receiver->stack_->node_, bytes + 40, [receiver, receiver_gen, bytes, seq] {
+    if (receiver->generation_ == receiver_gen) {
+      receiver->OnSegment(bytes, seq);
+    }
+  });
+  rtx_timer_->fn = [this] {
+    if (state_ != State::kEstablished || !inflight_) {
+      return;
+    }
+    rto_.Backoff();
+    SendSegmentInternal(inflight_bytes_, inflight_seq_, true);
+  };
+  rtx_timer_->Arm(rto_.Rto());
+}
+
+void TcpConnection::OnSegment(size_t bytes, uint64_t seq) {
+  if (state_ != State::kEstablished) {
+    return;
+  }
+  if (seq <= acked_seq_) {
+    SendAck(seq);  // duplicate data: re-ack immediately
+    return;
+  }
+  acked_seq_ = seq;
+  if (stack_->options().enable_delack) {
+    if (delack_pending_) {
+      // Second segment since the last ACK: ack immediately (Linux quickack).
+      FlushDelayedAck();
+    } else {
+      delack_pending_ = true;
+      delack_seq_ = seq;
+      delack_timer_->fn = [this] { FlushDelayedAck(); };
+      delack_timer_->Arm(stack_->options().delack);
+    }
+  } else {
+    SendAck(seq);
+  }
+  if (on_data) {
+    // Invoke a copy: the handler may close (and recycle) this endpoint,
+    // which clears on_data — the living lambda must not be destroyed
+    // beneath its own feet.
+    auto handler = on_data;
+    handler(bytes);
+  }
+}
+
+void TcpConnection::FlushDelayedAck() {
+  if (!delack_pending_) {
+    return;
+  }
+  delack_pending_ = false;
+  delack_timer_->Cancel();
+  SendAck(acked_seq_);
+}
+
+void TcpConnection::SendAck(uint64_t seq) {
+  TcpConnection* sender = peer_;
+  const uint64_t sender_gen = peer_generation_;
+  stack_->SendPacket(sender->stack_->node_, kAckBytes, [sender, sender_gen, seq] {
+    if (sender->generation_ == sender_gen) {
+      sender->OnAck(seq);
+    }
+  });
+}
+
+void TcpConnection::OnAck(uint64_t seq) {
+  if (state_ != State::kEstablished || !inflight_ || seq != inflight_seq_) {
+    return;
+  }
+  inflight_ = false;
+  rtx_timer_->Cancel();
+  if (!inflight_retransmitted_) {
+    // Karn's rule: only un-retransmitted exchanges update the estimator.
+    rto_.Sample(stack_->sim().Now() - inflight_sent_at_);
+  }
+  auto acked = std::move(inflight_acked_);
+  inflight_acked_ = nullptr;
+  if (acked) {
+    acked();
+  }
+  if (!inflight_ && state_ == State::kEstablished && !send_queue_.empty()) {
+    auto [bytes, cb] = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    Send(bytes, std::move(cb));
+  }
+}
+
+void TcpConnection::Close() {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  // The FIN carries any outstanding ACK (flush the delayed-ACK timer).
+  FlushDelayedAck();
+  const bool notify = state_ == State::kEstablished && peer_ != nullptr;
+  state_ = State::kClosed;
+  if (notify) {
+    TcpConnection* other = peer_;
+    const uint64_t other_gen = peer_generation_;
+    stack_->SendPacket(other->stack_->node_, kAckBytes, [other, other_gen] {
+      if (other->generation_ == other_gen) {
+        other->OnPeerClose();
+      }
+    });
+  }
+  Teardown();
+}
+
+void TcpConnection::OnPeerClose() {
+  if (state_ == State::kClosed) {
+    return;
+  }
+  state_ = State::kClosed;
+  auto cb = std::move(on_peer_close);
+  on_peer_close = nullptr;
+  Teardown();
+  if (cb) {
+    cb();
+  }
+}
+
+void TcpConnection::Teardown() {
+  send_queue_.clear();
+  rtx_timer_->Cancel();
+  delack_timer_->Cancel();
+  if (keepalive_timer_->armed) {
+    // The established-connection keepalive is explicitly canceled on close —
+    // the 7200 s set/cancel pairs of Figure 3.
+    keepalive_timer_->Cancel();
+  }
+  handshake_timer_->Cancel();
+  stack_->RecycleConnection(this);
+}
+
+}  // namespace tempo

@@ -1,0 +1,247 @@
+// TCP model over the simulated network, with Linux-kernel timer binding.
+//
+// The TCP state machine is simplified to what drives the paper's timer
+// observations on the Linux side:
+//   * retransmission timer with Jacobson RTO (min 204 ms = 51 jiffies, the
+//     "0.204 s TCP retransmission timeout" of Table 3/Figure 3) and
+//     exponential backoff;
+//   * delayed-ACK timer at 40 ms (the "0.04 s Sockets" entry);
+//   * SYN-ACK handshake timer at 3 s (the "3 s Sockets" entry);
+//   * keepalive timer at 7200 s armed while established;
+//   * SYN retries (3 s doubling) on active open.
+//
+// A stack bound to a LinuxKernel arms real instrumented kernel timers
+// (timer structs drawn from a small slab-like pool, so struct identity is
+// reused across connections just as sock slabs reuse addresses — the reason
+// a 30000-connection trace contains only ~100 distinct timers in Table 1).
+// A stack with a null kernel (the load-generator machine, whose timers the
+// study does not trace) uses bare simulator events.
+//
+// On Vista the TCP stack was re-architected to use private per-CPU timing
+// wheels, so its timers never appear in the KTIMER trace (Section 1) — the
+// Vista workloads therefore do not use this module for TCP.
+
+#ifndef TEMPO_SRC_NET_TCP_H_
+#define TEMPO_SRC_NET_TCP_H_
+
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+#include "src/net/rto.h"
+#include "src/oslinux/kernel.h"
+#include "src/timer/hashed_wheel.h"
+
+namespace tempo {
+
+class TcpStack;
+class TcpListener;
+class TcpConnection;
+
+// TCP tuning knobs (Linux 2.6 defaults scaled to the model).
+struct TcpOptions {
+  SimDuration min_rto;
+  SimDuration initial_rto;
+  SimDuration max_rto;
+  SimDuration delack;
+  SimDuration keepalive;
+  SimDuration synack_timeout;
+  SimDuration syn_timeout;
+  int syn_retries;
+  bool enable_keepalive;
+  bool enable_delack;
+
+  TcpOptions()
+      : min_rto(204 * kMillisecond),
+        initial_rto(3 * kSecond),
+        max_rto(120 * kSecond),
+        delack(40 * kMillisecond),
+        keepalive(7200 * kSecond),
+        synack_timeout(3 * kSecond),
+        syn_timeout(3 * kSecond),
+        syn_retries(5),
+        enable_keepalive(true),
+        enable_delack(true) {}
+};
+
+// One endpoint of a connection. Obtained from TcpStack::Connect (client) or
+// the listener's accept callback (server). Owned by its stack; Close()
+// recycles it, after which the pointer must not be used.
+class TcpConnection {
+ public:
+  // Sends `bytes` as one segment; `on_acked` runs when the peer's ACK
+  // arrives (possibly after retransmissions). The window is stop-and-wait:
+  // sends issued while a segment is in flight queue behind it.
+  void Send(size_t bytes, std::function<void()> on_acked);
+
+  // Closes this side: the peer sees on_peer_close. Cancels timers and
+  // recycles both this endpoint's timer structs.
+  void Close();
+
+  // Upcalls (set before traffic flows).
+  std::function<void(size_t bytes)> on_data;
+  std::function<void()> on_peer_close;
+
+  SimDuration rto() const { return rto_.Rto(); }
+  SimDuration srtt() const { return rto_.srtt(); }
+  bool established() const { return state_ == State::kEstablished; }
+  uint64_t retransmits() const { return retransmits_; }
+
+ private:
+  friend class TcpStack;
+  friend class TcpListener;
+  TcpConnection() = default;
+
+  enum class State { kIdle, kSynSent, kSynRcvd, kEstablished, kClosed };
+
+  struct Timer;  // kernel-or-sim timer wrapper
+
+  void SendSyn();
+  void SendSynAck();
+  void OnSynAck(TcpConnection* server, uint64_t server_gen);
+  void OnAckOfSyn(TcpConnection* client, uint64_t client_gen);
+  void OnSegment(size_t bytes, uint64_t seq);
+  void OnAck(uint64_t seq);
+  void OnPeerClose();
+  void SendSegmentInternal(size_t bytes, uint64_t seq, bool retransmission);
+  void SendAck(uint64_t seq);
+  void FlushDelayedAck();
+  void ArmKeepalive();
+  void Teardown();
+
+  TcpStack* stack_ = nullptr;
+  TcpConnection* peer_ = nullptr;  // other endpoint (possibly other stack)
+  // Generation of peer_ at the time the association was made; peer_ may be
+  // recycled while our packets are in flight, in which case deliveries
+  // guarded by this value are dropped (no matching socket).
+  uint64_t peer_generation_ = 0;
+  State state_ = State::kIdle;
+  // Incremented whenever the endpoint is recycled; packets in flight carry
+  // the generation they were sent under so late deliveries to a reused
+  // endpoint are dropped (no matching socket).
+  uint64_t generation_ = 0;
+  JacobsonEstimator rto_;
+  uint64_t next_seq_ = 1;
+  uint64_t acked_seq_ = 0;
+  uint64_t retransmits_ = 0;
+  int synack_attempts_ = 0;
+  TcpListener* accept_listener_ = nullptr;
+  // First transmission time of the handshake segment this side sent (SYN or
+  // SYN-ACK); gives the estimator its first RTT sample, Karn-filtered.
+  SimTime handshake_sent_at_ = 0;
+  bool handshake_retransmitted_ = false;
+
+  // In-flight segment (stop-and-wait window of 1: enough for the timer
+  // patterns under study).
+  bool inflight_ = false;
+  uint64_t inflight_seq_ = 0;
+  size_t inflight_bytes_ = 0;
+  bool inflight_retransmitted_ = false;
+  SimTime inflight_sent_at_ = 0;
+  std::function<void()> inflight_acked_;
+
+  bool delack_pending_ = false;
+  uint64_t delack_seq_ = 0;
+  std::deque<std::pair<size_t, std::function<void()>>> send_queue_;
+
+  Timer* rtx_timer_ = nullptr;
+  Timer* delack_timer_ = nullptr;
+  Timer* keepalive_timer_ = nullptr;
+  Timer* handshake_timer_ = nullptr;  // SYN or SYN-ACK retransmission
+
+  // Active-open bookkeeping.
+  int syn_attempts_ = 0;
+  TcpListener* connect_target_ = nullptr;
+  std::function<void(TcpConnection*)> on_established_;
+  std::function<void()> on_connect_fail_;
+};
+
+// A passive listener. Owned by its stack.
+class TcpListener {
+ public:
+  std::function<void(TcpConnection*)> on_accept;
+
+ private:
+  friend class TcpStack;
+  friend class TcpConnection;
+  TcpListener() = default;
+  void OnSyn(TcpConnection* client);
+
+  TcpStack* stack_ = nullptr;
+};
+
+// Per-host TCP instance.
+class TcpStack {
+ public:
+  // `kernel` may be null: timers then run as bare simulator events and are
+  // invisible to the trace (an untraced remote machine).
+  TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* kernel, Pid pid);
+  TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* kernel, Pid pid,
+           TcpOptions options);
+
+  // Switches this stack to a PRIVATE timing wheel for all TCP timers — the
+  // Vista re-architecture ("per-CPU timing wheels for TCP-related
+  // timeouts", Section 1). Timers then never cross the instrumented kernel
+  // timer interface, which is why the paper's Vista web-server trace lacks
+  // TCP timers entirely. `dpc_period` is the wheel-servicing cadence.
+  void UsePrivateWheel(SimDuration dpc_period = 10 * kMillisecond);
+
+  // Wheel-servicing passes performed (private-wheel mode only).
+  uint64_t wheel_services() const { return wheel_services_; }
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+  ~TcpStack();
+
+  // Opens a listener.
+  TcpListener* Listen();
+
+  // Active open to a listener (rendezvous by pointer; addressing is not
+  // modelled). `on_established` receives the connected endpoint;
+  // `on_fail` runs when SYN retries are exhausted.
+  void Connect(TcpListener* remote, std::function<void(TcpConnection*)> on_established,
+               std::function<void()> on_fail);
+
+  NodeId node() const { return node_; }
+  Simulator& sim();
+  const TcpOptions& options() const { return options_; }
+
+  uint64_t connections_opened() const { return connections_opened_; }
+
+ private:
+  friend class TcpConnection;
+  friend class TcpListener;
+
+  void ServiceWheel();
+  TcpConnection* AllocConnection();
+  void RecycleConnection(TcpConnection* conn);
+  TcpConnection::Timer* AllocTimer(const char* callsite);
+  void RecycleTimer(TcpConnection::Timer* timer);
+  void SendPacket(NodeId to, size_t bytes, std::function<void()> deliver);
+
+  Simulator* sim_fallback_;
+  SimNetwork* net_;
+  NodeId node_;
+  LinuxKernel* kernel_;  // nullable
+  Pid pid_;
+  TcpOptions options_;
+
+  std::deque<std::unique_ptr<TcpListener>> listeners_;
+  // Private per-stack timing wheel (Vista mode); null for kernel/sim modes.
+  std::unique_ptr<HashedWheelTimerQueue> private_wheel_;
+  SimDuration wheel_dpc_period_ = 0;
+  uint64_t wheel_services_ = 0;
+
+  std::deque<std::unique_ptr<TcpConnection>> connections_;
+  std::deque<TcpConnection*> free_connections_;
+  std::deque<std::unique_ptr<TcpConnection::Timer>> timers_;
+  // Timer-struct slabs, one free list per call-site.
+  std::map<std::string, std::deque<TcpConnection::Timer*>> free_timers_;
+  uint64_t connections_opened_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_NET_TCP_H_

@@ -1,0 +1,67 @@
+// Jiffy arithmetic for the Linux model.
+//
+// The studied kernel (2.6.23.9) drives its standard timer wheel from a
+// periodic tick at HZ=250 — one jiffy is 4 ms — and expresses all wheel
+// expiries as absolute jiffy counts since boot. round_jiffies (2.6.20+)
+// rounds an expiry to a whole second so imprecise timers batch their
+// wakeups (Section 2.1).
+
+#ifndef TEMPO_SRC_OSLINUX_JIFFIES_H_
+#define TEMPO_SRC_OSLINUX_JIFFIES_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Timer interrupt frequency of the modelled kernel.
+inline constexpr int64_t kLinuxHz = 250;
+
+// Duration of one jiffy (4 ms at HZ=250).
+inline constexpr SimDuration kJiffy = kSecond / kLinuxHz;
+
+// Absolute jiffy count since boot.
+using Jiffies = uint64_t;
+
+// Converts a duration to jiffies, rounding up (a timer must never fire
+// early; this is the quantisation visible in Figures 8-11 as the absence of
+// sub-jiffy Linux timeouts).
+constexpr Jiffies DurationToJiffies(SimDuration d) {
+  if (d <= 0) {
+    return 0;
+  }
+  return static_cast<Jiffies>((d + kJiffy - 1) / kJiffy);
+}
+
+// Converts an absolute sim time to the jiffy containing it (rounding down).
+constexpr Jiffies TimeToJiffies(SimTime t) {
+  if (t <= 0) {
+    return 0;
+  }
+  return static_cast<Jiffies>(t / kJiffy);
+}
+
+// Converts a jiffy count to sim time / duration.
+constexpr SimTime JiffiesToTime(Jiffies j) { return static_cast<SimTime>(j) * kJiffy; }
+
+// round_jiffies: rounds an absolute jiffy value up to the next whole second
+// boundary, so that imprecise timers expire in batches. Values already on a
+// boundary are unchanged.
+constexpr Jiffies RoundJiffies(Jiffies j) {
+  const Jiffies rem = j % static_cast<Jiffies>(kLinuxHz);
+  if (rem == 0) {
+    return j;
+  }
+  return j + (static_cast<Jiffies>(kLinuxHz) - rem);
+}
+
+// round_jiffies_relative: rounds a relative jiffy delta so that now+delta
+// lands on a whole second.
+constexpr Jiffies RoundJiffiesRelative(Jiffies delta, Jiffies now) {
+  return RoundJiffies(now + delta) - now;
+}
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OSLINUX_JIFFIES_H_

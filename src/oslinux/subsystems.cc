@@ -1,0 +1,153 @@
+#include "src/oslinux/subsystems.h"
+
+#include <utility>
+
+namespace tempo {
+
+// A strictly periodic kernel ticker: expires and immediately re-arms with
+// the same relative value — the paper's "periodic" pattern.
+struct KernelSubsystems::Periodic {
+  LinuxKernel* kernel = nullptr;
+  LinuxTimer* timer = nullptr;
+  SimDuration period = 0;
+  bool round = false;
+
+  void Fire() { kernel->ModTimerRelative(timer, period, round); }
+};
+
+KernelSubsystems::KernelSubsystems(LinuxKernel* kernel, KernelSubsystemsOptions options)
+    : kernel_(kernel), options_(options) {}
+
+KernelSubsystems::~KernelSubsystems() = default;
+
+void KernelSubsystems::StartPeriodic(const char* callsite, SimDuration period) {
+  auto periodic = std::make_unique<Periodic>();
+  Periodic* raw = periodic.get();
+  raw->kernel = kernel_;
+  raw->period = period;
+  raw->round = options_.use_round_jiffies && period >= kSecond;
+  raw->timer = kernel_->InitTimer(callsite, [raw] { raw->Fire(); }, kKernelPid, 0,
+                                  options_.deferrable_periodics && period >= kSecond);
+  periodics_.push_back(std::move(periodic));
+  // Daemons and drivers initialise at different points during boot, so the
+  // first expiry is phase-staggered. Without this, integer-second periodics
+  // would stay artificially aligned forever, hiding exactly the wakeup
+  // scatter that round_jiffies exists to repair.
+  const SimDuration phase = static_cast<SimDuration>(
+      kernel_->sim().rng().Uniform(0.05, ToSeconds(period)) * kSecond);
+  kernel_->ModTimerRelative(raw->timer, phase, raw->round);
+}
+
+void KernelSubsystems::Start() {
+  if (options_.workqueue_1s) {
+    StartPeriodic("kernel/workqueue_timer", 1 * kSecond);
+  }
+  if (options_.workqueue_2s) {
+    StartPeriodic("kernel/workqueue", 2 * kSecond);
+  }
+  if (options_.writeback_5s) {
+    StartPeriodic("mm/writeback", 5 * kSecond);
+  }
+  if (options_.usb_poll) {
+    StartPeriodic("usb/hc_status_poll", 248 * kMillisecond);
+  }
+  if (options_.clocksource_watchdog) {
+    StartPeriodic("time/clocksource_watchdog", 500 * kMillisecond);
+  }
+  if (options_.e1000_watchdog) {
+    StartPeriodic("net/e1000_watchdog", 2 * kSecond);
+  }
+  if (options_.packet_scheduler) {
+    StartPeriodic("net/packet_scheduler", 5 * kSecond);
+  }
+  if (options_.arp) {
+    StartPeriodic("net/arp_periodic", 2 * kSecond);
+    StartPeriodic("net/arp_neigh", 4 * kSecond);
+    StartPeriodic("net/arp_cache_flush", 8 * kSecond);
+    arp_timeout_ = kernel_->InitTimer("net/arp_timeout", nullptr);
+    ScheduleLanEvent();
+  }
+  if (options_.console_blank) {
+    console_blank_ = kernel_->InitTimer("tty/console_blank", nullptr);
+    kernel_->ModTimerRelative(console_blank_, 600 * kSecond);
+    ScheduleConsoleActivity();
+  }
+  if (options_.block_io || options_.ide) {
+    block_unplug_ = kernel_->InitTimer("block/unplug_timeout", nullptr);
+    ide_timeout_ = kernel_->InitTimer("ide/command_timeout", nullptr);
+    if (options_.block_io_rate > 0) {
+      ScheduleBlockIoEvent();
+    }
+  }
+}
+
+void KernelSubsystems::ScheduleLanEvent() {
+  if (options_.lan_event_rate <= 0) {
+    return;
+  }
+  const SimDuration gap = static_cast<SimDuration>(
+      kernel_->sim().rng().Exponential(1.0 / options_.lan_event_rate) * kSecond);
+  kernel_->sim().ScheduleAfter(gap, [this] {
+    // ARP resolution: a 5 s "are you still there" timeout that is canceled
+    // at a random interval after being set, when the reply arrives — the
+    // pattern the paper traces to LAN activity (Section 4.3).
+    kernel_->ModTimerRelative(arp_timeout_, 5 * kSecond);
+    const SimDuration reply_after = static_cast<SimDuration>(
+        kernel_->sim().rng().Uniform(0.002, 4.8) * kSecond);
+    LinuxTimer* timeout = arp_timeout_;
+    kernel_->sim().ScheduleAfter(reply_after, [this, timeout] {
+      kernel_->DelTimer(timeout);  // no-op if the timeout already expired
+    });
+    ScheduleLanEvent();
+  });
+}
+
+void KernelSubsystems::ScheduleConsoleActivity() {
+  if (options_.console_activity_rate <= 0) {
+    return;
+  }
+  const SimDuration gap = static_cast<SimDuration>(
+      kernel_->sim().rng().Exponential(1.0 / options_.console_activity_rate) * kSecond);
+  kernel_->sim().ScheduleAfter(gap, [this] {
+    // Console activity defers the blank watchdog: re-armed to the same
+    // relative value before it can expire (the "watchdog" pattern).
+    kernel_->ModTimerRelative(console_blank_, 600 * kSecond);
+    ScheduleConsoleActivity();
+  });
+}
+
+void KernelSubsystems::SubmitBlockIo() {
+  Rng& rng = kernel_->sim().rng();
+  if (options_.block_io && block_unplug_ != nullptr) {
+    // Block-layer unplug: 1-jiffy timeout, usually canceled when the queue
+    // is unplugged by a subsequent request or completion.
+    kernel_->ModTimerRelative(block_unplug_, kJiffy);
+    const SimDuration unplug_after =
+        static_cast<SimDuration>(rng.Uniform(0.0002, 0.006) * kSecond);
+    LinuxTimer* unplug = block_unplug_;
+    kernel_->sim().ScheduleAfter(unplug_after, [this, unplug] { kernel_->DelTimer(unplug); });
+  }
+  if (options_.ide && ide_timeout_ != nullptr && ide_inflight_ == 0) {
+    // IDE command timeout: 30 s watchdog per command, canceled on
+    // completion a few milliseconds later.
+    ++ide_inflight_;
+    kernel_->ModTimerRelative(ide_timeout_, 30 * kSecond);
+    const SimDuration done_after =
+        static_cast<SimDuration>(rng.Uniform(0.001, 0.02) * kSecond);
+    kernel_->sim().ScheduleAfter(done_after, [this] {
+      kernel_->DelTimer(ide_timeout_);
+      ide_inflight_ = 0;
+    });
+  }
+}
+
+void KernelSubsystems::ScheduleBlockIoEvent() {
+  const SimDuration gap = static_cast<SimDuration>(
+      kernel_->sim().rng().Exponential(1.0 / options_.block_io_rate) * kSecond);
+  kernel_->sim().ScheduleAfter(gap, [this] {
+    SubmitBlockIo();
+    ScheduleBlockIoEvent();
+  });
+}
+
+}  // namespace tempo

@@ -1,0 +1,81 @@
+// Kernel-internal timer clients of the Linux model.
+//
+// These are the origins of the frequent kernel timeout values the paper
+// tabulates in Table 3: periodic housekeeping (workqueues, page write-back,
+// USB status polling, the clocksource watchdog, ARP maintenance, the e1000
+// driver watchdog), per-I/O timeouts (block-layer unplug at 1 jiffy, IDE
+// command timeout at 30 s) and watchdogs (console blanking). Each runs the
+// exact pattern the paper classifies it under (Section 4.1.1).
+
+#ifndef TEMPO_SRC_OSLINUX_SUBSYSTEMS_H_
+#define TEMPO_SRC_OSLINUX_SUBSYSTEMS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/oslinux/kernel.h"
+
+namespace tempo {
+
+// Configuration for the background kernel activity of a workload.
+struct KernelSubsystemsOptions {
+  bool workqueue_1s = true;            // kernel workqueue timer, 1 s periodic
+  bool workqueue_2s = true;            // second workqueue, 2 s periodic
+  bool writeback_5s = true;            // dirty page write-back, 5 s periodic
+  bool usb_poll = true;                // USB host-controller status poll, 248 ms
+  bool clocksource_watchdog = true;    // clocksource watchdog, 0.5 s periodic
+  bool e1000_watchdog = true;          // e1000 driver watchdog, 2 s periodic
+  bool packet_scheduler = false;       // packet scheduler, 5 s periodic (under net load)
+  bool arp = true;                     // ARP: 2 s/4 s periodic + 5 s timeout + 8 s flush
+  bool console_blank = true;           // console blank watchdog, 600 s, deferred on activity
+  bool block_io = true;                // block I/O unplug timeout, 1 jiffy per request
+  bool ide = true;                     // IDE command timeout, 30 s per command
+  bool use_round_jiffies = false;      // route imprecise periodics through round_jiffies
+  bool deferrable_periodics = false;   // mark imprecise periodics deferrable (2.6.22)
+
+  // Poisson rate (events/s) of LAN broadcast chatter; each event arms the
+  // 5 s ARP timeout which is canceled when the reply arrives.
+  double lan_event_rate = 0.15;
+  // Poisson rate (events/s) of block I/O requests (drives block_io + ide).
+  double block_io_rate = 0.0;
+  // Poisson rate (events/s) of console activity deferring the blank watchdog.
+  double console_activity_rate = 1.0 / 120.0;
+};
+
+// Instantiates and runs the configured kernel subsystems on a LinuxKernel.
+class KernelSubsystems {
+ public:
+  KernelSubsystems(LinuxKernel* kernel, KernelSubsystemsOptions options);
+  KernelSubsystems(const KernelSubsystems&) = delete;
+  KernelSubsystems& operator=(const KernelSubsystems&) = delete;
+  ~KernelSubsystems();
+
+  // Arms all configured timers. Call after LinuxKernel::Boot().
+  void Start();
+
+  // Injects one block-I/O request (arming the unplug + IDE timeouts), in
+  // addition to the Poisson background rate. Workloads with disk activity
+  // (e.g. the web server's logging) call this.
+  void SubmitBlockIo();
+
+ private:
+  struct Periodic;
+  void StartPeriodic(const char* callsite, SimDuration period);
+  void ScheduleLanEvent();
+  void ScheduleBlockIoEvent();
+  void ScheduleConsoleActivity();
+
+  LinuxKernel* kernel_;
+  KernelSubsystemsOptions options_;
+  std::vector<std::unique_ptr<Periodic>> periodics_;
+
+  LinuxTimer* arp_timeout_ = nullptr;
+  LinuxTimer* console_blank_ = nullptr;
+  LinuxTimer* block_unplug_ = nullptr;
+  LinuxTimer* ide_timeout_ = nullptr;
+  uint64_t ide_inflight_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OSLINUX_SUBSYSTEMS_H_

@@ -1,0 +1,150 @@
+#include "src/oslinux/syscalls.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tempo {
+
+void SelectChannel::Select(SimDuration timeout, WakeCallback cb) {
+  assert(!blocked_ && "thread already blocked in select");
+  blocked_ = true;
+  block_start_ = kernel_->sim().Now();
+  timeout_ = timeout;
+  cb_ = std::move(cb);
+  if (timeout == kNeverTime) {
+    timer_armed_ = false;
+    return;  // infinite block: no timer armed, nothing traced
+  }
+  timer_armed_ = true;
+  kernel_->ModTimerUser(timer_, timeout);
+}
+
+bool SelectChannel::Wake() {
+  if (!blocked_) {
+    return false;
+  }
+  blocked_ = false;
+  SimDuration remaining = 0;
+  if (timer_armed_) {
+    kernel_->DelTimer(timer_);
+    timer_armed_ = false;
+    const SimDuration elapsed = kernel_->sim().Now() - block_start_;
+    remaining = std::max<SimDuration>(0, timeout_ - elapsed);
+  } else {
+    remaining = kNeverTime;
+  }
+  WakeCallback cb = std::move(cb_);
+  cb_ = nullptr;
+  if (cb) {
+    cb(remaining, /*timed_out=*/false);
+  }
+  return true;
+}
+
+SelectChannel* LinuxSyscalls::Channel(Pid pid, Tid tid, const std::string& callsite) {
+  auto key = std::make_pair(pid, tid);
+  auto it = channels_.find(key);
+  if (it != channels_.end()) {
+    return it->second.get();
+  }
+  auto channel = std::unique_ptr<SelectChannel>(new SelectChannel());
+  SelectChannel* raw = channel.get();
+  raw->kernel_ = kernel_;
+  raw->pid_ = pid;
+  raw->tid_ = tid;
+  // The per-task sleep timer: its expiry callback completes the blocked
+  // call with remaining == 0 (timed out).
+  raw->timer_ = kernel_->InitTimer(callsite, [raw] {
+    if (!raw->blocked_) {
+      return;
+    }
+    raw->blocked_ = false;
+    raw->timer_armed_ = false;
+    SelectChannel::WakeCallback cb = std::move(raw->cb_);
+    raw->cb_ = nullptr;
+    if (cb) {
+      cb(0, /*timed_out=*/true);
+    }
+  }, pid, tid);
+  channels_.emplace(key, std::move(channel));
+  return raw;
+}
+
+void LinuxSyscalls::Nanosleep(Pid pid, Tid tid, const std::string& callsite,
+                              SimDuration duration, std::function<void()> done) {
+  auto key = std::make_pair(pid, tid);
+  auto it = sleep_timers_.find(key);
+  LinuxTimer* timer = nullptr;
+  if (it == sleep_timers_.end()) {
+    timer = kernel_->InitTimer(callsite, nullptr, pid, tid);
+    sleep_timers_.emplace(key, timer);
+  } else {
+    timer = it->second;
+  }
+  timer->function = std::move(done);
+  kernel_->ModTimerUser(timer, duration);
+}
+
+void LinuxSyscalls::Alarm(Pid pid, const std::string& callsite, SimDuration timeout,
+                          std::function<void()> signal) {
+  auto it = alarm_timers_.find(pid);
+  LinuxTimer* timer = nullptr;
+  if (it == alarm_timers_.end()) {
+    timer = kernel_->InitTimer(callsite, [this, pid] {
+      auto handler = alarm_handlers_.find(pid);
+      if (handler != alarm_handlers_.end() && handler->second) {
+        handler->second();
+      }
+    }, pid, /*tid=*/0);
+    alarm_timers_.emplace(pid, timer);
+  } else {
+    timer = it->second;
+  }
+  if (timeout <= 0) {
+    // alarm(0) cancels any pending alarm.
+    kernel_->DelTimer(timer);
+    alarm_handlers_.erase(pid);
+    return;
+  }
+  alarm_handlers_[pid] = std::move(signal);
+  kernel_->ModTimerUser(timer, timeout);
+}
+
+PosixTimer* LinuxSyscalls::TimerCreate(Pid pid, const std::string& callsite,
+                                       std::function<void()> callback) {
+  auto timer = std::unique_ptr<PosixTimer>(new PosixTimer());
+  PosixTimer* raw = timer.get();
+  raw->kernel_ = kernel_;
+  raw->callback_ = std::move(callback);
+  raw->timer_ = kernel_->InitHrTimer(callsite, [raw] { raw->Fire(); }, pid);
+  posix_timers_.push_back(std::move(timer));
+  return raw;
+}
+
+void PosixTimer::Settime(SimDuration value, SimDuration interval) {
+  if (value <= 0) {
+    if (armed_) {
+      kernel_->CancelHrTimer(timer_);
+      armed_ = false;
+    }
+    interval_ = 0;
+    return;
+  }
+  interval_ = interval;
+  armed_ = true;
+  kernel_->StartHrTimer(timer_, value);
+}
+
+void PosixTimer::Fire() {
+  armed_ = false;
+  if (callback_) {
+    callback_();
+  }
+  if (interval_ > 0) {
+    armed_ = true;
+    kernel_->StartHrTimer(timer_, interval_);
+  }
+}
+
+}  // namespace tempo

@@ -1,0 +1,118 @@
+// User-space timer entry points of the Linux model.
+//
+// The paper observes (Section 2.1) that only timer_settime and alarm arm a
+// timer without blocking; every other user-space timeout is the latest time
+// of return from a blocking call — dominated by select/poll event loops.
+// A crucial Linux semantic for the study: when select returns early due to
+// file-descriptor activity, the kernel WRITES BACK the remaining time into
+// the timeout argument, and applications idiomatically re-issue select with
+// that remainder — producing the countdown sawtooth of Figure 4.
+
+#ifndef TEMPO_SRC_OSLINUX_SYSCALLS_H_
+#define TEMPO_SRC_OSLINUX_SYSCALLS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/oslinux/kernel.h"
+
+namespace tempo {
+
+class LinuxSyscalls;
+
+// Per-thread blocking-timeout channel: models the per-task sleep timer used
+// by select/poll/epoll_wait. One outstanding call per thread; the timer
+// struct is reused across calls, so it has a stable trace identity.
+class SelectChannel {
+ public:
+  // `remaining` is what the kernel wrote back; `timed_out` distinguishes
+  // expiry from fd activity.
+  using WakeCallback = std::function<void(SimDuration remaining, bool timed_out)>;
+
+  // Blocks with `timeout`; kNeverTime blocks forever (no timer armed).
+  void Select(SimDuration timeout, WakeCallback cb);
+
+  // Delivers fd activity: cancels the timer, invokes the callback with the
+  // remaining time. Returns false if the thread is not blocked.
+  bool Wake();
+
+  bool blocked() const { return blocked_; }
+  Pid pid() const { return pid_; }
+  Tid tid() const { return tid_; }
+
+ private:
+  friend class LinuxSyscalls;
+  SelectChannel() = default;
+
+  LinuxKernel* kernel_ = nullptr;
+  LinuxTimer* timer_ = nullptr;  // reused per-task timer struct
+  Pid pid_ = kKernelPid;
+  Tid tid_ = 0;
+  bool blocked_ = false;
+  bool timer_armed_ = false;
+  SimTime block_start_ = 0;
+  SimDuration timeout_ = 0;
+  WakeCallback cb_;
+};
+
+// A POSIX interval timer (timer_create/timer_settime), backed by hrtimers
+// as in Linux >= 2.6.16.
+class PosixTimer {
+ public:
+  // Arms with initial expiration `value` and period `interval`
+  // (timer_settime). value == 0 disarms the timer.
+  void Settime(SimDuration value, SimDuration interval);
+
+  bool armed() const { return armed_; }
+
+ private:
+  friend class LinuxSyscalls;
+  PosixTimer() = default;
+  void Fire();
+
+  LinuxKernel* kernel_ = nullptr;
+  LinuxHrTimer* timer_ = nullptr;
+  std::function<void()> callback_;
+  bool armed_ = false;
+  SimDuration interval_ = 0;
+};
+
+// Facade over the timeout-carrying system calls.
+class LinuxSyscalls {
+ public:
+  explicit LinuxSyscalls(LinuxKernel* kernel) : kernel_(kernel) {}
+  LinuxSyscalls(const LinuxSyscalls&) = delete;
+  LinuxSyscalls& operator=(const LinuxSyscalls&) = delete;
+
+  // Returns the (stable) blocking channel for a thread; creates it on first
+  // use with the given call-site label, e.g. "Xorg/select".
+  SelectChannel* Channel(Pid pid, Tid tid, const std::string& callsite);
+
+  // sys_nanosleep: sleeps `duration`, then calls `done`. Not interruptible
+  // in this model.
+  void Nanosleep(Pid pid, Tid tid, const std::string& callsite, SimDuration duration,
+                 std::function<void()> done);
+
+  // alarm(2): delivers SIGALRM via `signal` after `timeout`; a timeout of 0
+  // cancels the pending alarm. One alarm per process.
+  void Alarm(Pid pid, const std::string& callsite, SimDuration timeout,
+             std::function<void()> signal);
+
+  // timer_create: allocates a POSIX timer delivering to `callback`.
+  PosixTimer* TimerCreate(Pid pid, const std::string& callsite, std::function<void()> callback);
+
+ private:
+  LinuxKernel* kernel_;
+  std::map<std::pair<Pid, Tid>, std::unique_ptr<SelectChannel>> channels_;
+  std::map<std::pair<Pid, Tid>, LinuxTimer*> sleep_timers_;
+  std::map<Pid, LinuxTimer*> alarm_timers_;
+  std::map<Pid, std::function<void()>> alarm_handlers_;
+  std::deque<std::unique_ptr<PosixTimer>> posix_timers_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OSLINUX_SYSCALLS_H_

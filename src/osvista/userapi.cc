@@ -1,0 +1,318 @@
+#include "src/osvista/userapi.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tempo {
+
+// Win32 clamps GUI timer periods to USER_TIMER_MINIMUM (10 ms).
+namespace {
+constexpr SimDuration kUserTimerMinimum = 10 * kMillisecond;
+}  // namespace
+
+// --- NtTimer ---
+
+NtTimer* VistaUserApi::NtCreateTimer(Pid pid, Tid tid, const std::string& callsite,
+                                     std::function<void()> apc) {
+  auto timer = std::unique_ptr<NtTimer>(new NtTimer());
+  NtTimer* raw = timer.get();
+  raw->kernel_ = kernel_;
+  raw->apc_ = std::move(apc);
+  // The kernel object lives as long as the handle: stable identity.
+  raw->ktimer_ = kernel_->AllocateTimer(callsite, pid, tid, [raw] { raw->Fire(); },
+                                        /*dynamic=*/false);
+  nt_timers_.push_back(std::move(timer));
+  return raw;
+}
+
+void NtTimer::Set(SimDuration due, SimDuration period) {
+  period_ = period;
+  kernel_->KeSetTimer(ktimer_, due);
+}
+
+bool NtTimer::Cancel() {
+  period_ = 0;
+  return kernel_->KeCancelTimer(ktimer_);
+}
+
+void NtTimer::Fire() {
+  if (apc_) {
+    apc_();
+  }
+  if (period_ > 0) {
+    kernel_->KeSetTimer(ktimer_, period_);
+  }
+}
+
+// --- ThreadpoolPool ---
+
+ThreadpoolPool* VistaUserApi::CreatePool(Pid pid, Tid tid, const std::string& name) {
+  auto pool = std::unique_ptr<ThreadpoolPool>(new ThreadpoolPool());
+  ThreadpoolPool* raw = pool.get();
+  raw->kernel_ = kernel_;
+  raw->pid_ = pid;
+  raw->tid_ = tid;
+  raw->ktimer_ = kernel_->AllocateTimer(name + "/ntdll_threadpool", pid, tid,
+                                        [raw] { raw->OnKernelTimer(); }, /*dynamic=*/false);
+  pools_.push_back(std::move(pool));
+  return raw;
+}
+
+ThreadpoolTimer* ThreadpoolPool::CreateTimer(std::function<void()> callback) {
+  auto timer = std::unique_ptr<ThreadpoolTimer>(new ThreadpoolTimer());
+  ThreadpoolTimer* raw = timer.get();
+  raw->pool_ = this;
+  raw->callback_ = std::move(callback);
+  timers_.push_back(std::move(timer));
+  return raw;
+}
+
+void ThreadpoolPool::SetEntry(ThreadpoolTimer* timer, SimDuration due) {
+  if (timer->active_) {
+    ring_.Cancel(timer->handle_);
+  }
+  timer->active_ = true;
+  const SimTime expiry = kernel_->sim().Now() + std::max<SimDuration>(due, 0);
+  timer->handle_ = ring_.Schedule(expiry, [this, timer](TimerHandle) {
+    timer->active_ = false;
+    if (timer->callback_) {
+      timer->callback_();
+    }
+    if (timer->period_ > 0) {
+      SetEntry(timer, timer->period_);
+    }
+  });
+  Rearm();
+}
+
+void ThreadpoolTimer::Set(SimDuration due, SimDuration period) {
+  period_ = period;
+  if (due <= 0) {
+    Cancel();
+    return;
+  }
+  pool_->SetEntry(this, due);
+}
+
+void ThreadpoolTimer::Cancel() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  pool_->ring_.Cancel(handle_);
+  pool_->Rearm();
+}
+
+void ThreadpoolPool::Rearm() {
+  // Multiplex the whole ring onto the single kernel timer: arm it for the
+  // earliest user-level due time. The kernel trace therefore sees one timer
+  // re-set to constantly varying values.
+  const SimTime next = ring_.NextExpiry();
+  if (next == kNeverTime) {
+    kernel_->KeCancelTimer(ktimer_);
+    return;
+  }
+  const SimDuration due = std::max<SimDuration>(0, next - kernel_->sim().Now());
+  kernel_->KeSetTimer(ktimer_, due);
+}
+
+void ThreadpoolPool::OnKernelTimer() {
+  ring_.Advance(kernel_->sim().Now());
+  Rearm();
+}
+
+// --- MessageQueue (Win32 GUI timers) ---
+
+struct MessageQueue::GuiTimer {
+  uint32_t id = 0;
+  MessageQueue* queue = nullptr;
+  KTimer* ktimer = nullptr;
+  SimDuration elapse = 0;
+  std::function<void()> on_wm_timer;
+  bool alive = false;
+
+  void Fire() {
+    if (!alive) {
+      return;
+    }
+    // The APC posted a WM_TIMER message; dispatching it waits for the GUI
+    // thread's message loop, adding a few milliseconds of latency.
+    Simulator& sim = queue->kernel_->sim();
+    const SimDuration dispatch_latency =
+        static_cast<SimDuration>(sim.rng().Uniform(0.0001, 0.004) * kSecond);
+    sim.ScheduleAfter(dispatch_latency, [this] {
+      if (alive && on_wm_timer) {
+        on_wm_timer();
+      }
+    });
+    // Win32 GUI timers are periodic: re-arm for the next WM_TIMER.
+    queue->kernel_->KeSetTimer(ktimer, elapse);
+  }
+};
+
+MessageQueue::~MessageQueue() = default;
+
+MessageQueue* VistaUserApi::CreateMessageQueue(Pid pid, Tid tid, const std::string& name) {
+  auto queue = std::unique_ptr<MessageQueue>(new MessageQueue());
+  MessageQueue* raw = queue.get();
+  raw->kernel_ = kernel_;
+  raw->pid_ = pid;
+  raw->tid_ = tid;
+  raw->name_ = name;
+  raw->callsite_ = kernel_->callsites().Intern(name + "/SetTimer");
+  queues_.push_back(std::move(queue));
+  return raw;
+}
+
+uint32_t MessageQueue::SetTimer(SimDuration elapse, std::function<void()> on_wm_timer) {
+  elapse = std::max(elapse, kUserTimerMinimum);
+  auto timer = std::make_unique<GuiTimer>();
+  GuiTimer* raw = timer.get();
+  raw->id = next_id_++;
+  raw->queue = this;
+  raw->elapse = elapse;
+  raw->on_wm_timer = std::move(on_wm_timer);
+  raw->alive = true;
+  raw->ktimer = kernel_->AllocateTimer(name_ + "/SetTimer", pid_, tid_,
+                                       [raw] { raw->Fire(); }, /*dynamic=*/true);
+  timers_.push_back(std::move(timer));
+  kernel_->KeSetTimer(raw->ktimer, elapse);
+  return raw->id;
+}
+
+bool MessageQueue::KillTimer(uint32_t id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if ((*it)->id == id) {
+      GuiTimer* t = it->get();
+      if (!t->alive) {
+        return false;
+      }
+      t->alive = false;
+      kernel_->KeCancelTimer(t->ktimer);
+      kernel_->FreeTimer(t->ktimer);
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- AfdSelect (Winsock select) ---
+
+AfdSelect* VistaUserApi::Select(Pid pid, Tid tid, const std::string& callsite,
+                                SimDuration timeout, std::function<void(bool)> cb) {
+  AfdSelect* raw = nullptr;
+  if (!free_selects_.empty()) {
+    auto slot = std::move(free_selects_.back());
+    free_selects_.pop_back();
+    raw = slot.get();
+    selects_.push_back(std::move(slot));
+  } else {
+    selects_.push_back(std::unique_ptr<AfdSelect>(new AfdSelect()));
+    raw = selects_.back().get();
+  }
+  raw->api_ = this;
+  raw->kernel_ = kernel_;
+  raw->done_ = false;
+  raw->cb_ = std::move(cb);
+  // afd.sys allocates a fresh KTIMER per ioctl: dynamic identity.
+  raw->ktimer_ = kernel_->AllocateTimer(callsite, pid, tid, [raw] {
+    raw->done_ = true;
+    auto callback = std::move(raw->cb_);
+    raw->cb_ = nullptr;
+    raw->kernel_->FreeTimer(raw->ktimer_);
+    raw->ktimer_ = nullptr;
+    raw->api_->Recycle(raw);
+    if (callback) {
+      callback(/*timed_out=*/true);
+    }
+  }, /*dynamic=*/true);
+  kernel_->KeSetTimer(raw->ktimer_, timeout);
+  return raw;
+}
+
+void VistaUserApi::Recycle(AfdSelect* select) {
+  // Completed calls are recycled; scan from the back, where recent
+  // allocations live.
+  for (auto it = selects_.rbegin(); it != selects_.rend(); ++it) {
+    if (it->get() == select) {
+      free_selects_.push_back(std::move(*it));
+      selects_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool AfdSelect::Complete() {
+  if (done_) {
+    return false;
+  }
+  done_ = true;
+  kernel_->KeCancelTimer(ktimer_);
+  kernel_->FreeTimer(ktimer_);
+  ktimer_ = nullptr;
+  auto callback = std::move(cb_);
+  cb_ = nullptr;
+  api_->Recycle(this);
+  if (callback) {
+    callback(/*timed_out=*/false);
+  }
+  return true;
+}
+
+// --- MultiWait (WaitForMultipleObjects) ---
+
+MultiWait* VistaUserApi::WaitForMultipleObjects(Pid pid, Tid tid,
+                                                const std::string& callsite, size_t count,
+                                                SimDuration timeout,
+                                                std::function<void(int)> on_wake) {
+  // Reuse a completed slot if one exists.
+  MultiWait* raw = nullptr;
+  for (auto& w : multi_waits_) {
+    if (w->wait_ == nullptr || w->wait_->done()) {
+      raw = w.get();
+      break;
+    }
+  }
+  if (raw == nullptr) {
+    multi_waits_.push_back(std::unique_ptr<MultiWait>(new MultiWait()));
+    raw = multi_waits_.back().get();
+  }
+  raw->kernel_ = kernel_;
+  raw->count_ = count;
+  raw->result_ = -1;
+  raw->wait_ = kernel_->BlockThread(
+      pid, tid, callsite, timeout, [raw, cb = std::move(on_wake)](bool satisfied) {
+        if (!satisfied) {
+          raw->result_ = -1;  // WAIT_TIMEOUT
+        }
+        if (cb) {
+          cb(raw->result_);
+        }
+      });
+  return raw;
+}
+
+bool MultiWait::Signal(size_t index) {
+  if (index >= count_ || wait_ == nullptr || wait_->done()) {
+    return false;
+  }
+  result_ = static_cast<int>(index);
+  return kernel_->Signal(wait_);
+}
+
+bool MultiWait::done() const { return wait_ == nullptr || wait_->done(); }
+
+// --- Sleep ---
+
+void VistaUserApi::Sleep(Pid pid, Tid tid, const std::string& callsite, SimDuration duration,
+                         std::function<void()> done) {
+  kernel_->BlockThread(pid, tid, callsite, duration,
+                       [done = std::move(done)](bool) {
+                         if (done) {
+                           done();
+                         }
+                       });
+}
+
+}  // namespace tempo

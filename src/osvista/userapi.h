@@ -1,0 +1,209 @@
+// Vista user-level timer interfaces, layered over the kernel KTIMER model.
+//
+// Section 2.2 describes the stack: NTDLL's threadpool timers multiplex a
+// user-level ring over a single kernel timer; Win32 exposes waitable timers
+// (NtSetTimer, APC delivery) and GUI timers (SetTimer -> WM_TIMER messages
+// dispatched by the thread's message loop); Winsock select is a blocking
+// ioctl on afd.sys that allocates a *fresh* KTIMER per call. Each layer is
+// a multiplexer, and each hides identity from the layer below — the
+// instrumentation challenge of Section 3.3.
+
+#ifndef TEMPO_SRC_OSVISTA_USERAPI_H_
+#define TEMPO_SRC_OSVISTA_USERAPI_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/osvista/kernel.h"
+#include "src/timer/tree_queue.h"
+
+namespace tempo {
+
+class VistaUserApi;
+class ThreadpoolPool;
+
+// An NT waitable timer (NtCreateTimer/NtSetTimer/NtCancelTimer). The kernel
+// object persists for the handle's lifetime, optionally periodic.
+class NtTimer {
+ public:
+  // NtSetTimer: arms for `due`, then every `period` if period > 0.
+  void Set(SimDuration due, SimDuration period = 0);
+  // NtCancelTimer.
+  bool Cancel();
+
+ private:
+  friend class VistaUserApi;
+  NtTimer() = default;
+  void Fire();
+
+  VistaKernel* kernel_ = nullptr;
+  KTimer* ktimer_ = nullptr;
+  std::function<void()> apc_;
+  SimDuration period_ = 0;
+};
+
+// A timer in a user-level threadpool ring.
+class ThreadpoolTimer {
+ public:
+  // SetThreadpoolTimer: due time, optional period. due <= 0 deactivates.
+  void Set(SimDuration due, SimDuration period = 0);
+  void Cancel();
+
+ private:
+  friend class ThreadpoolPool;
+  ThreadpoolTimer() = default;
+
+  ThreadpoolPool* pool_ = nullptr;
+  std::function<void()> callback_;
+  TimerHandle handle_ = kInvalidTimerHandle;
+  SimDuration period_ = 0;
+  bool active_ = false;
+};
+
+// NTDLL's user-level timer pool: a private ring of timers multiplexed over
+// a single kernel KTIMER which is re-armed to the earliest due time. From
+// the kernel trace's point of view this is ONE timer set to ever-changing
+// values — a select-like "other" pattern.
+class ThreadpoolPool {
+ public:
+  ThreadpoolTimer* CreateTimer(std::function<void()> callback);
+
+ private:
+  friend class VistaUserApi;
+  ThreadpoolPool() = default;
+  void Rearm();
+  void OnKernelTimer();
+  void SetEntry(ThreadpoolTimer* timer, SimDuration due);
+
+  VistaKernel* kernel_ = nullptr;
+  Pid pid_ = kKernelPid;
+  Tid tid_ = 0;
+  KTimer* ktimer_ = nullptr;
+  TreeTimerQueue ring_;
+  std::deque<std::unique_ptr<ThreadpoolTimer>> timers_;
+
+  friend class ThreadpoolTimer;
+};
+
+// A Win32 GUI thread's message queue with SetTimer/KillTimer. Expiries are
+// delivered as WM_TIMER messages: the kernel timer fires (APC inserts the
+// message), then the message waits for the dispatch loop — adding the
+// user-visible latency the paper notes for GUI timers.
+class MessageQueue {
+ public:
+  // SetTimer: periodic WM_TIMER every `elapse` until KillTimer. Returns the
+  // timer id. Win32 clamps elapse to a minimum (USER_TIMER_MINIMUM, 10 ms).
+  uint32_t SetTimer(SimDuration elapse, std::function<void()> on_wm_timer);
+  bool KillTimer(uint32_t id);
+  ~MessageQueue();
+
+ private:
+  friend class VistaUserApi;
+  MessageQueue() = default;
+  struct GuiTimer;
+
+  VistaKernel* kernel_ = nullptr;
+  Pid pid_ = kKernelPid;
+  Tid tid_ = 0;
+  std::string name_;
+  CallsiteId callsite_ = kUnknownCallsite;
+  std::deque<std::unique_ptr<GuiTimer>> timers_;
+  uint32_t next_id_ = 1;
+};
+
+// A WaitForMultipleObjects wait: wait-any over N synchronisation objects
+// plus a timeout, implemented over the kernel's dispatcher-wait fast path
+// (one per-thread KTIMER regardless of the object count).
+class MultiWait {
+ public:
+  // Signals object `index`; wakes the thread if it is still waiting.
+  // Returns false if the wait already completed or the index is invalid.
+  bool Signal(size_t index);
+
+  bool done() const;
+  // Index of the signalling object, or -1 for a timeout. Valid after
+  // completion.
+  int result() const { return result_; }
+
+ private:
+  friend class VistaUserApi;
+  MultiWait() = default;
+
+  VistaKernel* kernel_ = nullptr;
+  VistaKernel::Wait* wait_ = nullptr;
+  size_t count_ = 0;
+  int result_ = -1;
+};
+
+// A blocked Winsock select call (ioctl on afd.sys with a fresh KTIMER).
+class AfdSelect {
+ public:
+  // Completes the ioctl because the socket became ready; cancels the
+  // timeout. Returns false if the call already completed.
+  bool Complete();
+
+  bool done() const { return done_; }
+
+ private:
+  friend class VistaUserApi;
+  AfdSelect() = default;
+
+  VistaUserApi* api_ = nullptr;
+  VistaKernel* kernel_ = nullptr;
+  KTimer* ktimer_ = nullptr;
+  bool done_ = false;
+  std::function<void(bool timed_out)> cb_;
+};
+
+// Facade constructing the user-level objects.
+class VistaUserApi {
+ public:
+  explicit VistaUserApi(VistaKernel* kernel) : kernel_(kernel) {}
+  VistaUserApi(const VistaUserApi&) = delete;
+  VistaUserApi& operator=(const VistaUserApi&) = delete;
+
+  // NtCreateTimer: `apc` runs on each expiry.
+  NtTimer* NtCreateTimer(Pid pid, Tid tid, const std::string& callsite,
+                         std::function<void()> apc);
+
+  // Creates a threadpool timer ring for a process (CreateThreadpoolTimer).
+  ThreadpoolPool* CreatePool(Pid pid, Tid tid, const std::string& name);
+
+  // Creates a GUI thread message queue.
+  MessageQueue* CreateMessageQueue(Pid pid, Tid tid, const std::string& name);
+
+  // Winsock select with timeout: fresh KTIMER per call. `cb(timed_out)`.
+  AfdSelect* Select(Pid pid, Tid tid, const std::string& callsite, SimDuration timeout,
+                    std::function<void(bool timed_out)> cb);
+
+  // Sleep(ms): thread wait with timeout that always expires.
+  void Sleep(Pid pid, Tid tid, const std::string& callsite, SimDuration duration,
+             std::function<void()> done);
+
+  // WaitForMultipleObjects (wait-any): blocks `tid` on `count` objects with
+  // `timeout` (kNeverTime for INFINITE). `on_wake(index)` receives the
+  // signalling object's index or -1 on timeout.
+  MultiWait* WaitForMultipleObjects(Pid pid, Tid tid, const std::string& callsite,
+                                    size_t count, SimDuration timeout,
+                                    std::function<void(int)> on_wake);
+
+ private:
+  friend class AfdSelect;
+
+  // Moves a completed select call to the free list for reuse.
+  void Recycle(AfdSelect* select);
+
+  VistaKernel* kernel_;
+  std::deque<std::unique_ptr<NtTimer>> nt_timers_;
+  std::deque<std::unique_ptr<ThreadpoolPool>> pools_;
+  std::deque<std::unique_ptr<MessageQueue>> queues_;
+  std::deque<std::unique_ptr<AfdSelect>> selects_;
+  std::deque<std::unique_ptr<AfdSelect>> free_selects_;
+  std::deque<std::unique_ptr<MultiWait>> multi_waits_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OSVISTA_USERAPI_H_

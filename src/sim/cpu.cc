@@ -1,0 +1,37 @@
+#include "src/sim/cpu.h"
+
+namespace tempo {
+
+void Cpu::EnterIdle(SimTime now) {
+  if (idle_) {
+    return;
+  }
+  idle_ = true;
+  idle_since_ = now;
+}
+
+void Cpu::ExitIdle(SimTime now) {
+  if (!idle_) {
+    return;
+  }
+  idle_ = false;
+  idle_time_ += now - idle_since_;
+  ++wakeups_;
+}
+
+void Cpu::OnInterrupt(SimTime now, bool timer) {
+  ++interrupts_;
+  if (timer) {
+    ++timer_interrupts_;
+  }
+  ExitIdle(now);
+}
+
+void Cpu::Finish(SimTime now) {
+  if (idle_) {
+    idle_time_ += now - idle_since_;
+    idle_since_ = now;
+  }
+}
+
+}  // namespace tempo

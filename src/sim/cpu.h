@@ -1,0 +1,69 @@
+// CPU accounting model.
+//
+// The simulator is functional, not cycle-accurate; this model exists to
+// answer the questions the paper asks of the hardware:
+//   * how many times was the CPU woken from idle (power proxy, Section 5.3)?
+//   * how many timer interrupts were serviced?
+//   * how many cycles did instrumentation itself consume (Section 3.2)?
+// Cycle accounting uses a fixed clock frequency matching the paper's Linux
+// testbed (Intel Xeon X5355 @ 2.66 GHz).
+
+#ifndef TEMPO_SRC_SIM_CPU_H_
+#define TEMPO_SRC_SIM_CPU_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Tracks interrupts, idle residency and wakeups for one simulated CPU.
+class Cpu {
+ public:
+  // `ghz` is the nominal clock frequency used for cycle<->time conversion.
+  explicit Cpu(double ghz = 2.66) : hz_(ghz * 1e9) {}
+
+  // Marks the CPU idle (entering a low-power C-state) at `now`.
+  void EnterIdle(SimTime now);
+
+  // Marks the CPU busy at `now`. If it was idle, counts a wakeup and
+  // accumulates idle residency.
+  void ExitIdle(SimTime now);
+
+  // Records delivery of a hardware interrupt at `now`. An interrupt
+  // delivered while idle implicitly wakes the CPU (counted via ExitIdle).
+  // `timer` distinguishes periodic-tick/timer interrupts from device ones.
+  void OnInterrupt(SimTime now, bool timer);
+
+  // Charges `cycles` of work to the CPU (e.g. instrumentation overhead).
+  void ChargeCycles(uint64_t cycles) { charged_cycles_ += cycles; }
+
+  // Finalizes idle accounting at end-of-run.
+  void Finish(SimTime now);
+
+  // Converts a cycle count into simulated time at the nominal frequency.
+  SimDuration CyclesToDuration(uint64_t cycles) const {
+    return static_cast<SimDuration>(static_cast<double>(cycles) / hz_ * 1e9);
+  }
+
+  bool idle() const { return idle_; }
+  uint64_t wakeups() const { return wakeups_; }
+  uint64_t interrupts() const { return interrupts_; }
+  uint64_t timer_interrupts() const { return timer_interrupts_; }
+  uint64_t charged_cycles() const { return charged_cycles_; }
+  SimDuration idle_time() const { return idle_time_; }
+
+ private:
+  double hz_;
+  bool idle_ = false;
+  SimTime idle_since_ = 0;
+  SimDuration idle_time_ = 0;
+  uint64_t wakeups_ = 0;
+  uint64_t interrupts_ = 0;
+  uint64_t timer_interrupts_ = 0;
+  uint64_t charged_cycles_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_SIM_CPU_H_

@@ -1,0 +1,89 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tempo {
+
+EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
+  const EventId id = next_seq_++;
+  auto slot = std::make_shared<std::function<void()>>(std::move(fn));
+  index_.emplace_back(id, slot);
+  heap_.push(Entry{at, id, std::move(slot)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // index_ is sorted by id (ids are assigned monotonically), so binary
+  // search the live suffix.
+  auto begin = index_.begin() + static_cast<ptrdiff_t>(index_head_);
+  auto it = std::lower_bound(begin, index_.end(), id,
+                             [](const auto& p, EventId want) { return p.first < want; });
+  if (it == index_.end() || it->first != id) {
+    return false;
+  }
+  auto slot = it->second.lock();
+  if (!slot || !*slot) {
+    return false;  // already fired or already canceled
+  }
+  *slot = nullptr;
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+SimTime EventQueue::NextTime() const {
+  // The heap head may be a canceled entry; we cannot drop it here without
+  // mutating, so scan conservatively via const_cast-free copy of behaviour:
+  // canceled entries are dropped in Pop()/DropCanceledHead(). For NextTime
+  // we only need an upper bound that is exact when the head is live, which
+  // Simulator guarantees by calling DropCanceledHead() via Pop(). To keep
+  // the answer exact we treat this method as logically non-const mutation of
+  // the lazy-deletion state.
+  auto* self = const_cast<EventQueue*>(this);
+  self->DropCanceledHead();
+  if (heap_.empty()) {
+    return kNeverTime;
+  }
+  return heap_.top().at;
+}
+
+void EventQueue::DropCanceledHead() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.fn && *top.fn) {
+      return;
+    }
+    heap_.pop();
+  }
+  // Heap drained: compact the id index.
+  index_.clear();
+  index_head_ = 0;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DropCanceledHead();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  assert(live_ > 0);
+  --live_;
+  Fired fired{top.at, top.id, std::move(*top.fn)};
+  *top.fn = nullptr;  // mark fired so Cancel() on this id returns false
+  // Compact the index prefix: everything with id <= this one that is dead.
+  while (index_head_ < index_.size()) {
+    auto slot = index_[index_head_].second.lock();
+    if (slot && *slot) {
+      break;
+    }
+    ++index_head_;
+  }
+  if (index_head_ > 4096 && index_head_ * 2 > index_.size()) {
+    index_.erase(index_.begin(), index_.begin() + static_cast<ptrdiff_t>(index_head_));
+    index_head_ = 0;
+  }
+  return fired;
+}
+
+}  // namespace tempo

@@ -1,0 +1,89 @@
+// Pending-event priority queue for the discrete-event simulator.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which the OS models rely on: a clock interrupt scheduled before a device
+// interrupt at the same tick is delivered first.
+
+#ifndef TEMPO_SRC_SIM_EVENT_QUEUE_H_
+#define TEMPO_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Opaque identifier of a scheduled event; 0 is "invalid".
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// A time-ordered queue of one-shot callbacks with O(log n) insertion and
+// cancellation-by-flag (lazy deletion).
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Enqueues `fn` to run at absolute time `at`. Returns an id usable with
+  // Cancel(). `at` may be in the past relative to previously popped events;
+  // the Simulator guards against that, not the queue.
+  EventId Schedule(SimTime at, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already canceled, or the id is unknown.
+  bool Cancel(EventId id);
+
+  // True if no live (non-canceled) events remain.
+  bool Empty() const { return live_ == 0; }
+
+  // Number of live events.
+  size_t Size() const { return live_; }
+
+  // Time of the earliest live event; kNeverTime if empty.
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest live event. Requires !Empty().
+  struct Fired {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired Pop();
+
+  // Total events ever scheduled (live + fired + canceled). Monotonic.
+  uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;  // also the FIFO tiebreaker: ids increase monotonically
+    std::shared_ptr<std::function<void()>> fn;
+    bool operator>(const Entry& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return id > other.id;
+    }
+  };
+
+  void DropCanceledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Canceled events keep their heap slot but have their function reset;
+  // `live_` tracks the number of entries with a live function.
+  size_t live_ = 0;
+  EventId next_seq_ = 1;
+  // Map from id to the shared function slot, so Cancel can clear it.
+  // We use a sorted vector window keyed by monotonically increasing ids.
+  std::vector<std::pair<EventId, std::weak_ptr<std::function<void()>>>> index_;
+  size_t index_head_ = 0;  // compacted prefix
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_SIM_EVENT_QUEUE_H_

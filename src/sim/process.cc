@@ -1,0 +1,23 @@
+#include "src/sim/process.h"
+
+namespace tempo {
+
+ProcessTable::ProcessTable() {
+  // pid 0 is always the kernel; tid 0 is its housekeeping thread.
+  processes_.push_back(Process{kKernelPid, "kernel", /*is_kernel=*/true});
+  thread_owner_.push_back(kKernelPid);
+}
+
+Pid ProcessTable::AddProcess(const std::string& name, bool is_kernel) {
+  const Pid pid = static_cast<Pid>(processes_.size());
+  processes_.push_back(Process{pid, name, is_kernel});
+  return pid;
+}
+
+Tid ProcessTable::AddThread(Pid pid) {
+  const Tid tid = static_cast<Tid>(thread_owner_.size());
+  thread_owner_.push_back(pid);
+  return tid;
+}
+
+}  // namespace tempo

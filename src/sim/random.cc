@@ -1,0 +1,105 @@
+#include "src/sim/random.h"
+
+#include <cmath>
+
+namespace tempo {
+
+namespace {
+
+// SplitMix64: used only to expand the seed into generator state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (hi <= lo) {
+    return lo;
+  }
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller transform; we deliberately discard the second variate to keep
+  // the stream position a simple function of the call count.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Pareto(double xm, double alpha) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1f04e57a7e5eedULL); }
+
+}  // namespace tempo

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in tempo (network latency, workload think time,
+// scheduling jitter) flows through an explicitly seeded Rng so that every
+// trace is exactly reproducible. The generator is xoshiro256** seeded via
+// SplitMix64; distributions are implemented locally rather than via
+// <random> so that results are identical across standard libraries.
+
+#ifndef TEMPO_SRC_SIM_RANDOM_H_
+#define TEMPO_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace tempo {
+
+// Deterministic random number generator with common distributions.
+//
+// Not thread-safe; simulations are single-threaded by design.
+class Rng {
+ public:
+  // Seeds the generator. Two Rng instances with equal seeds produce
+  // identical streams on all platforms.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  // Returns the next raw 64-bit value.
+  uint64_t NextU64();
+
+  // Returns a value uniformly distributed in [0, 1).
+  double NextDouble();
+
+  // Returns a value uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Returns an integer uniformly distributed in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normally distributed value (Box-Muller; one value per call).
+  double Normal(double mean, double stddev);
+
+  // Log-normally distributed value; mu/sigma are the parameters of the
+  // underlying normal distribution.
+  double LogNormal(double mu, double sigma);
+
+  // Pareto-distributed value with scale xm (> 0) and shape alpha (> 0).
+  // Heavy-tailed; used for request sizes and pathological wait times.
+  double Pareto(double xm, double alpha);
+
+  // Forks an independent generator whose stream is a deterministic function
+  // of this generator's current state. Used to give subsystems their own
+  // streams so adding a consumer does not perturb the others.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_SIM_RANDOM_H_

@@ -1,0 +1,57 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace tempo {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  return queue_.Schedule(at, std::move(fn));
+}
+
+EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
+
+bool Simulator::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  EventQueue::Fired fired = queue_.Pop();
+  now_ = fired.at;
+  ++events_executed_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.NextTime();
+    if (next > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  cpu_.Finish(now_);
+}
+
+}  // namespace tempo

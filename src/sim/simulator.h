@@ -1,0 +1,79 @@
+// The tempo discrete-event simulator.
+//
+// A Simulator owns virtual time, the pending-event queue, the RNG, the CPU
+// model and the process registry. OS models (src/oslinux, src/osvista) build
+// their clock interrupts and timer subsystems on top of ScheduleAt/Cancel;
+// workloads never touch the event queue directly, only OS timer APIs —
+// mirroring the layering the paper describes in Section 2.
+
+#ifndef TEMPO_SRC_SIM_SIMULATOR_H_
+#define TEMPO_SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/process.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Single-threaded discrete-event simulation driver.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at`. Events scheduled in the past fire
+  // at the current time (never travel backwards). Returns a cancelable id.
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (clamped to >= 0).
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event; false if it already fired or was canceled.
+  bool Cancel(EventId id);
+
+  // Runs one event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  // Runs until virtual time reaches `deadline` (events at exactly `deadline`
+  // are executed), the queue drains, or Stop() is called. Time advances to
+  // `deadline` even if the queue drained earlier.
+  void RunUntil(SimTime deadline);
+
+  // Runs for `duration` more virtual time.
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  // Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  // Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  Rng& rng() { return rng_; }
+  Cpu& cpu() { return cpu_; }
+  ProcessTable& processes() { return processes_; }
+  const ProcessTable& processes() const { return processes_; }
+
+ private:
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  uint64_t events_executed_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  Cpu cpu_;
+  ProcessTable processes_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_SIM_SIMULATOR_H_

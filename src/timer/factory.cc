@@ -1,0 +1,31 @@
+#include <memory>
+
+#include "src/timer/hashed_wheel.h"
+#include "src/timer/heap_queue.h"
+#include "src/timer/hierarchical_wheel.h"
+#include "src/timer/queue.h"
+#include "src/timer/tree_queue.h"
+
+namespace tempo {
+
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name) {
+  if (name == "heap") {
+    return std::make_unique<HeapTimerQueue>();
+  }
+  if (name == "tree") {
+    return std::make_unique<TreeTimerQueue>();
+  }
+  if (name == "hashed_wheel") {
+    return std::make_unique<HashedWheelTimerQueue>();
+  }
+  if (name == "hierarchical_wheel") {
+    return std::make_unique<HierarchicalWheelTimerQueue>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TimerQueueNames() {
+  return {"heap", "tree", "hashed_wheel", "hierarchical_wheel"};
+}
+
+}  // namespace tempo

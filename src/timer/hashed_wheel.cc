@@ -1,0 +1,100 @@
+#include "src/timer/hashed_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tempo {
+
+HashedWheelTimerQueue::HashedWheelTimerQueue(SimDuration granularity, size_t slots)
+    : granularity_(granularity > 0 ? granularity : kMillisecond),
+      slots_(slots > 0 ? slots : 256) {}
+
+uint64_t HashedWheelTimerQueue::TickFor(SimTime expiry) const {
+  if (expiry < 0) {
+    expiry = 0;
+  }
+  // Round up so a timer never fires before its expiry.
+  uint64_t tick = (static_cast<uint64_t>(expiry) + static_cast<uint64_t>(granularity_) - 1) /
+                  static_cast<uint64_t>(granularity_);
+  // Entries must land strictly ahead of the hand or they would wait a full
+  // revolution; expired entries fire on the next tick instead.
+  return std::max(tick, current_tick_ + 1);
+}
+
+TimerHandle HashedWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  const TimerHandle handle = next_handle_++;
+  const uint64_t tick = TickFor(expiry);
+  const size_t slot = static_cast<size_t>(tick % slots_.size());
+  slots_[slot].push_back(Node{tick, handle, std::move(cb)});
+  auto it = std::prev(slots_[slot].end());
+  index_.emplace(handle, std::make_pair(slot, it));
+  ++size_;
+  return handle;
+}
+
+bool HashedWheelTimerQueue::Cancel(TimerHandle handle) {
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return false;
+  }
+  slots_[it->second.first].erase(it->second.second);
+  index_.erase(it);
+  --size_;
+  return true;
+}
+
+size_t HashedWheelTimerQueue::Advance(SimTime now) {
+  const uint64_t target_tick =
+      static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);
+  size_t fired = 0;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    Slot& slot = slots_[static_cast<size_t>(current_tick_ % slots_.size())];
+    // Detach due entries first so callbacks that schedule or cancel other
+    // timers cannot invalidate the traversal.
+    Slot due;
+    for (auto it = slot.begin(); it != slot.end();) {
+      ++entries_examined_;
+      if (it->tick == current_tick_) {
+        auto next = std::next(it);
+        index_.erase(it->handle);
+        due.splice(due.end(), slot, it);
+        --size_;
+        it = next;
+      } else {
+        ++it;  // a later revolution; leave in place
+      }
+    }
+    for (Node& node : due) {
+      node.cb(node.handle);
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+SimTime HashedWheelTimerQueue::NextExpiry() const {
+  if (size_ == 0) {
+    return kNeverTime;
+  }
+  // A wheel has no cheap global minimum; scan forward slot by slot from the
+  // hand, tracking the best candidate. This is the cost dynticks pays on a
+  // wheel-based design, one of the motivations for hrtimers' tree.
+  uint64_t best = UINT64_MAX;
+  for (size_t offset = 1; offset <= slots_.size(); ++offset) {
+    const uint64_t tick_floor = current_tick_ + offset;
+    const Slot& slot = slots_[static_cast<size_t>(tick_floor % slots_.size())];
+    for (const Node& n : slot) {
+      best = std::min(best, n.tick);
+    }
+    if (best <= tick_floor) {
+      break;  // nothing in later slots can beat a hit in this revolution
+    }
+  }
+  if (best == UINT64_MAX) {
+    return kNeverTime;
+  }
+  return static_cast<SimTime>(best * static_cast<uint64_t>(granularity_));
+}
+
+}  // namespace tempo

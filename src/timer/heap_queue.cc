@@ -1,0 +1,45 @@
+#include "src/timer/heap_queue.h"
+
+#include <utility>
+
+namespace tempo {
+
+TimerHandle HeapTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  const TimerHandle handle = next_handle_++;
+  callbacks_.emplace(handle, std::move(cb));
+  heap_.push(Entry{expiry, handle});
+  return handle;
+}
+
+bool HeapTimerQueue::Cancel(TimerHandle handle) { return callbacks_.erase(handle) > 0; }
+
+void HeapTimerQueue::DropDeadHead() const {
+  while (!heap_.empty() && callbacks_.find(heap_.top().handle) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+size_t HeapTimerQueue::Advance(SimTime now) {
+  size_t fired = 0;
+  for (;;) {
+    DropDeadHead();
+    if (heap_.empty() || heap_.top().expiry > now) {
+      break;
+    }
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.handle);
+    TimerQueueCallback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb(top.handle);
+    ++fired;
+  }
+  return fired;
+}
+
+SimTime HeapTimerQueue::NextExpiry() const {
+  DropDeadHead();
+  return heap_.empty() ? kNeverTime : heap_.top().expiry;
+}
+
+}  // namespace tempo

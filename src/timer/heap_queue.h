@@ -1,0 +1,48 @@
+// Binary-heap timer queue with lazy cancellation.
+
+#ifndef TEMPO_SRC_TIMER_HEAP_QUEUE_H_
+#define TEMPO_SRC_TIMER_HEAP_QUEUE_H_
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/queue.h"
+
+namespace tempo {
+
+// O(log n) schedule/advance, O(1) cancel (lazy: canceled entries stay in the
+// heap until they surface). The classic pre-timing-wheel design the wheels
+// are benchmarked against.
+class HeapTimerQueue : public TimerQueue {
+ public:
+  TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
+  bool Cancel(TimerHandle handle) override;
+  size_t Advance(SimTime now) override;
+  size_t Size() const override { return callbacks_.size(); }
+  SimTime NextExpiry() const override;
+  std::string Name() const override { return "heap"; }
+
+ private:
+  struct Entry {
+    SimTime expiry;
+    TimerHandle handle;
+    bool operator>(const Entry& o) const {
+      if (expiry != o.expiry) {
+        return expiry > o.expiry;
+      }
+      return handle > o.handle;
+    }
+  };
+
+  void DropDeadHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Live entries only; cancellation erases from this map.
+  std::unordered_map<TimerHandle, TimerQueueCallback> callbacks_;
+  TimerHandle next_handle_ = 1;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_HEAP_QUEUE_H_

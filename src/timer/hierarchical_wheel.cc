@@ -1,0 +1,152 @@
+#include "src/timer/hierarchical_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tempo {
+
+namespace {
+
+constexpr uint64_t kL0Mask = (1u << 8) - 1;
+constexpr uint64_t kLnMask = (1u << 6) - 1;
+
+// Bit offset of each level's slot index within the tick counter.
+constexpr int kLevelShift[4] = {0, 8, 14, 20};
+// Exclusive horizon (in ticks of delta) each level can hold.
+constexpr uint64_t kLevelHorizon[4] = {1ull << 8, 1ull << 14, 1ull << 20, 1ull << 26};
+
+}  // namespace
+
+HierarchicalWheelTimerQueue::HierarchicalWheelTimerQueue(SimDuration granularity)
+    : granularity_(granularity > 0 ? granularity : kMillisecond) {
+  levels_[0].resize(kL0Slots);
+  for (int i = 1; i < kLevels; ++i) {
+    levels_[i].resize(kLnSlots);
+  }
+}
+
+void HierarchicalWheelTimerQueue::Place(Node node) {
+  uint64_t tick = node.tick;
+  uint64_t delta = tick > current_tick_ ? tick - current_tick_ : 0;
+  int level = 0;
+  size_t slot = 0;
+  if (delta < kLevelHorizon[0]) {
+    level = 0;
+    slot = static_cast<size_t>(tick & kL0Mask);
+  } else if (delta < kLevelHorizon[1]) {
+    level = 1;
+    slot = static_cast<size_t>((tick >> kLevelShift[1]) & kLnMask);
+  } else if (delta < kLevelHorizon[2]) {
+    level = 2;
+    slot = static_cast<size_t>((tick >> kLevelShift[2]) & kLnMask);
+  } else {
+    // Clamp beyond the top level's horizon, as Linux clamps beyond tv5.
+    if (delta >= kLevelHorizon[3]) {
+      tick = current_tick_ + kLevelHorizon[3] - 1;
+      node.tick = tick;
+    }
+    level = 3;
+    slot = static_cast<size_t>((tick >> kLevelShift[3]) & kLnMask);
+  }
+  Slot& list = levels_[level][slot];
+  list.push_back(std::move(node));
+  auto it = std::prev(list.end());
+  index_[it->handle] = Location{level, slot, it};
+}
+
+TimerHandle HierarchicalWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  const TimerHandle handle = next_handle_++;
+  if (expiry < 0) {
+    expiry = 0;
+  }
+  uint64_t tick = (static_cast<uint64_t>(expiry) + static_cast<uint64_t>(granularity_) - 1) /
+                  static_cast<uint64_t>(granularity_);
+  tick = std::max(tick, current_tick_ + 1);
+  Place(Node{tick, handle, std::move(cb)});
+  ++size_;
+  return handle;
+}
+
+bool HierarchicalWheelTimerQueue::Cancel(TimerHandle handle) {
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return false;
+  }
+  const Location& loc = it->second;
+  levels_[loc.level][loc.slot].erase(loc.it);
+  index_.erase(it);
+  --size_;
+  return true;
+}
+
+void HierarchicalWheelTimerQueue::Cascade(int level, size_t slot) {
+  Slot moved;
+  moved.swap(levels_[level][slot]);
+  for (Node& node : moved) {
+    index_.erase(node.handle);
+    ++cascades_;
+    Place(std::move(node));
+  }
+}
+
+void HierarchicalWheelTimerQueue::RunTick() {
+  ++current_tick_;
+  const size_t idx = static_cast<size_t>(current_tick_ & kL0Mask);
+  if (idx == 0) {
+    // Hand wrapped level 0: pull one bucket down from each level whose index
+    // also wrapped — the "cascade" of __run_timers.
+    for (int level = 1; level < kLevels; ++level) {
+      const size_t lslot =
+          static_cast<size_t>((current_tick_ >> kLevelShift[level]) & kLnMask);
+      Cascade(level, lslot);
+      if (lslot != 0) {
+        break;
+      }
+    }
+  }
+  // Detach the due bucket completely before running callbacks: a callback
+  // may cancel or re-arm other timers (including ones due this very tick),
+  // and must not be able to corrupt the bucket being processed. A timer that
+  // has been detached can no longer be canceled — the same semantics as
+  // Linux's del_timer racing an already-dequeued callback.
+  Slot due;
+  due.swap(levels_[0][idx]);
+  for (Node& node : due) {
+    assert(node.tick <= current_tick_);
+    index_.erase(node.handle);
+  }
+  size_ -= due.size();
+  fired_this_tick_ = due.size();
+  for (Node& node : due) {
+    node.cb(node.handle);
+  }
+}
+
+size_t HierarchicalWheelTimerQueue::Advance(SimTime now) {
+  const uint64_t target_tick =
+      static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);
+  size_t fired = 0;
+  while (current_tick_ < target_tick) {
+    RunTick();
+    fired += fired_this_tick_;
+  }
+  return fired;
+}
+
+SimTime HierarchicalWheelTimerQueue::NextExpiry() const {
+  if (size_ == 0) {
+    return kNeverTime;
+  }
+  uint64_t best = UINT64_MAX;
+  for (const auto& level : levels_) {
+    for (const Slot& slot : level) {
+      for (const Node& node : slot) {
+        best = std::min(best, node.tick);
+      }
+    }
+  }
+  return static_cast<SimTime>(best * static_cast<uint64_t>(granularity_));
+}
+
+}  // namespace tempo

@@ -1,0 +1,72 @@
+// Hierarchical timing wheel with cascading (Varghese & Lauck scheme 7;
+// the Linux 2.6 tv1..tv5 "cascading wheel" design).
+
+#ifndef TEMPO_SRC_TIMER_HIERARCHICAL_WHEEL_H_
+#define TEMPO_SRC_TIMER_HIERARCHICAL_WHEEL_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/queue.h"
+
+namespace tempo {
+
+// Four levels of 256/64/64/64 slots over a base tick. Level 0 holds timers
+// expiring within 256 ticks; higher levels hold coarser buckets which are
+// *cascaded* (re-distributed into finer levels) when the hand reaches them —
+// exactly the structure behind Linux's __run_timers.
+class HierarchicalWheelTimerQueue : public TimerQueue {
+ public:
+  explicit HierarchicalWheelTimerQueue(SimDuration granularity = kMillisecond);
+
+  TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
+  bool Cancel(TimerHandle handle) override;
+  size_t Advance(SimTime now) override;
+  size_t Size() const override { return size_; }
+  SimTime NextExpiry() const override;
+  std::string Name() const override { return "hierarchical_wheel"; }
+
+  // Number of entries moved between levels by cascades (work metric).
+  uint64_t cascades() const { return cascades_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr size_t kL0Bits = 8;                  // 256 slots
+  static constexpr size_t kLnBits = 6;                  // 64 slots
+  static constexpr size_t kL0Slots = 1u << kL0Bits;
+  static constexpr size_t kLnSlots = 1u << kLnBits;
+
+  struct Node {
+    uint64_t tick;
+    TimerHandle handle;
+    TimerQueueCallback cb;
+  };
+  using Slot = std::list<Node>;
+
+  struct Location {
+    int level;
+    size_t slot;
+    Slot::iterator it;
+  };
+
+  // Places a node into the right level/slot for its tick given the hand.
+  void Place(Node node);
+  void RunTick();     // advance hand one tick, cascading as needed
+  void Cascade(int level, size_t slot);
+
+  SimDuration granularity_;
+  std::array<std::vector<Slot>, kLevels> levels_;
+  std::unordered_map<TimerHandle, Location> index_;
+  uint64_t current_tick_ = 0;
+  size_t size_ = 0;
+  TimerHandle next_handle_ = 1;
+  uint64_t cascades_ = 0;
+  size_t fired_this_tick_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_HIERARCHICAL_WHEEL_H_

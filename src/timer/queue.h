@@ -1,0 +1,73 @@
+// Common interface for timer-queue data structures.
+//
+// Section 2 of the paper describes a timer subsystem as "a multiplexer for
+// timers": a priority queue of outstanding timers over a single lower-level
+// timer, typically implemented with a variant of Varghese & Lauck's timing
+// wheels. This module provides the classic implementations behind one
+// interface so their costs can be compared (experiment E18) and their
+// behaviour cross-checked by property tests:
+//
+//   * HeapTimerQueue          binary heap, O(log n) ops (classic Unix)
+//   * TreeTimerQueue          red-black tree, O(log n) (Linux hrtimers)
+//   * HashedWheelTimerQueue   hashed timing wheel, O(1) expected (scheme 6)
+//   * HierarchicalWheelTimerQueue  hierarchical wheel with cascading,
+//                             O(1) amortised (scheme 7; Linux tv1-tv5)
+
+#ifndef TEMPO_SRC_TIMER_QUEUE_H_
+#define TEMPO_SRC_TIMER_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Handle to a scheduled entry; 0 is invalid.
+using TimerHandle = uint64_t;
+inline constexpr TimerHandle kInvalidTimerHandle = 0;
+
+// Callback invoked on expiry. Receives the handle so periodic clients can
+// re-arm without extra captures.
+using TimerQueueCallback = std::function<void(TimerHandle)>;
+
+// Abstract timer multiplexer.
+class TimerQueue {
+ public:
+  virtual ~TimerQueue() = default;
+
+  // Schedules a callback for absolute time `expiry`. Expiries in the past
+  // fire on the next Advance. Returns a fresh handle.
+  virtual TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) = 0;
+
+  // Cancels a pending entry; false if unknown, fired, or already canceled.
+  virtual bool Cancel(TimerHandle handle) = 0;
+
+  // Fires all entries with expiry <= now (in expiry order up to the queue's
+  // resolution). Returns the number fired. `now` must not go backwards.
+  virtual size_t Advance(SimTime now) = 0;
+
+  // Number of pending (live) entries.
+  virtual size_t Size() const = 0;
+
+  // Earliest pending expiry, or kNeverTime when empty. Used by dynticks to
+  // program the next wakeup.
+  virtual SimTime NextExpiry() const = 0;
+
+  // Implementation name for reports.
+  virtual std::string Name() const = 0;
+};
+
+// Creates a queue by name: "heap", "tree", "hashed_wheel",
+// "hierarchical_wheel". Returns nullptr for unknown names.
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name);
+
+// Names of all available implementations, for parameterised tests/benches.
+std::vector<std::string> TimerQueueNames();
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_QUEUE_H_

@@ -1,0 +1,58 @@
+#include "src/timer/soft_timers.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tempo {
+
+SoftTimerFacility::SoftTimerFacility(Simulator* sim, Options options)
+    : sim_(sim), options_(options) {}
+
+void SoftTimerFacility::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  sim_->ScheduleAfter(options_.fallback_period, [this] { OnFallbackTick(); });
+}
+
+TimerHandle SoftTimerFacility::Schedule(SimDuration timeout, std::function<void()> fn) {
+  const SimTime expiry = sim_->Now() + std::max<SimDuration>(timeout, 0);
+  auto fn_ptr = std::make_shared<std::function<void()>>(std::move(fn));
+  const TimerHandle handle = queue_.Schedule(expiry, [this, fn_ptr](TimerHandle h) {
+    auto it = expiries_.find(h);
+    if (it != expiries_.end()) {
+      const SimDuration delay = sim_->Now() - it->second;
+      total_delay_ += delay;
+      max_delay_ = std::max(max_delay_, delay);
+      expiries_.erase(it);
+    }
+    ++fired_;
+    (*fn_ptr)();
+  });
+  expiries_.emplace(handle, expiry);
+  return handle;
+}
+
+bool SoftTimerFacility::Cancel(TimerHandle handle) {
+  expiries_.erase(handle);
+  return queue_.Cancel(handle);
+}
+
+size_t SoftTimerFacility::RunDue() { return queue_.Advance(sim_->Now()); }
+
+size_t SoftTimerFacility::TriggerState() {
+  ++checks_;
+  sim_->cpu().ChargeCycles(options_.check_cost_cycles);
+  return RunDue();
+}
+
+void SoftTimerFacility::OnFallbackTick() {
+  ++fallback_ticks_;
+  sim_->cpu().OnInterrupt(sim_->Now(), /*timer=*/true);
+  RunDue();
+  sim_->ScheduleAfter(options_.fallback_period, [this] { OnFallbackTick(); });
+  sim_->cpu().EnterIdle(sim_->Now());
+}
+
+}  // namespace tempo

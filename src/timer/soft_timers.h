@@ -1,0 +1,90 @@
+// Soft timers (Aron & Druschel, TOCS 2000) — related work the paper uses
+// to frame the overhead/precision trade-off of timer facilities.
+//
+// Instead of programming a hardware interrupt per expiry, soft timers are
+// checked at "trigger states": convenient points the kernel passes through
+// anyway (system-call returns, exception exits, idle-loop iterations). A
+// low-frequency hardware fallback bounds the worst-case delay when trigger
+// states are scarce. The result is microsecond-precision timing whose cost
+// scales with work the CPU was already doing — at the price of stochastic
+// delivery latency.
+//
+// The facility is modelled here on the simulator: clients schedule
+// callbacks; the host signals TriggerState() wherever its code would pass
+// a trigger point; a periodic fallback tick guarantees progress.
+
+#ifndef TEMPO_SRC_TIMER_SOFT_TIMERS_H_
+#define TEMPO_SRC_TIMER_SOFT_TIMERS_H_
+
+#include <cstdint>
+
+#include "src/sim/simulator.h"
+#include "src/timer/tree_queue.h"
+
+namespace tempo {
+
+// A soft-timer facility over one simulator.
+class SoftTimerFacility {
+ public:
+  struct Options {
+    // Fallback hardware tick period bounding worst-case delivery delay
+    // (the paper's era used ~1-10 ms).
+    SimDuration fallback_period;
+    // Cycles charged per trigger-state check (Aron & Druschel measured a
+    // handful of cycles when no timer is due).
+    uint64_t check_cost_cycles;
+
+    Options() : fallback_period(10 * kMillisecond), check_cost_cycles(15) {}
+  };
+
+  SoftTimerFacility(Simulator* sim, Options options);
+  explicit SoftTimerFacility(Simulator* sim) : SoftTimerFacility(sim, Options()) {}
+  SoftTimerFacility(const SoftTimerFacility&) = delete;
+  SoftTimerFacility& operator=(const SoftTimerFacility&) = delete;
+
+  // Starts the fallback tick.
+  void Start();
+
+  // Schedules `fn` for `timeout` from now; fires at the first trigger
+  // state or fallback tick at/after the expiry.
+  TimerHandle Schedule(SimDuration timeout, std::function<void()> fn);
+
+  bool Cancel(TimerHandle handle);
+
+  // The host kernel passed a trigger state (syscall return, idle loop...):
+  // check for due soft timers. Returns the number fired.
+  size_t TriggerState();
+
+  // --- cost/precision accounting ---
+  uint64_t checks() const { return checks_; }
+  uint64_t fallback_ticks() const { return fallback_ticks_; }
+  uint64_t fired() const { return fired_; }
+  // Sum and max of (delivery time - expiry time) over fired timers.
+  SimDuration total_delay() const { return total_delay_; }
+  SimDuration max_delay() const { return max_delay_; }
+  double mean_delay_us() const {
+    return fired_ == 0 ? 0.0
+                       : static_cast<double>(total_delay_) /
+                             static_cast<double>(fired_) / 1000.0;
+  }
+
+ private:
+  void OnFallbackTick();
+  size_t RunDue();
+
+  Simulator* sim_;
+  Options options_;
+  TreeTimerQueue queue_;
+  // Expiry stamps for delay accounting, parallel to queue handles.
+  std::map<TimerHandle, SimTime> expiries_;
+  bool started_ = false;
+  uint64_t checks_ = 0;
+  uint64_t fallback_ticks_ = 0;
+  uint64_t fired_ = 0;
+  SimDuration total_delay_ = 0;
+  SimDuration max_delay_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_SOFT_TIMERS_H_

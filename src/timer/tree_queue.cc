@@ -1,0 +1,38 @@
+#include "src/timer/tree_queue.h"
+
+#include <utility>
+
+namespace tempo {
+
+TimerHandle TreeTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  const TimerHandle handle = next_handle_++;
+  auto it = tree_.emplace(expiry, std::make_pair(handle, std::move(cb)));
+  index_.emplace(handle, it);
+  return handle;
+}
+
+bool TreeTimerQueue::Cancel(TimerHandle handle) {
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return false;
+  }
+  tree_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+size_t TreeTimerQueue::Advance(SimTime now) {
+  size_t fired = 0;
+  while (!tree_.empty() && tree_.begin()->first <= now) {
+    auto it = tree_.begin();
+    const TimerHandle handle = it->second.first;
+    TimerQueueCallback cb = std::move(it->second.second);
+    index_.erase(handle);
+    tree_.erase(it);
+    cb(handle);
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace tempo

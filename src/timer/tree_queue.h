@@ -1,0 +1,36 @@
+// Red-black-tree timer queue (the Linux hrtimer design).
+
+#ifndef TEMPO_SRC_TIMER_TREE_QUEUE_H_
+#define TEMPO_SRC_TIMER_TREE_QUEUE_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/timer/queue.h"
+
+namespace tempo {
+
+// O(log n) schedule, O(log n) eager cancel, in-order expiry with full
+// (nanosecond) resolution — the structure Linux adopted for hrtimers
+// (Gleixner & Niehaus, OLS'06) because wheels quantise to a tick.
+class TreeTimerQueue : public TimerQueue {
+ public:
+  TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
+  bool Cancel(TimerHandle handle) override;
+  size_t Advance(SimTime now) override;
+  size_t Size() const override { return tree_.size(); }
+  SimTime NextExpiry() const override {
+    return tree_.empty() ? kNeverTime : tree_.begin()->first;
+  }
+  std::string Name() const override { return "tree"; }
+
+ private:
+  using Tree = std::multimap<SimTime, std::pair<TimerHandle, TimerQueueCallback>>;
+  Tree tree_;
+  std::unordered_map<TimerHandle, Tree::iterator> index_;
+  TimerHandle next_handle_ = 1;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_TREE_QUEUE_H_

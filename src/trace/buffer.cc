@@ -1,0 +1,45 @@
+#include "src/trace/buffer.h"
+
+#include <utility>
+
+namespace tempo {
+
+void NullSink::Log(const TraceRecord& record) {
+  (void)record;
+  ++dropped_;
+}
+
+RelayBuffer::RelayBuffer(size_t capacity) : capacity_(capacity) {}
+
+void RelayBuffer::Log(const TraceRecord& record) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeCycles(cost_cycles_);
+  }
+  if (records_.size() >= capacity_) {
+    ++dropped_;  // relayfs semantics: drop new, keep old
+    return;
+  }
+  records_.push_back(record);
+}
+
+std::vector<TraceRecord> RelayBuffer::TakeRecords() {
+  std::vector<TraceRecord> out = std::move(records_);
+  records_.clear();
+  dropped_ = 0;
+  return out;
+}
+
+void EtwSession::Log(const TraceRecord& record) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeCycles(cost_cycles_);
+  }
+  records_.push_back(record);
+}
+
+std::vector<TraceRecord> EtwSession::TakeRecords() {
+  std::vector<TraceRecord> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+}  // namespace tempo

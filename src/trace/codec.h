@@ -1,0 +1,44 @@
+// Binary trace codec.
+//
+// The study's workflow was: log binary records in the kernel, then post-run
+// read the buffer out and convert it to text for analysis (Section 3.2).
+// This codec provides the equivalent: a fixed-width little-endian record
+// encoding plus a text formatter. The binary form is also what the
+// instrumentation-overhead benchmark serialises.
+
+#ifndef TEMPO_SRC_TRACE_CODEC_H_
+#define TEMPO_SRC_TRACE_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/callsite.h"
+#include "src/trace/record.h"
+
+namespace tempo {
+
+// Size of one encoded record in bytes.
+inline constexpr size_t kEncodedRecordSize = 48;
+
+// Appends the binary encoding of `record` to `out`.
+void EncodeRecord(const TraceRecord& record, std::vector<uint8_t>* out);
+
+// Decodes one record starting at `data` (which must have at least
+// kEncodedRecordSize bytes). Returns nullopt on a corrupt op field.
+std::optional<TraceRecord> DecodeRecord(const uint8_t* data);
+
+// Encodes a whole trace.
+std::vector<uint8_t> EncodeTrace(const std::vector<TraceRecord>& records);
+
+// Decodes a whole trace; stops at the first corrupt record or trailing
+// partial record.
+std::vector<TraceRecord> DecodeTrace(const std::vector<uint8_t>& bytes);
+
+// Renders one record as a human-readable line, resolving call-site names.
+std::string FormatRecord(const TraceRecord& record, const CallsiteRegistry& callsites);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_CODEC_H_

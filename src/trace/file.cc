@@ -1,0 +1,199 @@
+#include "src/trace/file.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tempo {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'E', 'M', 'P', 'O', 'T', 'R', 'C'};
+
+void Put32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Put64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Put16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool Read16(uint16_t* v) {
+    if (offset_ + 2 > bytes_.size()) {
+      return false;
+    }
+    *v = static_cast<uint16_t>(bytes_[offset_] | (bytes_[offset_ + 1] << 8));
+    offset_ += 2;
+    return true;
+  }
+  bool Read32(uint32_t* v) {
+    if (offset_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | bytes_[offset_ + static_cast<size_t>(i)];
+    }
+    offset_ += 4;
+    return true;
+  }
+  bool Read64(uint64_t* v) {
+    if (offset_ + 8 > bytes_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 7; i >= 0; --i) {
+      *v = (*v << 8) | bytes_[offset_ + static_cast<size_t>(i)];
+    }
+    offset_ += 8;
+    return true;
+  }
+  bool ReadString(size_t length, std::string* out) {
+    if (offset_ + length > bytes_.size()) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(bytes_.data()) + offset_, length);
+    offset_ += length;
+    return true;
+  }
+  const uint8_t* Raw(size_t length) {
+    if (offset_ + length > bytes_.size()) {
+      return nullptr;
+    }
+    const uint8_t* p = bytes_.data() + offset_;
+    offset_ += length;
+    return p;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTrace(const std::vector<TraceRecord>& records,
+                                    const CallsiteRegistry& callsites) {
+  std::vector<uint8_t> out;
+  out.reserve(64 + records.size() * kEncodedRecordSize);
+  out.resize(sizeof(kMagic));
+  std::memcpy(out.data(), kMagic, sizeof(kMagic));
+  Put32(kTraceFileVersion, &out);
+
+  // Call-site table (slot 0, "?", is implicit).
+  Put32(static_cast<uint32_t>(callsites.size()), &out);
+  for (CallsiteId id = 1; id < callsites.size(); ++id) {
+    Put32(id, &out);
+    Put32(callsites.Parent(id), &out);
+    const std::string& name = callsites.Name(id);
+    Put16(static_cast<uint16_t>(name.size()), &out);
+    out.insert(out.end(), name.begin(), name.end());
+  }
+
+  Put64(records.size(), &out);
+  for (const TraceRecord& record : records) {
+    EncodeRecord(record, &out);
+  }
+  return out;
+}
+
+std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  const uint8_t* magic = reader.Raw(sizeof(kMagic));
+  if (magic == nullptr || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  if (!reader.Read32(&version) || version != kTraceFileVersion) {
+    return std::nullopt;
+  }
+
+  LoadedTrace trace;
+  uint32_t callsite_count = 0;
+  if (!reader.Read32(&callsite_count)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 1; i < callsite_count; ++i) {
+    uint32_t id = 0;
+    uint32_t parent = 0;
+    uint16_t name_length = 0;
+    std::string name;
+    if (!reader.Read32(&id) || !reader.Read32(&parent) || !reader.Read16(&name_length) ||
+        !reader.ReadString(name_length, &name)) {
+      return std::nullopt;
+    }
+    // Interning in file order reproduces the original dense ids.
+    const CallsiteId assigned = trace.callsites.Intern(name, parent);
+    if (assigned != id) {
+      return std::nullopt;  // duplicate or out-of-order table: corrupt
+    }
+  }
+
+  uint64_t record_count = 0;
+  if (!reader.Read64(&record_count)) {
+    return std::nullopt;
+  }
+  // A corrupt count must not drive a huge allocation: the payload cannot
+  // hold more records than its remaining bytes.
+  if (record_count > bytes.size() / kEncodedRecordSize) {
+    return std::nullopt;
+  }
+  trace.records.reserve(record_count);
+  for (uint64_t i = 0; i < record_count; ++i) {
+    const uint8_t* raw = reader.Raw(kEncodedRecordSize);
+    if (raw == nullptr) {
+      return std::nullopt;
+    }
+    auto record = DecodeRecord(raw);
+    if (!record.has_value()) {
+      return std::nullopt;
+    }
+    // Stacks are not persisted; chains can be rebuilt from call-site
+    // parents via CallsiteRegistry::Chain.
+    record->stack = kEmptyStack;
+    trace.records.push_back(*record);
+  }
+  return trace;
+}
+
+bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& records,
+                    const CallsiteRegistry& callsites) {
+  const std::vector<uint8_t> bytes = SerializeTrace(records, callsites);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == bytes.size();
+  return ok;
+}
+
+std::optional<LoadedTrace> ReadTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return DeserializeTrace(bytes);
+}
+
+}  // namespace tempo

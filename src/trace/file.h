@@ -1,0 +1,51 @@
+// Trace files: persisting a trace (records + call-site table) to disk.
+//
+// The study's workflow was to log binary records into the kernel buffer,
+// read them out after the run, and convert to text for analysis
+// (Section 3.2). tempo's equivalent: TraceRun -> WriteTraceFile ->
+// tools/trace2txt | tools/tracestat, or ReadTraceFile back into the
+// analysis pipeline.
+//
+// Format (little endian):
+//   "TEMPOTRC" magic, u32 version
+//   u32 callsite count, then per call-site: u32 id, u32 parent,
+//       u16 name length, name bytes
+//   u64 record count, then the codec.h fixed-width records.
+
+#ifndef TEMPO_SRC_TRACE_FILE_H_
+#define TEMPO_SRC_TRACE_FILE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/callsite.h"
+#include "src/trace/codec.h"
+
+namespace tempo {
+
+inline constexpr uint32_t kTraceFileVersion = 1;
+
+// A trace loaded from disk.
+struct LoadedTrace {
+  std::vector<TraceRecord> records;
+  CallsiteRegistry callsites;
+};
+
+// Writes records + call-site table to `path`. Returns false on I/O error.
+bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& records,
+                    const CallsiteRegistry& callsites);
+
+// Reads a trace file; nullopt on I/O error, bad magic, version mismatch or
+// truncated/corrupt content.
+std::optional<LoadedTrace> ReadTraceFile(const std::string& path);
+
+// In-memory (de)serialisation, used by the file functions and directly
+// testable without touching disk.
+std::vector<uint8_t> SerializeTrace(const std::vector<TraceRecord>& records,
+                                    const CallsiteRegistry& callsites);
+std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_FILE_H_

@@ -1,0 +1,23 @@
+#include "src/trace/record.h"
+
+namespace tempo {
+
+const char* TimerOpName(TimerOp op) {
+  switch (op) {
+    case TimerOp::kInit:
+      return "init";
+    case TimerOp::kSet:
+      return "set";
+    case TimerOp::kCancel:
+      return "cancel";
+    case TimerOp::kExpire:
+      return "expire";
+    case TimerOp::kBlock:
+      return "block";
+    case TimerOp::kUnblock:
+      return "unblock";
+  }
+  return "?";
+}
+
+}  // namespace tempo

@@ -1,0 +1,79 @@
+// Trace record model.
+//
+// One record per timer-subsystem operation, mirroring the instrumentation
+// points of the paper (Section 3): Linux logs at __mod_timer / del_timer /
+// __run_timers plus the timeout-carrying system calls; Vista logs at
+// KeSetTimer / KeCancelTimer, the clock-interrupt expiry DPC, and the thread
+// wait/unblock fast path (with the user-supplied timeout and a boolean for
+// "wait satisfied vs timed out").
+
+#ifndef TEMPO_SRC_TRACE_RECORD_H_
+#define TEMPO_SRC_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/process.h"
+#include "src/sim/time.h"
+
+namespace tempo {
+
+// Operation recorded at a timer-subsystem trace point.
+enum class TimerOp : uint8_t {
+  kInit = 0,     // timer structure initialised (Linux init_timer)
+  kSet = 1,      // timer armed / re-armed (__mod_timer, KeSetTimer, syscall)
+  kCancel = 2,   // timer canceled before expiry (del_timer, KeCancelTimer)
+  kExpire = 3,   // timer expired and its notification was delivered
+  kBlock = 4,    // thread blocked with a timeout (Vista wait fast path)
+  kUnblock = 5,  // thread unblocked; kFlagWaitSatisfied says why
+};
+
+// Returns a short mnemonic ("set", "cancel", ...) for an op.
+const char* TimerOpName(TimerOp op);
+
+// Record flag bits.
+inline constexpr uint16_t kFlagUser = 1u << 0;           // set from user space
+inline constexpr uint16_t kFlagDeferrable = 1u << 1;     // Linux deferrable timer
+inline constexpr uint16_t kFlagRounded = 1u << 2;        // went through round_jiffies
+inline constexpr uint16_t kFlagHighRes = 1u << 3;        // hrtimer, not wheel timer
+inline constexpr uint16_t kFlagWaitSatisfied = 1u << 4;  // unblock: wait satisfied (not timeout)
+inline constexpr uint16_t kFlagAbsolute = 1u << 5;       // expiry given as absolute time
+inline constexpr uint16_t kFlagDynamicAlloc = 1u << 6;   // timer object freshly allocated (Vista)
+inline constexpr uint16_t kFlagJiffyWheel = 1u << 7;     // Linux jiffy-wheel timer (expiry in jiffies)
+
+// Identifier of the timer object. Linux timers are mostly statically
+// allocated structs, so the id is stable across uses; Vista KTIMERs are
+// frequently allocated per call (kFlagDynamicAlloc) so successive uses of
+// the same logical timeout get different ids — the analysis must then
+// cluster by call-site, exactly as described in Section 3.3.
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+// Interned identifier of the code location that performed the operation.
+using CallsiteId = uint32_t;
+inline constexpr CallsiteId kUnknownCallsite = 0;
+
+// Interned identifier of a captured call stack (sequence of CallsiteIds).
+using StackId = uint32_t;
+inline constexpr StackId kEmptyStack = 0;
+
+// One logged timer-subsystem event. 48 bytes, trivially copyable; the
+// binary codec (codec.h) serialises exactly these fields.
+struct TraceRecord {
+  SimTime timestamp = 0;       // when the operation happened
+  TimerId timer = kInvalidTimerId;
+  SimDuration timeout = 0;     // relative timeout as supplied (kSet/kBlock)
+  SimTime expiry = 0;          // absolute expiry time after any rounding
+  CallsiteId callsite = kUnknownCallsite;
+  StackId stack = kEmptyStack;
+  Pid pid = kKernelPid;
+  Tid tid = 0;
+  TimerOp op = TimerOp::kInit;
+  uint16_t flags = 0;
+
+  bool is_user() const { return (flags & kFlagUser) != 0; }
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_RECORD_H_

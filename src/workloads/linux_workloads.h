@@ -1,0 +1,31 @@
+// The four Linux workloads of Section 3.5.
+//
+//   Idle      — Debian base + X + icewm, stock daemons, network connected
+//               but quiet.
+//   Firefox   — displaying a Flash/JavaScript-heavy page, no user input.
+//   Skype     — an active call.
+//   Webserver — stock Apache driven by httperf from another machine
+//               (30000 requests, 10 parallel, 5 s state timeouts); X not
+//               running.
+//
+// Each run lasts options.duration (30 minutes in the paper) and returns
+// the full instrumented trace.
+
+#ifndef TEMPO_SRC_WORKLOADS_LINUX_WORKLOADS_H_
+#define TEMPO_SRC_WORKLOADS_LINUX_WORKLOADS_H_
+
+#include "src/workloads/run.h"
+
+namespace tempo {
+
+TraceRun RunLinuxIdle(const WorkloadOptions& options);
+TraceRun RunLinuxFirefox(const WorkloadOptions& options);
+TraceRun RunLinuxSkype(const WorkloadOptions& options);
+TraceRun RunLinuxWebserver(const WorkloadOptions& options);
+
+// All four, in the paper's column order.
+std::vector<TraceRun> RunAllLinuxWorkloads(const WorkloadOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_WORKLOADS_LINUX_WORKLOADS_H_

@@ -1,0 +1,73 @@
+// Workload execution harness.
+//
+// A TraceRun owns a complete simulated machine (simulator, OS model, trace
+// buffer, protocol stacks, application processes) for the duration of one
+// traced workload, and exposes what the analysis pipeline needs: the
+// records, the call-site registry, and the process table.
+
+#ifndef TEMPO_SRC_WORKLOADS_RUN_H_
+#define TEMPO_SRC_WORKLOADS_RUN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/oslinux/kernel.h"
+#include "src/osvista/kernel.h"
+#include "src/sim/simulator.h"
+#include "src/trace/buffer.h"
+
+namespace tempo {
+
+// The product of running one workload.
+struct TraceRun {
+  std::string label;
+  std::unique_ptr<Simulator> sim;
+
+  // Exactly one kernel is set, matching the traced OS.
+  std::unique_ptr<LinuxKernel> linux_kernel;
+  std::unique_ptr<VistaKernel> vista_kernel;
+
+  // The trace itself (moved out of the buffer after the run).
+  std::vector<TraceRecord> records;
+
+  // Anything else that must stay alive as long as the records reference it
+  // (syscall layers, stacks, application objects).
+  std::vector<std::shared_ptr<void>> keepalive;
+
+  // Process name -> pid, for analysis filters and Figure 1 grouping.
+  std::map<std::string, Pid> pids;
+
+  CallsiteRegistry& callsites() {
+    return linux_kernel ? linux_kernel->callsites() : vista_kernel->callsites();
+  }
+
+  // Convenience for keepalive registration.
+  template <typename T>
+  T* Keep(std::unique_ptr<T> obj) {
+    std::shared_ptr<T> shared(std::move(obj));
+    keepalive.push_back(shared);
+    return shared.get();
+  }
+};
+
+// Options shared by all workloads.
+struct WorkloadOptions {
+  // Trace length. The paper's traces are exactly 30 minutes; tests use
+  // shorter runs.
+  SimDuration duration = 30 * kMinute;
+  uint64_t seed = 1;
+  // Kernel feature knobs for the Linux ablations (E19).
+  bool dynticks = false;
+  bool round_jiffies = false;
+  bool deferrable = false;
+  // Vista tick coalescing ablation.
+  bool coalesce_ticks = false;
+  // Scales application activity (1.0 = calibrated to the paper's rates).
+  double intensity = 1.0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_WORKLOADS_RUN_H_

@@ -1,0 +1,126 @@
+#include "src/workloads/select_apps.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+// --- SelectLoopApp ---
+
+SelectLoopApp::SelectLoopApp(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid, Tid tid,
+                             const std::string& callsite, Options options)
+    : kernel_(kernel), channel_(syscalls->Channel(pid, tid, callsite)), options_(options) {}
+
+void SelectLoopApp::Start() {
+  IssueSelect(options_.full_timeout);
+  ScheduleActivity();
+}
+
+void SelectLoopApp::IssueSelect(SimDuration timeout) {
+  channel_->Select(timeout, [this](SimDuration remaining, bool timed_out) {
+    if (timed_out || remaining <= 0) {
+      ++timeouts_;
+      // Timer ran down: perform the periodic duty and restart from the
+      // programmer's full value.
+      IssueSelect(options_.full_timeout);
+    } else {
+      ++wakeups_;
+      // fd activity: handle it and re-select with the remaining time the
+      // kernel wrote back — the countdown of Figure 4.
+      IssueSelect(remaining);
+    }
+  });
+}
+
+void SelectLoopApp::ScheduleActivity() {
+  if (options_.activity_rate <= 0) {
+    return;
+  }
+  const SimDuration gap = static_cast<SimDuration>(
+      kernel_->sim().rng().Exponential(1.0 / options_.activity_rate) * kSecond);
+  kernel_->sim().ScheduleAfter(gap, [this] {
+    if (channel_->blocked()) {
+      channel_->Wake();
+    }
+    ScheduleActivity();
+  });
+}
+
+// --- PollLoopApp ---
+
+PollLoopApp::PollLoopApp(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid, Tid tid,
+                         const std::string& callsite, Options options)
+    : kernel_(kernel), channel_(syscalls->Channel(pid, tid, callsite)),
+      options_(std::move(options)) {
+  for (const auto& [value, weight] : options_.values) {
+    total_weight_ += weight;
+  }
+}
+
+SimDuration PollLoopApp::PickValue() {
+  double roll = kernel_->sim().rng().NextDouble() * total_weight_;
+  for (const auto& [value, weight] : options_.values) {
+    roll -= weight;
+    if (roll <= 0) {
+      return value;
+    }
+  }
+  return options_.values.back().first;
+}
+
+void PollLoopApp::Start() {
+  if (options_.values.empty()) {
+    return;
+  }
+  Iterate();
+}
+
+void PollLoopApp::Iterate() {
+  ++iterations_;
+  const SimDuration value = PickValue();
+  Simulator& sim = kernel_->sim();
+  if (value <= 0) {
+    // poll(0): an immediate-return poll — traced as a zero set that
+    // expires on the next tick. Modelled as a minimal select.
+    channel_->Select(0, [this](SimDuration, bool) { ScheduleNext(); });
+    return;
+  }
+  channel_->Select(value, [this](SimDuration, bool) { ScheduleNext(); });
+  if (options_.cancel_probability > 0 &&
+      sim.rng().Bernoulli(options_.cancel_probability)) {
+    const SimDuration when = static_cast<SimDuration>(
+        sim.rng().Uniform(0.0, ToSeconds(value)) * kSecond);
+    sim.ScheduleAfter(when, [this] {
+      if (channel_->blocked()) {
+        channel_->Wake();
+      }
+    });
+  }
+}
+
+void PollLoopApp::ScheduleNext() {
+  if (options_.gap_mean <= 0) {
+    Iterate();
+    return;
+  }
+  const SimDuration gap = static_cast<SimDuration>(
+      kernel_->sim().rng().Exponential(ToSeconds(options_.gap_mean)) * kSecond);
+  kernel_->sim().ScheduleAfter(gap, [this] { Iterate(); });
+}
+
+// --- PeriodicSleeper ---
+
+PeriodicSleeper::PeriodicSleeper(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid,
+                                 Tid tid, const std::string& callsite, SimDuration period)
+    : kernel_(kernel), syscalls_(syscalls), pid_(pid), tid_(tid), callsite_(callsite),
+      period_(period) {}
+
+void PeriodicSleeper::Start() { Sleep(); }
+
+void PeriodicSleeper::Sleep() {
+  syscalls_->Nanosleep(pid_, tid_, callsite_, period_, [this] {
+    ++cycles_;
+    Sleep();
+  });
+}
+
+}  // namespace tempo

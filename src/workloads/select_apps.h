@@ -1,0 +1,110 @@
+// Reusable Linux application models built on the select/poll syscalls.
+//
+// Three behaviours cover most user-space timer traffic the paper observed:
+//   * SelectLoopApp — the X/icewm idiom (Figure 4): block in select with a
+//     fixed timeout; on fd activity, re-issue select with the remaining
+//     time the kernel wrote back (a countdown); on expiry, reset to the
+//     full value.
+//   * PollLoopApp — soft-real-time polling (Flash in Firefox, Skype
+//     audio): very short timeouts drawn from a fixed weighted set, mostly
+//     expiring; some canceled early by fd activity.
+//   * PeriodicSleeper — a daemon sleeping a fixed interval in a loop (init
+//     polling its children every 5 s, cron's minute tick).
+
+#ifndef TEMPO_SRC_WORKLOADS_SELECT_APPS_H_
+#define TEMPO_SRC_WORKLOADS_SELECT_APPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/oslinux/syscalls.h"
+
+namespace tempo {
+
+// The select-countdown event loop.
+class SelectLoopApp {
+ public:
+  struct Options {
+    // The programmer's full timeout (e.g. the 600 s screensaver check).
+    SimDuration full_timeout = 600 * kSecond;
+    // Poisson rate of fd activity waking the loop (events/second).
+    double activity_rate = 1.0;
+  };
+
+  SelectLoopApp(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid, Tid tid,
+                const std::string& callsite, Options options);
+
+  // Begins the loop and its activity source.
+  void Start();
+
+  uint64_t wakeups() const { return wakeups_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void IssueSelect(SimDuration timeout);
+  void ScheduleActivity();
+
+  LinuxKernel* kernel_;
+  SelectChannel* channel_;
+  Options options_;
+  uint64_t wakeups_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+// Soft-real-time short polling.
+class PollLoopApp {
+ public:
+  struct Options {
+    // Weighted timeout values the app cycles through.
+    std::vector<std::pair<SimDuration, double>> values;
+    // Probability that fd activity completes the poll before expiry.
+    double cancel_probability = 0.1;
+    // Mean pause between poll iterations (0: immediately re-poll).
+    SimDuration gap_mean = 0;
+  };
+
+  PollLoopApp(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid, Tid tid,
+              const std::string& callsite, Options options);
+
+  void Start();
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  void Iterate();
+  void ScheduleNext();
+  SimDuration PickValue();
+
+  LinuxKernel* kernel_;
+  SelectChannel* channel_;
+  Options options_;
+  double total_weight_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+// Fixed-interval sleeper.
+class PeriodicSleeper {
+ public:
+  PeriodicSleeper(LinuxKernel* kernel, LinuxSyscalls* syscalls, Pid pid, Tid tid,
+                  const std::string& callsite, SimDuration period);
+
+  void Start();
+
+  uint64_t cycles() const { return cycles_; }
+
+ private:
+  void Sleep();
+
+  LinuxKernel* kernel_;
+  LinuxSyscalls* syscalls_;
+  Pid pid_;
+  Tid tid_;
+  std::string callsite_;
+  SimDuration period_;
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_WORKLOADS_SELECT_APPS_H_

@@ -1,0 +1,177 @@
+#include "src/workloads/vista_apps.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+// --- WaitLoopApp ---
+
+WaitLoopApp::WaitLoopApp(VistaKernel* kernel, Pid pid, Tid tid, std::string callsite,
+                         Options options)
+    : kernel_(kernel), pid_(pid), tid_(tid), callsite_(std::move(callsite)),
+      options_(options) {}
+
+void WaitLoopApp::Start() { Iterate(); }
+
+void WaitLoopApp::Iterate() {
+  ++iterations_;
+  Simulator& sim = kernel_->sim();
+  VistaKernel::Wait* wait =
+      kernel_->BlockThread(pid_, tid_, callsite_, options_.timeout, [this](bool) {
+        if (options_.gap_mean <= 0) {
+          Iterate();
+          return;
+        }
+        const SimDuration gap = static_cast<SimDuration>(
+            kernel_->sim().rng().Exponential(ToSeconds(options_.gap_mean)) * kSecond);
+        kernel_->sim().ScheduleAfter(gap, [this] { Iterate(); });
+      });
+  if (options_.satisfied_probability > 0 &&
+      sim.rng().Bernoulli(options_.satisfied_probability)) {
+    const SimDuration when = static_cast<SimDuration>(
+        sim.rng().Uniform(0.0, ToSeconds(options_.timeout)) * kSecond);
+    sim.ScheduleAfter(when, [this, wait] { kernel_->Signal(wait); });
+  }
+}
+
+// --- KernelTickerApp ---
+
+KernelTickerApp::KernelTickerApp(VistaKernel* kernel, const std::string& callsite,
+                                 SimDuration period)
+    : kernel_(kernel), period_(period) {
+  timer_ = kernel_->AllocateTimer(callsite, kKernelPid, 0,
+                                  [this] { kernel_->KeSetTimer(timer_, period_); },
+                                  /*dynamic=*/false);
+}
+
+void KernelTickerApp::Start() { kernel_->KeSetTimer(timer_, period_); }
+
+// --- AfdSelectLoopApp ---
+
+AfdSelectLoopApp::AfdSelectLoopApp(VistaKernel* kernel, VistaUserApi* api, Pid pid, Tid tid,
+                                   std::string callsite, Options options)
+    : kernel_(kernel), api_(api), pid_(pid), tid_(tid), callsite_(std::move(callsite)),
+      options_(std::move(options)) {
+  for (const auto& [value, weight] : options_.values) {
+    total_weight_ += weight;
+  }
+}
+
+SimDuration AfdSelectLoopApp::PickValue() {
+  double roll = kernel_->sim().rng().NextDouble() * total_weight_;
+  for (const auto& [value, weight] : options_.values) {
+    roll -= weight;
+    if (roll <= 0) {
+      return value;
+    }
+  }
+  return options_.values.back().first;
+}
+
+void AfdSelectLoopApp::Start() {
+  if (!options_.values.empty()) {
+    Iterate();
+  }
+}
+
+void AfdSelectLoopApp::Iterate() {
+  ++iterations_;
+  Simulator& sim = kernel_->sim();
+  const SimDuration value = PickValue();
+  AfdSelect* call = api_->Select(pid_, tid_, callsite_, value, [this](bool) {
+    if (options_.gap_mean <= 0) {
+      Iterate();
+      return;
+    }
+    const SimDuration gap = static_cast<SimDuration>(
+        kernel_->sim().rng().Exponential(ToSeconds(options_.gap_mean)) * kSecond);
+    kernel_->sim().ScheduleAfter(gap, [this] { Iterate(); });
+  });
+  if (options_.ready_probability > 0 && sim.rng().Bernoulli(options_.ready_probability)) {
+    const SimDuration when = static_cast<SimDuration>(
+        sim.rng().Uniform(0.0, ToSeconds(std::max<SimDuration>(value, kMillisecond))) *
+        kSecond);
+    sim.ScheduleAfter(when, [call] { call->Complete(); });
+  }
+}
+
+// --- DeferredCloserApp ---
+
+DeferredCloserApp::DeferredCloserApp(VistaKernel* kernel, Pid pid, Tid tid,
+                                     const std::string& callsite, Options options)
+    : kernel_(kernel), options_(options) {
+  timer_ = kernel_->AllocateTimer(callsite, pid, tid, [this] { ++closes_; },
+                                  /*dynamic=*/false);
+}
+
+void DeferredCloserApp::Start() { ScheduleBurst(); }
+
+void DeferredCloserApp::ScheduleBurst() {
+  if (options_.burst_rate <= 0) {
+    return;
+  }
+  Simulator& sim = kernel_->sim();
+  const SimDuration gap = static_cast<SimDuration>(
+      sim.rng().Exponential(1.0 / options_.burst_rate) * kSecond);
+  sim.ScheduleAfter(gap, [this] {
+    // A burst of handle activity: each touch defers the close timer by the
+    // full idle timeout (KeSetTimer on a pending timer re-arms in place).
+    for (int i = 0; i < options_.touches_per_burst; ++i) {
+      kernel_->sim().ScheduleAfter(static_cast<SimDuration>(i) * options_.touch_spacing,
+                                   [this] { kernel_->KeSetTimer(timer_, options_.idle_timeout); });
+    }
+    ScheduleBurst();
+  });
+}
+
+// --- UpcallGuardApp ---
+
+UpcallGuardApp::UpcallGuardApp(VistaKernel* kernel, Pid pid, Tid tid,
+                               const std::string& callsite, Options options)
+    : kernel_(kernel), pid_(pid), tid_(tid), callsite_(callsite), options_(options) {}
+
+void UpcallGuardApp::Start() {
+  ScheduleNextUpcall();
+  ScheduleStorms();
+}
+
+void UpcallGuardApp::ScheduleStorms() {
+  Simulator& sim = kernel_->sim();
+  const SimDuration gap = static_cast<SimDuration>(
+      sim.rng().Exponential(ToSeconds(options_.storm_gap_mean)) * kSecond);
+  sim.ScheduleAfter(gap, [this] {
+    in_storm_ = true;
+    kernel_->sim().ScheduleAfter(options_.storm_length, [this] {
+      in_storm_ = false;
+      ScheduleStorms();
+    });
+  });
+}
+
+void UpcallGuardApp::ScheduleNextUpcall() {
+  Simulator& sim = kernel_->sim();
+  const double rate = in_storm_ ? options_.storm_rate : options_.baseline_rate;
+  const SimDuration gap =
+      static_cast<SimDuration>(sim.rng().Exponential(1.0 / rate) * kSecond);
+  sim.ScheduleAfter(gap, [this] {
+    Upcall();
+    ScheduleNextUpcall();
+  });
+}
+
+void UpcallGuardApp::Upcall() {
+  ++upcalls_;
+  Simulator& sim = kernel_->sim();
+  // The guard: a fresh 5 s timeout assertion around the upcall.
+  KTimer* guard = kernel_->AllocateTimer(callsite_, pid_, tid_, [this] { ++guard_expiries_; },
+                                         /*dynamic=*/true);
+  kernel_->KeSetTimer(guard, options_.guard_timeout);
+  const SimDuration duration = static_cast<SimDuration>(
+      sim.rng().Exponential(ToSeconds(options_.upcall_duration_mean)) * kSecond);
+  sim.ScheduleAfter(duration, [this, guard] {
+    kernel_->KeCancelTimer(guard);
+    kernel_->FreeTimer(guard);
+  });
+}
+
+}  // namespace tempo

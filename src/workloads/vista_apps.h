@@ -1,0 +1,167 @@
+// Reusable Vista application behaviours.
+//
+// The building blocks behind the Vista workloads of Sections 2.2.1/3.5:
+//   * WaitLoopApp       — a thread looping in WaitForSingleObject with a
+//                         fixed timeout (most Vista timer traffic; waits
+//                         mostly TIME OUT, which is why Vista traces show
+//                         far more expiries than cancellations, Table 2);
+//   * KernelTickerApp   — kernel-side periodic KTIMER + DPC housekeeping;
+//   * AfdSelectLoopApp  — Winsock select loops (fresh KTIMER per call);
+//   * DeferredCloserApp — the lazy registry-handle close idiom: a timer
+//                         deferred on every touch that fires once the
+//                         activity has been idle for a while (the
+//                         "deferred operation" pattern of Section 4.1.1);
+//   * UpcallGuardApp    — the Outlook idiom: every UI upcall is wrapped in
+//                         a 5-second timeout assertion, so bursts of
+//                         upcalls set thousands of timers per second
+//                         (Figure 1).
+
+#ifndef TEMPO_SRC_WORKLOADS_VISTA_APPS_H_
+#define TEMPO_SRC_WORKLOADS_VISTA_APPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/osvista/kernel.h"
+#include "src/osvista/userapi.h"
+
+namespace tempo {
+
+// A thread blocking in WaitForSingleObject(timeout) in a loop.
+class WaitLoopApp {
+ public:
+  struct Options {
+    SimDuration timeout = kSecond;
+    // Probability the wait is satisfied (signalled) before timing out.
+    double satisfied_probability = 0.05;
+    // Pause between iterations (0: immediately re-wait).
+    SimDuration gap_mean = 0;
+  };
+
+  WaitLoopApp(VistaKernel* kernel, Pid pid, Tid tid, std::string callsite, Options options);
+  void Start();
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  void Iterate();
+
+  VistaKernel* kernel_;
+  Pid pid_;
+  Tid tid_;
+  std::string callsite_;
+  Options options_;
+  uint64_t iterations_ = 0;
+};
+
+// Kernel-side periodic KTIMER (DPC housekeeping: power management, memory
+// manager, the per-second maintenance the paper's kernel line in Figure 1
+// is made of).
+class KernelTickerApp {
+ public:
+  KernelTickerApp(VistaKernel* kernel, const std::string& callsite, SimDuration period);
+  void Start();
+
+ private:
+  VistaKernel* kernel_;
+  KTimer* timer_ = nullptr;
+  SimDuration period_;
+};
+
+// Winsock select loops with a weighted set of timeout values; each call
+// allocates a fresh KTIMER through afd.sys.
+class AfdSelectLoopApp {
+ public:
+  struct Options {
+    std::vector<std::pair<SimDuration, double>> values;
+    double ready_probability = 0.05;  // socket ready before the timeout
+    SimDuration gap_mean = 0;
+  };
+
+  AfdSelectLoopApp(VistaKernel* kernel, VistaUserApi* api, Pid pid, Tid tid,
+                   std::string callsite, Options options);
+  void Start();
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  void Iterate();
+  SimDuration PickValue();
+
+  VistaKernel* kernel_;
+  VistaUserApi* api_;
+  Pid pid_;
+  Tid tid_;
+  std::string callsite_;
+  Options options_;
+  double total_weight_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+// The deferred-operation pattern: bursts of activity re-arm (defer) the
+// timer; it expires once the subject stays idle for `idle_timeout`.
+class DeferredCloserApp {
+ public:
+  struct Options {
+    SimDuration idle_timeout = 2 * kSecond;
+    double burst_rate = 1.0 / 20.0;     // bursts per second
+    int touches_per_burst = 6;
+    SimDuration touch_spacing = 300 * kMillisecond;
+  };
+
+  DeferredCloserApp(VistaKernel* kernel, Pid pid, Tid tid, const std::string& callsite,
+                    Options options);
+  void Start();
+
+  uint64_t closes() const { return closes_; }
+
+ private:
+  void ScheduleBurst();
+
+  VistaKernel* kernel_;
+  KTimer* timer_ = nullptr;
+  Options options_;
+  uint64_t closes_ = 0;
+};
+
+// The Outlook upcall-guard idiom: each "upcall" sets a 5 s timeout
+// assertion (fresh dynamic KTIMER) and cancels it when the upcall returns
+// a few milliseconds later. Activity alternates between a quiet baseline
+// rate and short storms.
+class UpcallGuardApp {
+ public:
+  struct Options {
+    SimDuration guard_timeout = 5 * kSecond;
+    double baseline_rate = 70.0;         // upcalls/s when quiet
+    double storm_rate = 7000.0;          // upcalls/s during a storm
+    SimDuration storm_length = kSecond;  // storm duration
+    SimDuration storm_gap_mean = 25 * kSecond;
+    SimDuration upcall_duration_mean = 2 * kMillisecond;
+  };
+
+  UpcallGuardApp(VistaKernel* kernel, Pid pid, Tid tid, const std::string& callsite,
+                 Options options);
+  void Start();
+
+  uint64_t upcalls() const { return upcalls_; }
+  uint64_t guard_expiries() const { return guard_expiries_; }
+
+ private:
+  void ScheduleNextUpcall();
+  void ScheduleStorms();
+  void Upcall();
+
+  VistaKernel* kernel_;
+  Pid pid_;
+  Tid tid_;
+  std::string callsite_;
+  Options options_;
+  bool in_storm_ = false;
+  uint64_t upcalls_ = 0;
+  uint64_t guard_expiries_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_WORKLOADS_VISTA_APPS_H_

@@ -1,0 +1,36 @@
+// The Vista workloads of Sections 2.2.1 and 3.5.
+//
+//   Idle      — standard Vista desktop, user logged in, 26 background
+//               processes, no foreground application.
+//   Skype     — an active call.
+//   Firefox   — the Flash-heavy page (2881 timer sets per second, many
+//               below 10 ms).
+//   Webserver — Apache under httperf load; Vista's TCP timers live in
+//               private timing wheels and are invisible to the KTIMER
+//               trace, so this looks much like Idle (the paper notes the
+//               missing 7200 s keepalive).
+//   Desktop   — the Figure 1 scenario: Outlook (with its 5 s upcall-guard
+//               idiom bursting to thousands of sets per second), a web
+//               browser, system processes and the kernel.
+
+#ifndef TEMPO_SRC_WORKLOADS_VISTA_WORKLOADS_H_
+#define TEMPO_SRC_WORKLOADS_VISTA_WORKLOADS_H_
+
+#include "src/workloads/run.h"
+
+namespace tempo {
+
+TraceRun RunVistaIdle(const WorkloadOptions& options);
+TraceRun RunVistaSkype(const WorkloadOptions& options);
+TraceRun RunVistaFirefox(const WorkloadOptions& options);
+TraceRun RunVistaWebserver(const WorkloadOptions& options);
+
+// The Figure 1 desktop; default duration should be >= 90 s.
+TraceRun RunVistaDesktop(const WorkloadOptions& options);
+
+// The four Table 2 workloads, in column order.
+std::vector<TraceRun> RunAllVistaWorkloads(const WorkloadOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_WORKLOADS_VISTA_WORKLOADS_H_

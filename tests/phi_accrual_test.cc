@@ -1,0 +1,137 @@
+// Tests for the phi-accrual failure detector.
+
+#include <gtest/gtest.h>
+
+#include "src/adaptive/phi_accrual.h"
+#include "src/sim/random.h"
+
+namespace tempo {
+namespace {
+
+TEST(PhiAccrualTest, ZeroBeforeAnyHeartbeat) {
+  PhiAccrualDetector detector;
+  EXPECT_DOUBLE_EQ(detector.Phi(kSecond), 0.0);
+  EXPECT_FALSE(detector.Suspect(kSecond, 1.0));
+}
+
+TEST(PhiAccrualTest, PhiRisesMonotonicallyWithSilence) {
+  PhiAccrualDetector detector;
+  SimTime now = 0;
+  for (int i = 0; i < 50; ++i) {
+    now += 100 * kMillisecond;
+    detector.Heartbeat(now);
+  }
+  double prev = detector.Phi(now);
+  for (SimDuration wait = 50 * kMillisecond; wait <= 2 * kSecond;
+       wait += 50 * kMillisecond) {
+    const double phi = detector.Phi(now + wait);
+    EXPECT_GE(phi, prev);
+    prev = phi;
+  }
+  EXPECT_GT(prev, 3.0);  // two full seconds of silence on a 100 ms stream
+}
+
+TEST(PhiAccrualTest, RegularStreamStaysUnsuspectedAtItsOwnCadence) {
+  PhiAccrualDetector detector;
+  SimTime now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += kSecond;
+    detector.Heartbeat(now);
+    EXPECT_LT(detector.Phi(now + 900 * kMillisecond), 2.0)
+        << "regular arrival marked suspect";
+  }
+}
+
+TEST(PhiAccrualTest, AdaptsTimeoutToHeartbeatRate) {
+  // A 10 ms stream should yield a far shorter 99% timeout than a 1 s
+  // stream — the whole point versus a fixed 30 s constant.
+  PhiAccrualDetector fast;
+  PhiAccrualDetector slow;
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 10 * kMillisecond;
+    fast.Heartbeat(now);
+  }
+  now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += kSecond;
+    slow.Heartbeat(now);
+  }
+  const SimDuration fast_timeout = fast.TimeoutForThreshold(2.0);
+  const SimDuration slow_timeout = slow.TimeoutForThreshold(2.0);
+  EXPECT_LT(fast_timeout, 200 * kMillisecond);
+  EXPECT_GT(slow_timeout, kSecond);
+  EXPECT_LT(slow_timeout, 10 * kSecond);
+  EXPECT_LT(fast_timeout, slow_timeout);
+}
+
+TEST(PhiAccrualTest, JitteryStreamGetsWiderTimeout) {
+  Rng rng(5);
+  PhiAccrualDetector regular;
+  PhiAccrualDetector jittery;
+  SimTime now_r = 0;
+  SimTime now_j = 0;
+  for (int i = 0; i < 200; ++i) {
+    now_r += 100 * kMillisecond;
+    regular.Heartbeat(now_r);
+    now_j += static_cast<SimDuration>(rng.Uniform(0.02, 0.25) * kSecond);
+    jittery.Heartbeat(now_j);
+  }
+  EXPECT_GT(jittery.TimeoutForThreshold(2.0), regular.TimeoutForThreshold(2.0));
+}
+
+TEST(PhiAccrualTest, TimeoutForThresholdInvertsPhi) {
+  PhiAccrualDetector detector;
+  SimTime now = 0;
+  Rng rng(11);
+  for (int i = 0; i < 150; ++i) {
+    now += static_cast<SimDuration>(rng.Uniform(0.08, 0.12) * kSecond);
+    detector.Heartbeat(now);
+  }
+  for (double threshold : {1.0, 2.0, 3.0}) {
+    const SimDuration timeout = detector.TimeoutForThreshold(threshold);
+    EXPECT_GE(detector.Phi(now + timeout), threshold);
+    EXPECT_LT(detector.Phi(now + timeout - 2 * kMillisecond), threshold + 0.5);
+    EXPECT_TRUE(detector.Suspect(now + timeout, threshold));
+  }
+  // Higher confidence => longer wait.
+  EXPECT_LT(detector.TimeoutForThreshold(1.0), detector.TimeoutForThreshold(3.0));
+}
+
+TEST(PhiAccrualTest, WindowSlidesToNewRegime) {
+  PhiAccrualDetector::Options options;
+  options.window_size = 50;
+  PhiAccrualDetector detector(options);
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 10 * kMillisecond;
+    detector.Heartbeat(now);
+  }
+  const SimDuration lan_timeout = detector.TimeoutForThreshold(2.0);
+  // The peer moves to a WAN: 200 ms heartbeats. After the window refills,
+  // the implied timeout follows.
+  for (int i = 0; i < 60; ++i) {
+    now += 200 * kMillisecond;
+    detector.Heartbeat(now);
+  }
+  const SimDuration wan_timeout = detector.TimeoutForThreshold(2.0);
+  EXPECT_GT(wan_timeout, 4 * lan_timeout);
+  EXPECT_EQ(detector.samples(), 50u);
+}
+
+TEST(PhiAccrualTest, MinStddevPreventsInfiniteConfidence) {
+  PhiAccrualDetector detector;
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 100 * kMillisecond;  // perfectly regular
+    detector.Heartbeat(now);
+  }
+  // Even with zero observed variance, one slightly-late heartbeat must not
+  // push phi to infinity.
+  const double phi = detector.Phi(now + 120 * kMillisecond);
+  EXPECT_LT(phi, 10.0);
+  EXPECT_GE(detector.stddev_interval(), 20 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace tempo

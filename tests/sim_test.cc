@@ -1,0 +1,415 @@
+// Unit tests for the simulation core: time, RNG, event queue, simulator,
+// CPU accounting, process table.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/process.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace tempo {
+namespace {
+
+// --- time.h ---
+
+TEST(TimeTest, ConversionRoundTrips) {
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_EQ(FromSeconds(0.5), 500 * kMillisecond);
+  EXPECT_EQ(FromMilliseconds(1.0), kMillisecond);
+  EXPECT_EQ(FromMicroseconds(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(kMillisecond), 1.0);
+}
+
+TEST(TimeTest, UnitRelationships) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2s");
+  EXPECT_EQ(FormatDuration(FromMilliseconds(1.5)), "1.5ms");
+  EXPECT_EQ(FormatDuration(25 * kMicrosecond), "25us");
+  EXPECT_EQ(FormatDuration(12), "12ns");
+  EXPECT_EQ(FormatDuration(-2 * kSecond), "-2s");
+  EXPECT_EQ(FormatDuration(7200 * kSecond), "7200s");
+}
+
+// --- random.h ---
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += a.NextU64() != b.NextU64() ? 1 : 0;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  EXPECT_EQ(rng.UniformInt(5, 4), 5);  // hi < lo clamps to lo
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Exponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.Pareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng fork = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == fork.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+// --- event_queue.h ---
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(30, [&] { order.push_back(3); });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(20, [&] { order.push_back(2); });
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterPopFails) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(10, [] {});
+  queue.Pop();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(42));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCanceled) {
+  EventQueue queue;
+  const EventId early = queue.Schedule(10, [] {});
+  queue.Schedule(20, [] {});
+  EXPECT_EQ(queue.NextTime(), 10);
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextTime(), 20);
+}
+
+TEST(EventQueueTest, EmptyQueueNextTimeIsNever) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextTime(), kNeverTime);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.Schedule(1, [] {});
+  queue.Schedule(2, [] {});
+  EXPECT_EQ(queue.Size(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.Size(), 1u);
+  queue.Pop();
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(EventQueueTest, ManyInterleavedOperations) {
+  EventQueue queue;
+  Rng rng(3);
+  std::vector<EventId> live;
+  int scheduled = 0;
+  int fired = 0;
+  int canceled = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.5 || live.empty()) {
+      ++scheduled;
+      live.push_back(queue.Schedule(rng.UniformInt(0, 1000), [&fired] { ++fired; }));
+    } else if (roll < 0.75) {
+      const size_t idx = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      if (queue.Cancel(live[idx])) {
+        ++canceled;
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+    } else if (!queue.Empty()) {
+      queue.Pop().fn();
+    }
+  }
+  while (!queue.Empty()) {
+    queue.Pop().fn();
+  }
+  // Every scheduled event either fired or was (successfully) canceled.
+  EXPECT_EQ(fired + canceled, scheduled);
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(canceled, 0);
+}
+
+// --- simulator.h ---
+
+TEST(SimulatorTest, TimeAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleAt(100, [&] { seen.push_back(sim.Now()); });
+  sim.ScheduleAt(50, [&] { seen.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleInPastClampsToNow) {
+  Simulator sim;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAt(10, [&] { EXPECT_EQ(sim.Now(), 100); });
+  });
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(2000, [&] { ++fired; });
+  sim.RunUntil(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 1000);
+  sim.RunUntil(3000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAt(1000, [&] { ran = true; });
+  sim.RunUntil(1000);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAfter(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim;
+  SimTime at = -1;
+  sim.ScheduleAfter(-50, [&] { at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(at, 0);
+}
+
+// --- cpu.h ---
+
+TEST(CpuTest, WakeupCountedOnExitIdle) {
+  Cpu cpu;
+  cpu.EnterIdle(0);
+  cpu.ExitIdle(100);
+  EXPECT_EQ(cpu.wakeups(), 1u);
+  EXPECT_EQ(cpu.idle_time(), 100);
+}
+
+TEST(CpuTest, InterruptWhileIdleWakes) {
+  Cpu cpu;
+  cpu.EnterIdle(0);
+  cpu.OnInterrupt(50, /*timer=*/true);
+  EXPECT_EQ(cpu.wakeups(), 1u);
+  EXPECT_EQ(cpu.interrupts(), 1u);
+  EXPECT_EQ(cpu.timer_interrupts(), 1u);
+  EXPECT_FALSE(cpu.idle());
+}
+
+TEST(CpuTest, RedundantIdleTransitionsIgnored) {
+  Cpu cpu;
+  cpu.EnterIdle(0);
+  cpu.EnterIdle(10);
+  cpu.ExitIdle(20);
+  cpu.ExitIdle(30);
+  EXPECT_EQ(cpu.wakeups(), 1u);
+  EXPECT_EQ(cpu.idle_time(), 20);
+}
+
+TEST(CpuTest, FinishFlushesOpenIdlePeriod) {
+  Cpu cpu;
+  cpu.EnterIdle(0);
+  cpu.Finish(500);
+  EXPECT_EQ(cpu.idle_time(), 500);
+}
+
+TEST(CpuTest, CyclesToDurationUsesFrequency) {
+  Cpu cpu(1.0);  // 1 GHz: 1 cycle = 1 ns
+  EXPECT_EQ(cpu.CyclesToDuration(1000), 1000);
+  Cpu fast(2.0);
+  EXPECT_EQ(fast.CyclesToDuration(1000), 500);
+}
+
+TEST(CpuTest, ChargeCyclesAccumulates) {
+  Cpu cpu;
+  cpu.ChargeCycles(236);
+  cpu.ChargeCycles(236);
+  EXPECT_EQ(cpu.charged_cycles(), 472u);
+}
+
+// --- process.h ---
+
+TEST(ProcessTableTest, KernelIsPidZero) {
+  ProcessTable table;
+  EXPECT_EQ(table.Get(kKernelPid).name, "kernel");
+  EXPECT_TRUE(table.Get(kKernelPid).is_kernel);
+}
+
+TEST(ProcessTableTest, AddProcessAssignsSequentialPids) {
+  ProcessTable table;
+  const Pid a = table.AddProcess("a");
+  const Pid b = table.AddProcess("b");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(table.Get(a).name, "a");
+  EXPECT_FALSE(table.Get(a).is_kernel);
+}
+
+TEST(ProcessTableTest, ThreadsBelongToProcesses) {
+  ProcessTable table;
+  const Pid p = table.AddProcess("p");
+  const Tid t1 = table.AddThread(p);
+  const Tid t2 = table.AddThread(p);
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(table.ThreadProcess(t1), p);
+  EXPECT_EQ(table.ThreadProcess(t2), p);
+}
+
+}  // namespace
+}  // namespace tempo

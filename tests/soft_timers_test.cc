@@ -1,0 +1,86 @@
+// Tests for the soft-timer facility (Aron & Druschel).
+
+#include <gtest/gtest.h>
+
+#include "src/timer/soft_timers.h"
+
+namespace tempo {
+namespace {
+
+class SoftTimersTest : public ::testing::Test {
+ protected:
+  SoftTimersTest() { facility_.Start(); }
+
+  Simulator sim_{1};
+  SoftTimerFacility facility_{&sim_};
+};
+
+TEST_F(SoftTimersTest, FallbackTickDeliversWithoutTriggerStates) {
+  SimTime fired_at = -1;
+  facility_.Schedule(3 * kMillisecond, [&] { fired_at = sim_.Now(); });
+  sim_.RunUntil(kSecond);
+  // No trigger states: delivery waits for the 10 ms fallback tick.
+  EXPECT_EQ(fired_at, 10 * kMillisecond);
+  EXPECT_GT(facility_.fallback_ticks(), 0u);
+}
+
+TEST_F(SoftTimersTest, TriggerStateDeliversEarlyAndPrecisely) {
+  SimTime fired_at = -1;
+  facility_.Schedule(3 * kMillisecond, [&] { fired_at = sim_.Now(); });
+  // The kernel passes a trigger state shortly after expiry.
+  sim_.ScheduleAt(FromMilliseconds(3.2), [&] { facility_.TriggerState(); });
+  sim_.RunUntil(kSecond);
+  EXPECT_EQ(fired_at, FromMilliseconds(3.2));
+  EXPECT_EQ(facility_.fired(), 1u);
+  EXPECT_EQ(facility_.max_delay(), FromMilliseconds(0.2));
+}
+
+TEST_F(SoftTimersTest, TriggerStateBeforeExpiryFiresNothing) {
+  bool fired = false;
+  facility_.Schedule(5 * kMillisecond, [&] { fired = true; });
+  sim_.ScheduleAt(kMillisecond, [&] { EXPECT_EQ(facility_.TriggerState(), 0u); });
+  sim_.RunUntil(2 * kMillisecond);
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(SoftTimersTest, CancelPreventsDelivery) {
+  const TimerHandle handle = facility_.Schedule(kMillisecond, [] { FAIL(); });
+  EXPECT_TRUE(facility_.Cancel(handle));
+  EXPECT_FALSE(facility_.Cancel(handle));
+  sim_.RunUntil(kSecond);
+  EXPECT_EQ(facility_.fired(), 0u);
+}
+
+TEST_F(SoftTimersTest, DenseTriggerStatesGiveMicrosecondPrecision) {
+  // Trigger states every 50 us (a busy networking box): delivery delay is
+  // bounded by the trigger spacing, far below the fallback period.
+  for (int i = 0; i < 20000; ++i) {
+    sim_.ScheduleAt(i * 50 * kMicrosecond, [&] { facility_.TriggerState(); });
+  }
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    facility_.Schedule(rng.UniformInt(kMillisecond, 900 * kMillisecond), [] {});
+  }
+  sim_.RunUntil(kSecond);
+  EXPECT_EQ(facility_.fired(), 200u);
+  EXPECT_LE(facility_.max_delay(), 50 * kMicrosecond);
+}
+
+TEST_F(SoftTimersTest, ChecksChargeCycles) {
+  const uint64_t before = sim_.cpu().charged_cycles();
+  for (int i = 0; i < 100; ++i) {
+    facility_.TriggerState();
+  }
+  EXPECT_EQ(sim_.cpu().charged_cycles() - before, 100u * 15u);
+  EXPECT_EQ(facility_.checks(), 100u);
+}
+
+TEST_F(SoftTimersTest, MeanDelayAccounting) {
+  facility_.Schedule(kMillisecond, [] {});
+  sim_.ScheduleAt(2 * kMillisecond, [&] { facility_.TriggerState(); });
+  sim_.RunUntil(5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(facility_.mean_delay_us(), 1000.0);
+}
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,365 @@
+// Tests for the timer-queue data structures, including cross-implementation
+// equivalence property tests (every implementation must fire the same
+// timers, up to its tick granularity).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/timer/hashed_wheel.h"
+#include "src/timer/heap_queue.h"
+#include "src/timer/hierarchical_wheel.h"
+#include "src/timer/queue.h"
+#include "src/timer/tree_queue.h"
+
+namespace tempo {
+namespace {
+
+class TimerQueueTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TimerQueue> Make() { return MakeTimerQueue(GetParam()); }
+  // All provided wheels use 1 ms granularity; exact structures have none.
+  SimDuration Granularity() const {
+    const std::string& name = GetParam();
+    if (name == "hashed_wheel" || name == "hierarchical_wheel") {
+      return kMillisecond;
+    }
+    return 0;
+  }
+};
+
+TEST_P(TimerQueueTest, FactoryProducesCorrectName) {
+  auto queue = Make();
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->Name(), GetParam());
+}
+
+TEST_P(TimerQueueTest, FiresAtOrAfterExpiry) {
+  auto queue = Make();
+  SimTime fired_at = -1;
+  queue->Schedule(10 * kMillisecond, [&](TimerHandle) { fired_at = 10 * kMillisecond; });
+  EXPECT_EQ(queue->Advance(9 * kMillisecond), 0u);
+  EXPECT_EQ(queue->Advance(20 * kMillisecond), 1u);
+  EXPECT_EQ(fired_at, 10 * kMillisecond);
+}
+
+TEST_P(TimerQueueTest, NeverFiresEarly) {
+  auto queue = Make();
+  bool fired = false;
+  queue->Schedule(10 * kMillisecond, [&](TimerHandle) { fired = true; });
+  queue->Advance(10 * kMillisecond - 1 - Granularity());
+  EXPECT_FALSE(fired);
+}
+
+TEST_P(TimerQueueTest, CancelPreventsFiring) {
+  auto queue = Make();
+  bool fired = false;
+  const TimerHandle h = queue->Schedule(5 * kMillisecond, [&](TimerHandle) { fired = true; });
+  EXPECT_TRUE(queue->Cancel(h));
+  EXPECT_EQ(queue->Advance(kSecond), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+TEST_P(TimerQueueTest, CancelAfterFireFails) {
+  auto queue = Make();
+  const TimerHandle h = queue->Schedule(kMillisecond, [](TimerHandle) {});
+  queue->Advance(kSecond);
+  EXPECT_FALSE(queue->Cancel(h));
+}
+
+TEST_P(TimerQueueTest, CancelUnknownFails) {
+  auto queue = Make();
+  EXPECT_FALSE(queue->Cancel(12345));
+}
+
+TEST_P(TimerQueueTest, PastExpiryFiresOnNextAdvance) {
+  auto queue = Make();
+  queue->Advance(kSecond);
+  bool fired = false;
+  queue->Schedule(kMillisecond, [&](TimerHandle) { fired = true; });  // in the past
+  queue->Advance(kSecond + 10 * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST_P(TimerQueueTest, SizeTracksPending) {
+  auto queue = Make();
+  queue->Schedule(kMillisecond, [](TimerHandle) {});
+  const TimerHandle h = queue->Schedule(2 * kMillisecond, [](TimerHandle) {});
+  queue->Schedule(kSecond, [](TimerHandle) {});
+  EXPECT_EQ(queue->Size(), 3u);
+  queue->Cancel(h);
+  EXPECT_EQ(queue->Size(), 2u);
+  queue->Advance(10 * kMillisecond);
+  EXPECT_EQ(queue->Size(), 1u);
+}
+
+TEST_P(TimerQueueTest, NextExpiryReportsEarliestPending) {
+  auto queue = Make();
+  EXPECT_EQ(queue->NextExpiry(), kNeverTime);
+  queue->Schedule(50 * kMillisecond, [](TimerHandle) {});
+  const TimerHandle h = queue->Schedule(20 * kMillisecond, [](TimerHandle) {});
+  SimTime next = queue->NextExpiry();
+  EXPECT_GE(next, 20 * kMillisecond - Granularity());
+  EXPECT_LE(next, 20 * kMillisecond + Granularity());
+  queue->Cancel(h);
+  next = queue->NextExpiry();
+  EXPECT_GE(next, 50 * kMillisecond - Granularity());
+  EXPECT_LE(next, 50 * kMillisecond + Granularity());
+}
+
+TEST_P(TimerQueueTest, CallbackReceivesOwnHandle) {
+  auto queue = Make();
+  TimerHandle seen = kInvalidTimerHandle;
+  const TimerHandle h = queue->Schedule(kMillisecond, [&](TimerHandle fired) { seen = fired; });
+  queue->Advance(kSecond);
+  EXPECT_EQ(seen, h);
+}
+
+TEST_P(TimerQueueTest, CallbackMaySchedule) {
+  auto queue = Make();
+  int fired = 0;
+  TimerQueue* q = queue.get();
+  queue->Schedule(kMillisecond, [&fired, q](TimerHandle) {
+    ++fired;
+    q->Schedule(2 * kMillisecond, [&fired](TimerHandle) { ++fired; });
+  });
+  queue->Advance(10 * kMillisecond);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_P(TimerQueueTest, CallbackMayCancelSiblingDueSameInstant) {
+  auto queue = Make();
+  int fired = 0;
+  TimerQueue* q = queue.get();
+  TimerHandle sibling = kInvalidTimerHandle;
+  queue->Schedule(kMillisecond, [&](TimerHandle) {
+    ++fired;
+    q->Cancel(sibling);  // may or may not succeed; must not corrupt
+  });
+  sibling = queue->Schedule(kMillisecond, [&](TimerHandle) { ++fired; });
+  queue->Schedule(5 * kMillisecond, [&](TimerHandle) { ++fired; });
+  queue->Advance(kSecond);
+  // The sibling may already have been detached for firing; either way the
+  // later timer must still fire and nothing may crash.
+  EXPECT_GE(fired, 2);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+TEST_P(TimerQueueTest, LongDelaysSupported) {
+  auto queue = Make();
+  bool fired = false;
+  queue->Schedule(7200 * kSecond, [&](TimerHandle) { fired = true; });
+  queue->Advance(7199 * kSecond);
+  EXPECT_FALSE(fired);
+  queue->Advance(7201 * kSecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST_P(TimerQueueTest, ManyTimersSameExpiryAllFire) {
+  auto queue = Make();
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    queue->Schedule(kMillisecond * 7, [&](TimerHandle) { ++fired; });
+  }
+  queue->Advance(kSecond);
+  EXPECT_EQ(fired, 1000);
+}
+
+// Property test: randomized schedule/cancel/advance against a reference
+// model. Every implementation must fire exactly the timers the model fires,
+// within its granularity window of the requested expiry.
+class TimerQueueFuzzTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(TimerQueueFuzzTest, MatchesReferenceModel) {
+  const auto& [name, seed] = GetParam();
+  auto queue = MakeTimerQueue(name);
+  const SimDuration granularity =
+      (name == "hashed_wheel" || name == "hierarchical_wheel") ? kMillisecond : 0;
+  Rng rng(seed);
+
+  struct ModelEntry {
+    SimTime expiry;
+    bool fired = false;
+    bool canceled = false;
+  };
+  std::map<TimerHandle, ModelEntry> model;
+  std::map<TimerHandle, SimTime> fired_at;
+  SimTime now = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.55) {
+      const SimTime expiry = now + rng.UniformInt(0, 200 * kMillisecond);
+      const TimerHandle h =
+          queue->Schedule(expiry, [&fired_at, &now](TimerHandle handle) {
+            fired_at[handle] = now;
+          });
+      model.emplace(h, ModelEntry{expiry});
+    } else if (roll < 0.75 && !model.empty()) {
+      // Cancel a random live entry.
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      const bool want = !it->second.fired && !it->second.canceled;
+      const bool got = queue->Cancel(it->first);
+      EXPECT_EQ(got, want) << "cancel mismatch for handle " << it->first;
+      if (got) {
+        it->second.canceled = true;
+      }
+    } else {
+      now += rng.UniformInt(0, 50 * kMillisecond);
+      queue->Advance(now);
+      for (auto& [handle, entry] : model) {
+        if (!entry.fired && !entry.canceled && entry.expiry + granularity <= now) {
+          entry.fired = true;  // must have fired by now
+        }
+      }
+    }
+  }
+  now += 200 * kMillisecond + kSecond;  // beyond every scheduled expiry
+  queue->Advance(now);
+  for (auto& [handle, entry] : model) {
+    if (!entry.canceled) {
+      entry.fired = true;
+    }
+  }
+
+  // Verify: all model-fired handles actually fired, none of the canceled
+  // ones did, and nothing fired before its expiry.
+  size_t fired_count = 0;
+  for (const auto& [handle, entry] : model) {
+    if (entry.canceled) {
+      EXPECT_EQ(fired_at.count(handle), 0u) << "canceled timer fired";
+    } else {
+      ASSERT_EQ(fired_at.count(handle), 1u) << "timer never fired";
+      EXPECT_GE(fired_at[handle] + granularity, entry.expiry) << "fired early";
+      ++fired_count;
+    }
+  }
+  EXPECT_GT(fired_count, 0u);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplsManySeeds, TimerQueueFuzzTest,
+    ::testing::Combine(::testing::Values("heap", "tree", "hashed_wheel",
+                                         "hierarchical_wheel"),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u)));
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, TimerQueueTest,
+                         ::testing::Values("heap", "tree", "hashed_wheel",
+                                           "hierarchical_wheel"));
+
+TEST(TimerQueueFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeTimerQueue("no_such_queue"), nullptr);
+}
+
+TEST(TimerQueueFactoryTest, NamesListMatchesFactory) {
+  for (const std::string& name : TimerQueueNames()) {
+    EXPECT_NE(MakeTimerQueue(name), nullptr) << name;
+  }
+}
+
+// Implementation-specific behaviour.
+
+TEST(HierarchicalWheelTest, CascadesLongTimers) {
+  HierarchicalWheelTimerQueue wheel(kMillisecond);
+  bool fired = false;
+  // 300 ticks out: lives in level 1 and must cascade into level 0.
+  wheel.Schedule(300 * kMillisecond, [&](TimerHandle) { fired = true; });
+  wheel.Advance(299 * kMillisecond);
+  EXPECT_FALSE(fired);
+  EXPECT_GT(wheel.cascades(), 0u);
+  wheel.Advance(301 * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(HierarchicalWheelTest, ClampsBeyondHorizon) {
+  HierarchicalWheelTimerQueue wheel(kMillisecond);
+  bool fired = false;
+  // Far beyond level 3's 2^26-tick horizon: clamped, fires at the horizon.
+  wheel.Schedule(static_cast<SimTime>(1) << 40, [&](TimerHandle) { fired = true; });
+  wheel.Advance((1u << 26) * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(HashedWheelTest, SkipsOtherRevolutions) {
+  HashedWheelTimerQueue wheel(kMillisecond, 16);
+  int fired = 0;
+  // Two timers in the same slot, one revolution apart.
+  wheel.Schedule(5 * kMillisecond, [&](TimerHandle) { ++fired; });
+  wheel.Schedule(21 * kMillisecond, [&](TimerHandle) { ++fired; });
+  wheel.Advance(10 * kMillisecond);
+  EXPECT_EQ(fired, 1);
+  wheel.Advance(30 * kMillisecond);
+  EXPECT_EQ(fired, 2);
+  EXPECT_GT(wheel.entries_examined(), 0u);
+}
+
+TEST(TreeQueueTest, ExactNanosecondResolution) {
+  TreeTimerQueue tree;
+  std::vector<SimTime> fired;
+  tree.Schedule(1000, [&](TimerHandle) { fired.push_back(1000); });
+  tree.Schedule(1001, [&](TimerHandle) { fired.push_back(1001); });
+  tree.Advance(1000);
+  ASSERT_EQ(fired.size(), 1u);
+  tree.Advance(1001);
+  ASSERT_EQ(fired.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tempo
+
+namespace tempo {
+namespace {
+
+// Granularity sweep: both wheels must honour never-fire-early and
+// fire-within-one-tick at any configured tick width.
+class WheelGranularityTest
+    : public ::testing::TestWithParam<std::tuple<bool, SimDuration>> {};
+
+TEST_P(WheelGranularityTest, QuantisationBoundsHold) {
+  const auto& [hierarchical, granularity] = GetParam();
+  std::unique_ptr<TimerQueue> wheel;
+  if (hierarchical) {
+    wheel = std::make_unique<HierarchicalWheelTimerQueue>(granularity);
+  } else {
+    wheel = std::make_unique<HashedWheelTimerQueue>(granularity, 64);
+  }
+  Rng rng(13);
+  struct Expect {
+    SimTime expiry;
+    SimTime fired_at = -1;
+  };
+  std::vector<Expect> expects;
+  std::vector<Expect*> slots;
+  SimTime now = 0;
+  for (int i = 0; i < 300; ++i) {
+    expects.push_back(Expect{rng.UniformInt(1, 400) * granularity / 2});
+  }
+  for (auto& e : expects) {
+    wheel->Schedule(e.expiry, [&e, &now](TimerHandle) { e.fired_at = now; });
+  }
+  while (wheel->Size() > 0) {
+    now += granularity;
+    wheel->Advance(now);
+  }
+  for (const auto& e : expects) {
+    ASSERT_GE(e.fired_at, e.expiry - granularity) << "fired early";
+    EXPECT_LE(e.fired_at, e.expiry + 2 * granularity) << "fired too late";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Granularities, WheelGranularityTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(100 * kMicrosecond, kMillisecond,
+                                         4 * kMillisecond, 100 * kMillisecond)));
+
+}  // namespace
+}  // namespace tempo

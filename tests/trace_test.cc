@@ -1,0 +1,244 @@
+// Unit tests for the tracing layer: call-site interning, buffers, codec.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cpu.h"
+#include "src/trace/buffer.h"
+#include "src/trace/callsite.h"
+#include "src/trace/codec.h"
+#include "src/trace/record.h"
+
+namespace tempo {
+namespace {
+
+TraceRecord MakeRecord(SimTime at, TimerOp op, TimerId timer) {
+  TraceRecord r;
+  r.timestamp = at;
+  r.op = op;
+  r.timer = timer;
+  return r;
+}
+
+// --- CallsiteRegistry ---
+
+TEST(CallsiteTest, InternIsIdempotent) {
+  CallsiteRegistry registry;
+  const CallsiteId a = registry.Intern("tcp/retransmit");
+  const CallsiteId b = registry.Intern("tcp/retransmit");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.Name(a), "tcp/retransmit");
+}
+
+TEST(CallsiteTest, UnknownIsSlotZero) {
+  CallsiteRegistry registry;
+  EXPECT_EQ(registry.Name(kUnknownCallsite), "?");
+  EXPECT_EQ(registry.Parent(kUnknownCallsite), kUnknownCallsite);
+}
+
+TEST(CallsiteTest, DistinctNamesGetDistinctIds) {
+  CallsiteRegistry registry;
+  EXPECT_NE(registry.Intern("a"), registry.Intern("b"));
+}
+
+TEST(CallsiteTest, ProvenanceChainFollowsParents) {
+  CallsiteRegistry registry;
+  const CallsiteId ip = registry.Intern("net/ip");
+  const CallsiteId tcp = registry.Intern("net/tcp", ip);
+  const CallsiteId app = registry.Intern("app/rpc", tcp);
+  const auto chain = registry.Chain(app);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], app);
+  EXPECT_EQ(chain[1], tcp);
+  EXPECT_EQ(chain[2], ip);
+}
+
+TEST(CallsiteTest, ReinternKeepsOriginalParent) {
+  CallsiteRegistry registry;
+  const CallsiteId parent = registry.Intern("parent");
+  const CallsiteId child = registry.Intern("child", parent);
+  registry.Intern("child", kUnknownCallsite);  // no-op
+  EXPECT_EQ(registry.Parent(child), parent);
+}
+
+TEST(CallsiteTest, StackInterningDeduplicates) {
+  CallsiteRegistry registry;
+  const CallsiteId a = registry.Intern("a");
+  const CallsiteId b = registry.Intern("b");
+  const StackId s1 = registry.InternStack({a, b});
+  const StackId s2 = registry.InternStack({a, b});
+  const StackId s3 = registry.InternStack({b, a});
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(registry.Stack(s1), (std::vector<CallsiteId>{a, b}));
+}
+
+TEST(CallsiteTest, EmptyStackIsSlotZero) {
+  CallsiteRegistry registry;
+  EXPECT_EQ(registry.InternStack({}), kEmptyStack);
+  EXPECT_TRUE(registry.Stack(kEmptyStack).empty());
+}
+
+// --- RelayBuffer ---
+
+TEST(RelayBufferTest, StoresRecordsInOrder) {
+  RelayBuffer buffer(16);
+  for (int i = 0; i < 5; ++i) {
+    buffer.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  ASSERT_EQ(buffer.records().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(buffer.records()[static_cast<size_t>(i)].timestamp, i);
+  }
+}
+
+TEST(RelayBufferTest, OverflowDropsNewKeepsOld) {
+  // relayfs semantics: "new events cannot overwrite old logs".
+  RelayBuffer buffer(3);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  ASSERT_EQ(buffer.records().size(), 3u);
+  EXPECT_EQ(buffer.records()[0].timestamp, 0);
+  EXPECT_EQ(buffer.records()[2].timestamp, 2);
+  EXPECT_EQ(buffer.dropped(), 7u);
+}
+
+TEST(RelayBufferTest, ChargesCpuCyclesPerRecord) {
+  Cpu cpu;
+  RelayBuffer buffer(16);
+  buffer.AttachCpu(&cpu);  // default: the paper's 236 cycles
+  buffer.Log(MakeRecord(0, TimerOp::kSet, 1));
+  buffer.Log(MakeRecord(1, TimerOp::kCancel, 1));
+  EXPECT_EQ(cpu.charged_cycles(), 2 * kPaperLogCostCycles);
+}
+
+TEST(RelayBufferTest, DroppedRecordsStillChargeCycles) {
+  Cpu cpu;
+  RelayBuffer buffer(1);
+  buffer.AttachCpu(&cpu, 100);
+  buffer.Log(MakeRecord(0, TimerOp::kSet, 1));
+  buffer.Log(MakeRecord(1, TimerOp::kSet, 1));
+  EXPECT_EQ(cpu.charged_cycles(), 200u);
+}
+
+TEST(RelayBufferTest, TakeRecordsResets) {
+  RelayBuffer buffer(2);
+  buffer.Log(MakeRecord(0, TimerOp::kSet, 1));
+  buffer.Log(MakeRecord(1, TimerOp::kSet, 1));
+  buffer.Log(MakeRecord(2, TimerOp::kSet, 1));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  auto records = buffer.TakeRecords();
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_TRUE(buffer.records().empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+  buffer.Log(MakeRecord(3, TimerOp::kSet, 1));
+  EXPECT_EQ(buffer.records().size(), 1u);
+}
+
+TEST(NullSinkTest, CountsButDiscards) {
+  NullSink sink;
+  sink.Log(MakeRecord(0, TimerOp::kSet, 1));
+  sink.Log(MakeRecord(1, TimerOp::kSet, 1));
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(EtwSessionTest, Unbounded) {
+  EtwSession session;
+  for (int i = 0; i < 1000; ++i) {
+    session.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  EXPECT_EQ(session.records().size(), 1000u);
+}
+
+// --- codec ---
+
+class CodecRoundTripTest : public ::testing::TestWithParam<TimerOp> {};
+
+TEST_P(CodecRoundTripTest, RoundTripsAllFields) {
+  TraceRecord r;
+  r.timestamp = 123456789012345;
+  r.timer = 0xdeadbeefcafeULL;
+  r.timeout = 204 * kMillisecond;
+  r.expiry = 123456789012345 + 204 * kMillisecond;
+  r.callsite = 17;
+  r.stack = 99;
+  r.pid = 42;
+  r.tid = 77;
+  r.op = GetParam();
+  r.flags = kFlagUser | kFlagDeferrable;
+
+  std::vector<uint8_t> bytes;
+  EncodeRecord(r, &bytes);
+  ASSERT_EQ(bytes.size(), kEncodedRecordSize);
+  auto decoded = DecodeRecord(bytes.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->timestamp, r.timestamp);
+  EXPECT_EQ(decoded->timer, r.timer);
+  EXPECT_EQ(decoded->timeout, r.timeout);
+  // Expiry is quantised to 1.024 us in the binary encoding.
+  EXPECT_NEAR(static_cast<double>(decoded->expiry), static_cast<double>(r.expiry), 1024.0);
+  EXPECT_EQ(decoded->callsite, r.callsite);
+  EXPECT_EQ(decoded->stack, r.stack);
+  EXPECT_EQ(decoded->pid, r.pid);
+  EXPECT_EQ(decoded->tid, r.tid);
+  EXPECT_EQ(decoded->op, r.op);
+  EXPECT_EQ(decoded->flags, r.flags);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CodecRoundTripTest,
+                         ::testing::Values(TimerOp::kInit, TimerOp::kSet, TimerOp::kCancel,
+                                           TimerOp::kExpire, TimerOp::kBlock,
+                                           TimerOp::kUnblock));
+
+TEST(CodecTest, TraceRoundTrip) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord r = MakeRecord(i * kMillisecond, TimerOp::kSet, static_cast<TimerId>(i));
+    r.timeout = i * kMicrosecond;
+    records.push_back(r);
+  }
+  const auto bytes = EncodeTrace(records);
+  EXPECT_EQ(bytes.size(), records.size() * kEncodedRecordSize);
+  const auto decoded = DecodeTrace(bytes);
+  ASSERT_EQ(decoded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(decoded[i].timer, records[i].timer);
+  }
+}
+
+TEST(CodecTest, CorruptOpStopsDecoding) {
+  std::vector<TraceRecord> records = {MakeRecord(0, TimerOp::kSet, 1),
+                                      MakeRecord(1, TimerOp::kSet, 2)};
+  auto bytes = EncodeTrace(records);
+  bytes[40] = 0xff;  // corrupt the first record's op
+  EXPECT_TRUE(DecodeTrace(bytes).empty());
+}
+
+TEST(CodecTest, TrailingPartialRecordIgnored) {
+  std::vector<TraceRecord> records = {MakeRecord(0, TimerOp::kSet, 1)};
+  auto bytes = EncodeTrace(records);
+  bytes.resize(bytes.size() + 10, 0);  // garbage tail
+  EXPECT_EQ(DecodeTrace(bytes).size(), 1u);
+}
+
+TEST(CodecTest, FormatRecordMentionsOpAndCallsite) {
+  CallsiteRegistry registry;
+  TraceRecord r = MakeRecord(kSecond, TimerOp::kCancel, 3);
+  r.callsite = registry.Intern("ide/command_timeout");
+  const std::string line = FormatRecord(r, registry);
+  EXPECT_NE(line.find("cancel"), std::string::npos);
+  EXPECT_NE(line.find("ide/command_timeout"), std::string::npos);
+}
+
+TEST(RecordTest, OpNames) {
+  EXPECT_STREQ(TimerOpName(TimerOp::kInit), "init");
+  EXPECT_STREQ(TimerOpName(TimerOp::kSet), "set");
+  EXPECT_STREQ(TimerOpName(TimerOp::kCancel), "cancel");
+  EXPECT_STREQ(TimerOpName(TimerOp::kExpire), "expire");
+  EXPECT_STREQ(TimerOpName(TimerOp::kBlock), "block");
+  EXPECT_STREQ(TimerOpName(TimerOp::kUnblock), "unblock");
+}
+
+}  // namespace
+}  // namespace tempo

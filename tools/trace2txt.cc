@@ -1,0 +1,32 @@
+// trace2txt — converts a binary tempo trace file to text, one record per
+// line (the "user-space program to read out the buffer and convert the
+// trace into a textual format" of Section 3.2).
+//
+// Usage: trace2txt <trace-file> [limit]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/trace/codec.h"
+#include "src/trace/file.h"
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace-file> [limit]\n", argv[0]);
+    return 2;
+  }
+  const auto trace = ReadTraceFile(argv[1]);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "error: cannot read trace file %s\n", argv[1]);
+    return 1;
+  }
+  size_t limit = trace->records.size();
+  if (argc >= 3) {
+    limit = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  }
+  for (size_t i = 0; i < trace->records.size() && i < limit; ++i) {
+    std::printf("%s\n", FormatRecord(trace->records[i], trace->callsites).c_str());
+  }
+  return 0;
+}

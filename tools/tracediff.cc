@@ -1,0 +1,89 @@
+// tracediff — compares two trace files (e.g. a kernel-feature ablation):
+// summary deltas, per-call-site set-count deltas, and values that appear in
+// only one trace.
+//
+// Usage: tracediff <trace-a> <trace-b>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/analysis/histogram.h"
+#include "src/analysis/summary.h"
+#include "src/trace/file.h"
+
+namespace {
+
+using namespace tempo;
+
+std::map<std::string, uint64_t> SetsByCallsite(const LoadedTrace& trace) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& r : trace.records) {
+    if (r.op == TimerOp::kSet || r.op == TimerOp::kBlock) {
+      ++out[trace.callsites.Name(r.callsite)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <trace-a> <trace-b>\n", argv[0]);
+    return 2;
+  }
+  const auto a = ReadTraceFile(argv[1]);
+  const auto b = ReadTraceFile(argv[2]);
+  if (!a.has_value() || !b.has_value()) {
+    std::fprintf(stderr, "error: cannot read input traces\n");
+    return 1;
+  }
+
+  const TraceSummary sa = Summarize(a->records, "A");
+  const TraceSummary sb = Summarize(b->records, "B");
+  std::printf("%-12s %12s %12s %10s\n", "metric", argv[1], argv[2], "delta");
+  auto row = [&](const char* name, uint64_t va, uint64_t vb) {
+    std::printf("%-12s %12llu %12llu %+10lld\n", name,
+                static_cast<unsigned long long>(va), static_cast<unsigned long long>(vb),
+                static_cast<long long>(vb) - static_cast<long long>(va));
+  };
+  row("timers", sa.timers, sb.timers);
+  row("accesses", sa.accesses, sb.accesses);
+  row("sets", sa.set, sb.set);
+  row("expired", sa.expired, sb.expired);
+  row("canceled", sa.canceled, sb.canceled);
+  row("user", sa.user_space, sb.user_space);
+  row("kernel", sa.kernel, sb.kernel);
+
+  std::printf("\nper-call-site set deltas (largest first):\n");
+  const auto sets_a = SetsByCallsite(*a);
+  const auto sets_b = SetsByCallsite(*b);
+  std::set<std::string> names;
+  for (const auto& [name, count] : sets_a) {
+    names.insert(name);
+  }
+  for (const auto& [name, count] : sets_b) {
+    names.insert(name);
+  }
+  std::vector<std::pair<long long, std::string>> deltas;
+  for (const std::string& name : names) {
+    const auto ia = sets_a.find(name);
+    const auto ib = sets_b.find(name);
+    const long long va = ia == sets_a.end() ? 0 : static_cast<long long>(ia->second);
+    const long long vb = ib == sets_b.end() ? 0 : static_cast<long long>(ib->second);
+    if (va != vb) {
+      deltas.emplace_back(vb - va, name);
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(), [](const auto& x, const auto& y) {
+    return std::llabs(x.first) > std::llabs(y.first);
+  });
+  for (size_t i = 0; i < deltas.size() && i < 25; ++i) {
+    std::printf("  %-40s %+10lld\n", deltas[i].second.c_str(), deltas[i].first);
+  }
+  if (deltas.empty()) {
+    std::printf("  (identical per-call-site set counts)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// tracerec — records one of the study's workloads to a binary trace file
+// that trace2txt / tracestat can consume.
+//
+// Usage: tracerec <workload> <output-file> [minutes] [seed]
+//   workload: linux-idle | linux-skype | linux-firefox | linux-webserver |
+//             vista-idle | vista-skype | vista-firefox | vista-webserver |
+//             vista-desktop
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/trace/file.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <workload> <output-file> [minutes] [seed]\n"
+                 "  workloads: linux-{idle,skype,firefox,webserver},\n"
+                 "             vista-{idle,skype,firefox,webserver,desktop}\n",
+                 argv[0]);
+    return 2;
+  }
+  WorkloadOptions options;
+  options.duration = 30 * kMinute;
+  options.seed = 2008;
+  if (argc >= 4) {
+    options.duration = FromSeconds(std::atof(argv[3]) * 60.0);
+  }
+  if (argc >= 5) {
+    options.seed = static_cast<uint64_t>(std::strtoull(argv[4], nullptr, 10));
+  }
+
+  const std::string which = argv[1];
+  TraceRun run;
+  if (which == "linux-idle") {
+    run = RunLinuxIdle(options);
+  } else if (which == "linux-skype") {
+    run = RunLinuxSkype(options);
+  } else if (which == "linux-firefox") {
+    run = RunLinuxFirefox(options);
+  } else if (which == "linux-webserver") {
+    run = RunLinuxWebserver(options);
+  } else if (which == "vista-idle") {
+    run = RunVistaIdle(options);
+  } else if (which == "vista-skype") {
+    run = RunVistaSkype(options);
+  } else if (which == "vista-firefox") {
+    run = RunVistaFirefox(options);
+  } else if (which == "vista-webserver") {
+    run = RunVistaWebserver(options);
+  } else if (which == "vista-desktop") {
+    run = RunVistaDesktop(options);
+  } else {
+    std::fprintf(stderr, "error: unknown workload %s\n", which.c_str());
+    return 2;
+  }
+
+  if (!WriteTraceFile(argv[2], run.records, run.callsites())) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %zu records (%s, %s simulated) to %s\n", run.records.size(),
+              run.label.c_str(), FormatDuration(options.duration).c_str(), argv[2]);
+  return 0;
+}

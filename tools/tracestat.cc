@@ -1,0 +1,82 @@
+// tracestat — runs the full analysis pipeline over a recorded trace file:
+// summary, usage patterns, value histogram, origins, provenance, and an
+// optional blame window.
+//
+// Usage: tracestat <trace-file> [--blame <start-s> <end-s>] [--user-only]
+//                  [--no-jiffies]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/analysis/classify.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/origins.h"
+#include "src/analysis/provenance.h"
+#include "src/analysis/render.h"
+#include "src/analysis/summary.h"
+#include "src/trace/file.h"
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace-file> [--blame <start-s> <end-s>] [--user-only] "
+                 "[--no-jiffies]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool user_only = false;
+  bool jiffies = true;
+  double blame_start = -1;
+  double blame_end = -1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--user-only") == 0) {
+      user_only = true;
+    } else if (std::strcmp(argv[i], "--no-jiffies") == 0) {
+      jiffies = false;
+    } else if (std::strcmp(argv[i], "--blame") == 0 && i + 2 < argc) {
+      blame_start = std::atof(argv[i + 1]);
+      blame_end = std::atof(argv[i + 2]);
+      i += 2;
+    }
+  }
+
+  const auto trace = ReadTraceFile(argv[1]);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "error: cannot read trace file %s\n", argv[1]);
+    return 1;
+  }
+
+  const TraceSummary summary = Summarize(trace->records, argv[1]);
+  std::printf("%s\n", RenderSummaryTable({summary}).c_str());
+
+  const auto classes = ClassifyTrace(trace->records, ClassifyOptions{});
+  std::printf("usage patterns:\n%s\n",
+              RenderPatternHistogram({{"trace", PatternHistogram(classes)}}).c_str());
+
+  HistogramOptions histogram_options;
+  histogram_options.user_only = user_only;
+  histogram_options.jiffy_quantise_kernel = jiffies;
+  const ValueHistogram histogram = ComputeValueHistogram(trace->records, histogram_options);
+  std::printf("common values:\n%s\n",
+              RenderValueHistogram(histogram, jiffies).c_str());
+
+  OriginOptions origin_options;
+  origin_options.min_percent = 0.5;
+  std::printf("origins:\n%s\n",
+              RenderOrigins(ComputeOrigins(trace->records, trace->callsites,
+                                           origin_options)).c_str());
+
+  std::printf("provenance:\n%s\n",
+              RenderProvenance(BuildProvenanceForest(trace->records,
+                                                     trace->callsites)).c_str());
+
+  if (blame_start >= 0 && blame_end > blame_start) {
+    const auto blame = BlameWindow(trace->records, trace->callsites,
+                                   FromSeconds(blame_start), FromSeconds(blame_end));
+    std::printf("%s",
+                RenderBlame(blame, FromSeconds(blame_start), FromSeconds(blame_end)).c_str());
+  }
+  return 0;
+}
