@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adaptive_select"
+  "../bench/adaptive_select.pdb"
+  "CMakeFiles/adaptive_select.dir/adaptive_select.cc.o"
+  "CMakeFiles/adaptive_select.dir/adaptive_select.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adaptive_timeouts"
+  "../bench/adaptive_timeouts.pdb"
+  "CMakeFiles/adaptive_timeouts.dir/adaptive_timeouts.cc.o"
+  "CMakeFiles/adaptive_timeouts.dir/adaptive_timeouts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/classifier_ablation"
+  "../bench/classifier_ablation.pdb"
+  "CMakeFiles/classifier_ablation.dir/classifier_ablation.cc.o"
+  "CMakeFiles/classifier_ablation.dir/classifier_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dispatcher_ablation"
+  "../bench/dispatcher_ablation.pdb"
+  "CMakeFiles/dispatcher_ablation.dir/dispatcher_ablation.cc.o"
+  "CMakeFiles/dispatcher_ablation.dir/dispatcher_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatcher_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_vista_rates"
+  "../bench/fig01_vista_rates.pdb"
+  "CMakeFiles/fig01_vista_rates.dir/fig01_vista_rates.cc.o"
+  "CMakeFiles/fig01_vista_rates.dir/fig01_vista_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_vista_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

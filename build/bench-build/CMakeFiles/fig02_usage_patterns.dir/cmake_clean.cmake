@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_usage_patterns"
+  "../bench/fig02_usage_patterns.pdb"
+  "CMakeFiles/fig02_usage_patterns.dir/fig02_usage_patterns.cc.o"
+  "CMakeFiles/fig02_usage_patterns.dir/fig02_usage_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_usage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

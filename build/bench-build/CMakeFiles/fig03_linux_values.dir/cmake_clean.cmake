@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_linux_values"
+  "../bench/fig03_linux_values.pdb"
+  "CMakeFiles/fig03_linux_values.dir/fig03_linux_values.cc.o"
+  "CMakeFiles/fig03_linux_values.dir/fig03_linux_values.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_linux_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_linux_values.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_select_countdown"
+  "../bench/fig04_select_countdown.pdb"
+  "CMakeFiles/fig04_select_countdown.dir/fig04_select_countdown.cc.o"
+  "CMakeFiles/fig04_select_countdown.dir/fig04_select_countdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_select_countdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_filtered_values"
+  "../bench/fig05_filtered_values.pdb"
+  "CMakeFiles/fig05_filtered_values.dir/fig05_filtered_values.cc.o"
+  "CMakeFiles/fig05_filtered_values.dir/fig05_filtered_values.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_filtered_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_syscall_values"
+  "../bench/fig06_syscall_values.pdb"
+  "CMakeFiles/fig06_syscall_values.dir/fig06_syscall_values.cc.o"
+  "CMakeFiles/fig06_syscall_values.dir/fig06_syscall_values.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_syscall_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_vista_values"
+  "../bench/fig07_vista_values.pdb"
+  "CMakeFiles/fig07_vista_values.dir/fig07_vista_values.cc.o"
+  "CMakeFiles/fig07_vista_values.dir/fig07_vista_values.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vista_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_idle_scatter"
+  "../bench/fig08_idle_scatter.pdb"
+  "CMakeFiles/fig08_idle_scatter.dir/fig08_idle_scatter.cc.o"
+  "CMakeFiles/fig08_idle_scatter.dir/fig08_idle_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_idle_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_skype_scatter"
+  "../bench/fig09_skype_scatter.pdb"
+  "CMakeFiles/fig09_skype_scatter.dir/fig09_skype_scatter.cc.o"
+  "CMakeFiles/fig09_skype_scatter.dir/fig09_skype_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_skype_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_firefox_scatter"
+  "../bench/fig10_firefox_scatter.pdb"
+  "CMakeFiles/fig10_firefox_scatter.dir/fig10_firefox_scatter.cc.o"
+  "CMakeFiles/fig10_firefox_scatter.dir/fig10_firefox_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_firefox_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_webserver_scatter"
+  "../bench/fig11_webserver_scatter.pdb"
+  "CMakeFiles/fig11_webserver_scatter.dir/fig11_webserver_scatter.cc.o"
+  "CMakeFiles/fig11_webserver_scatter.dir/fig11_webserver_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_webserver_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/layering_failure"
+  "../bench/layering_failure.pdb"
+  "CMakeFiles/layering_failure.dir/layering_failure.cc.o"
+  "CMakeFiles/layering_failure.dir/layering_failure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layering_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_logging_overhead"
+  "../bench/micro_logging_overhead.pdb"
+  "CMakeFiles/micro_logging_overhead.dir/micro_logging_overhead.cc.o"
+  "CMakeFiles/micro_logging_overhead.dir/micro_logging_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_logging_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_wakeups"
+  "../bench/power_wakeups.pdb"
+  "CMakeFiles/power_wakeups.dir/power_wakeups.cc.o"
+  "CMakeFiles/power_wakeups.dir/power_wakeups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_wakeups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/soft_timers"
+  "../bench/soft_timers.pdb"
+  "CMakeFiles/soft_timers.dir/soft_timers.cc.o"
+  "CMakeFiles/soft_timers.dir/soft_timers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vista_summary"
+  "../bench/table2_vista_summary.pdb"
+  "CMakeFiles/table2_vista_summary.dir/table2_vista_summary.cc.o"
+  "CMakeFiles/table2_vista_summary.dir/table2_vista_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vista_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_origins"
+  "../bench/table3_origins.pdb"
+  "CMakeFiles/table3_origins.dir/table3_origins.cc.o"
+  "CMakeFiles/table3_origins.dir/table3_origins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_origins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_failover.dir/adaptive_failover.cpp.o"
+  "CMakeFiles/adaptive_failover.dir/adaptive_failover.cpp.o.d"
+  "adaptive_failover"
+  "adaptive_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_timeouts.dir/layered_timeouts.cpp.o"
+  "CMakeFiles/layered_timeouts.dir/layered_timeouts.cpp.o.d"
+  "layered_timeouts"
+  "layered_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_dispatcher.dir/media_dispatcher.cpp.o"
+  "CMakeFiles/media_dispatcher.dir/media_dispatcher.cpp.o.d"
+  "media_dispatcher"
+  "media_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

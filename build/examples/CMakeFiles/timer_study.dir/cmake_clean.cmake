@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_study.dir/timer_study.cpp.o"
+  "CMakeFiles/timer_study.dir/timer_study.cpp.o.d"
+  "timer_study"
+  "timer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

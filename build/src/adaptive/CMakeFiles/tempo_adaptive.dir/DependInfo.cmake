@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/adaptive_timeout.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/adaptive_timeout.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/adaptive_timeout.cc.o.d"
+  "/root/repo/src/adaptive/dependency.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/dependency.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/dependency.cc.o.d"
+  "/root/repo/src/adaptive/distribution.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/distribution.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/distribution.cc.o.d"
+  "/root/repo/src/adaptive/interfaces.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/interfaces.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/interfaces.cc.o.d"
+  "/root/repo/src/adaptive/phi_accrual.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/phi_accrual.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/phi_accrual.cc.o.d"
+  "/root/repo/src/adaptive/slack.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/slack.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/slack.cc.o.d"
+  "/root/repo/src/adaptive/timer_service.cc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/timer_service.cc.o" "gcc" "src/adaptive/CMakeFiles/tempo_adaptive.dir/timer_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oslinux/CMakeFiles/tempo_oslinux.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/tempo_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_adaptive.dir/adaptive_timeout.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/adaptive_timeout.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/dependency.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/dependency.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/distribution.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/distribution.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/interfaces.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/interfaces.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/phi_accrual.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/phi_accrual.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/slack.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/slack.cc.o.d"
+  "CMakeFiles/tempo_adaptive.dir/timer_service.cc.o"
+  "CMakeFiles/tempo_adaptive.dir/timer_service.cc.o.d"
+  "libtempo_adaptive.a"
+  "libtempo_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/classify.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/classify.cc.o.d"
+  "/root/repo/src/analysis/histogram.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/histogram.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/histogram.cc.o.d"
+  "/root/repo/src/analysis/lifetimes.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/lifetimes.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/lifetimes.cc.o.d"
+  "/root/repo/src/analysis/origins.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/origins.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/origins.cc.o.d"
+  "/root/repo/src/analysis/provenance.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/provenance.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/provenance.cc.o.d"
+  "/root/repo/src/analysis/rates.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/rates.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/rates.cc.o.d"
+  "/root/repo/src/analysis/render.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/render.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/render.cc.o.d"
+  "/root/repo/src/analysis/scatter.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/scatter.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/scatter.cc.o.d"
+  "/root/repo/src/analysis/summary.cc" "src/analysis/CMakeFiles/tempo_analysis.dir/summary.cc.o" "gcc" "src/analysis/CMakeFiles/tempo_analysis.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tempo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/oslinux/CMakeFiles/tempo_oslinux.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/tempo_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

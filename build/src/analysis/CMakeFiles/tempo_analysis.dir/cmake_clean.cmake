@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_analysis.dir/classify.cc.o"
+  "CMakeFiles/tempo_analysis.dir/classify.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/histogram.cc.o"
+  "CMakeFiles/tempo_analysis.dir/histogram.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/lifetimes.cc.o"
+  "CMakeFiles/tempo_analysis.dir/lifetimes.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/origins.cc.o"
+  "CMakeFiles/tempo_analysis.dir/origins.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/provenance.cc.o"
+  "CMakeFiles/tempo_analysis.dir/provenance.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/rates.cc.o"
+  "CMakeFiles/tempo_analysis.dir/rates.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/render.cc.o"
+  "CMakeFiles/tempo_analysis.dir/render.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/scatter.cc.o"
+  "CMakeFiles/tempo_analysis.dir/scatter.cc.o.d"
+  "CMakeFiles/tempo_analysis.dir/summary.cc.o"
+  "CMakeFiles/tempo_analysis.dir/summary.cc.o.d"
+  "libtempo_analysis.a"
+  "libtempo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_dispatcher.dir/dispatcher.cc.o"
+  "CMakeFiles/tempo_dispatcher.dir/dispatcher.cc.o.d"
+  "libtempo_dispatcher.a"
+  "libtempo_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dhcp.cc" "src/net/CMakeFiles/tempo_net.dir/dhcp.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/dhcp.cc.o.d"
+  "/root/repo/src/net/fileaccess.cc" "src/net/CMakeFiles/tempo_net.dir/fileaccess.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/fileaccess.cc.o.d"
+  "/root/repo/src/net/http.cc" "src/net/CMakeFiles/tempo_net.dir/http.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/http.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/tempo_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/network.cc.o.d"
+  "/root/repo/src/net/resolver.cc" "src/net/CMakeFiles/tempo_net.dir/resolver.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/resolver.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/tempo_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/tempo_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/tempo_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oslinux/CMakeFiles/tempo_oslinux.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/tempo_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

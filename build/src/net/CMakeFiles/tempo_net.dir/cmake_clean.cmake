@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_net.dir/dhcp.cc.o"
+  "CMakeFiles/tempo_net.dir/dhcp.cc.o.d"
+  "CMakeFiles/tempo_net.dir/fileaccess.cc.o"
+  "CMakeFiles/tempo_net.dir/fileaccess.cc.o.d"
+  "CMakeFiles/tempo_net.dir/http.cc.o"
+  "CMakeFiles/tempo_net.dir/http.cc.o.d"
+  "CMakeFiles/tempo_net.dir/network.cc.o"
+  "CMakeFiles/tempo_net.dir/network.cc.o.d"
+  "CMakeFiles/tempo_net.dir/resolver.cc.o"
+  "CMakeFiles/tempo_net.dir/resolver.cc.o.d"
+  "CMakeFiles/tempo_net.dir/rpc.cc.o"
+  "CMakeFiles/tempo_net.dir/rpc.cc.o.d"
+  "CMakeFiles/tempo_net.dir/tcp.cc.o"
+  "CMakeFiles/tempo_net.dir/tcp.cc.o.d"
+  "libtempo_net.a"
+  "libtempo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oslinux/kernel.cc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/kernel.cc.o" "gcc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/kernel.cc.o.d"
+  "/root/repo/src/oslinux/subsystems.cc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/subsystems.cc.o" "gcc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/subsystems.cc.o.d"
+  "/root/repo/src/oslinux/syscalls.cc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/syscalls.cc.o" "gcc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/syscalls.cc.o.d"
+  "/root/repo/src/oslinux/timer_stats.cc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/timer_stats.cc.o" "gcc" "src/oslinux/CMakeFiles/tempo_oslinux.dir/timer_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/tempo_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_oslinux.dir/kernel.cc.o"
+  "CMakeFiles/tempo_oslinux.dir/kernel.cc.o.d"
+  "CMakeFiles/tempo_oslinux.dir/subsystems.cc.o"
+  "CMakeFiles/tempo_oslinux.dir/subsystems.cc.o.d"
+  "CMakeFiles/tempo_oslinux.dir/syscalls.cc.o"
+  "CMakeFiles/tempo_oslinux.dir/syscalls.cc.o.d"
+  "CMakeFiles/tempo_oslinux.dir/timer_stats.cc.o"
+  "CMakeFiles/tempo_oslinux.dir/timer_stats.cc.o.d"
+  "libtempo_oslinux.a"
+  "libtempo_oslinux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_oslinux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

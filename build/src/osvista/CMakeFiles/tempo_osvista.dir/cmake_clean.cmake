@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_osvista.dir/kernel.cc.o"
+  "CMakeFiles/tempo_osvista.dir/kernel.cc.o.d"
+  "CMakeFiles/tempo_osvista.dir/userapi.cc.o"
+  "CMakeFiles/tempo_osvista.dir/userapi.cc.o.d"
+  "libtempo_osvista.a"
+  "libtempo_osvista.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_osvista.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempo_osvista.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for tempo_osvista.
+# This may be replaced when dependencies are built.

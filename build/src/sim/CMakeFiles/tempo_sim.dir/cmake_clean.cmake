@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_sim.dir/cpu.cc.o"
+  "CMakeFiles/tempo_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/tempo_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tempo_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tempo_sim.dir/process.cc.o"
+  "CMakeFiles/tempo_sim.dir/process.cc.o.d"
+  "CMakeFiles/tempo_sim.dir/random.cc.o"
+  "CMakeFiles/tempo_sim.dir/random.cc.o.d"
+  "CMakeFiles/tempo_sim.dir/simulator.cc.o"
+  "CMakeFiles/tempo_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tempo_sim.dir/time.cc.o"
+  "CMakeFiles/tempo_sim.dir/time.cc.o.d"
+  "libtempo_sim.a"
+  "libtempo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timer/factory.cc" "src/timer/CMakeFiles/tempo_timer.dir/factory.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/factory.cc.o.d"
+  "/root/repo/src/timer/hashed_wheel.cc" "src/timer/CMakeFiles/tempo_timer.dir/hashed_wheel.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/hashed_wheel.cc.o.d"
+  "/root/repo/src/timer/heap_queue.cc" "src/timer/CMakeFiles/tempo_timer.dir/heap_queue.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/heap_queue.cc.o.d"
+  "/root/repo/src/timer/hierarchical_wheel.cc" "src/timer/CMakeFiles/tempo_timer.dir/hierarchical_wheel.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/hierarchical_wheel.cc.o.d"
+  "/root/repo/src/timer/soft_timers.cc" "src/timer/CMakeFiles/tempo_timer.dir/soft_timers.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/soft_timers.cc.o.d"
+  "/root/repo/src/timer/tree_queue.cc" "src/timer/CMakeFiles/tempo_timer.dir/tree_queue.cc.o" "gcc" "src/timer/CMakeFiles/tempo_timer.dir/tree_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_timer.dir/factory.cc.o"
+  "CMakeFiles/tempo_timer.dir/factory.cc.o.d"
+  "CMakeFiles/tempo_timer.dir/hashed_wheel.cc.o"
+  "CMakeFiles/tempo_timer.dir/hashed_wheel.cc.o.d"
+  "CMakeFiles/tempo_timer.dir/heap_queue.cc.o"
+  "CMakeFiles/tempo_timer.dir/heap_queue.cc.o.d"
+  "CMakeFiles/tempo_timer.dir/hierarchical_wheel.cc.o"
+  "CMakeFiles/tempo_timer.dir/hierarchical_wheel.cc.o.d"
+  "CMakeFiles/tempo_timer.dir/soft_timers.cc.o"
+  "CMakeFiles/tempo_timer.dir/soft_timers.cc.o.d"
+  "CMakeFiles/tempo_timer.dir/tree_queue.cc.o"
+  "CMakeFiles/tempo_timer.dir/tree_queue.cc.o.d"
+  "libtempo_timer.a"
+  "libtempo_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/buffer.cc" "src/trace/CMakeFiles/tempo_trace.dir/buffer.cc.o" "gcc" "src/trace/CMakeFiles/tempo_trace.dir/buffer.cc.o.d"
+  "/root/repo/src/trace/callsite.cc" "src/trace/CMakeFiles/tempo_trace.dir/callsite.cc.o" "gcc" "src/trace/CMakeFiles/tempo_trace.dir/callsite.cc.o.d"
+  "/root/repo/src/trace/codec.cc" "src/trace/CMakeFiles/tempo_trace.dir/codec.cc.o" "gcc" "src/trace/CMakeFiles/tempo_trace.dir/codec.cc.o.d"
+  "/root/repo/src/trace/file.cc" "src/trace/CMakeFiles/tempo_trace.dir/file.cc.o" "gcc" "src/trace/CMakeFiles/tempo_trace.dir/file.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/tempo_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/tempo_trace.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

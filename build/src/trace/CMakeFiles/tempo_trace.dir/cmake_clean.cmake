@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_trace.dir/buffer.cc.o"
+  "CMakeFiles/tempo_trace.dir/buffer.cc.o.d"
+  "CMakeFiles/tempo_trace.dir/callsite.cc.o"
+  "CMakeFiles/tempo_trace.dir/callsite.cc.o.d"
+  "CMakeFiles/tempo_trace.dir/codec.cc.o"
+  "CMakeFiles/tempo_trace.dir/codec.cc.o.d"
+  "CMakeFiles/tempo_trace.dir/file.cc.o"
+  "CMakeFiles/tempo_trace.dir/file.cc.o.d"
+  "CMakeFiles/tempo_trace.dir/record.cc.o"
+  "CMakeFiles/tempo_trace.dir/record.cc.o.d"
+  "libtempo_trace.a"
+  "libtempo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempo_workloads.dir/linux_workloads.cc.o"
+  "CMakeFiles/tempo_workloads.dir/linux_workloads.cc.o.d"
+  "CMakeFiles/tempo_workloads.dir/select_apps.cc.o"
+  "CMakeFiles/tempo_workloads.dir/select_apps.cc.o.d"
+  "CMakeFiles/tempo_workloads.dir/vista_apps.cc.o"
+  "CMakeFiles/tempo_workloads.dir/vista_apps.cc.o.d"
+  "CMakeFiles/tempo_workloads.dir/vista_workloads.cc.o"
+  "CMakeFiles/tempo_workloads.dir/vista_workloads.cc.o.d"
+  "libtempo_workloads.a"
+  "libtempo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oslinux_test.dir/oslinux_test.cc.o"
+  "CMakeFiles/oslinux_test.dir/oslinux_test.cc.o.d"
+  "oslinux_test"
+  "oslinux_test.pdb"
+  "oslinux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oslinux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osvista_test.dir/osvista_test.cc.o"
+  "CMakeFiles/osvista_test.dir/osvista_test.cc.o.d"
+  "osvista_test"
+  "osvista_test.pdb"
+  "osvista_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osvista_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_timers_test.dir/soft_timers_test.cc.o"
+  "CMakeFiles/soft_timers_test.dir/soft_timers_test.cc.o.d"
+  "soft_timers_test"
+  "soft_timers_test.pdb"
+  "soft_timers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_timers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracefile_test.dir/tracefile_test.cc.o"
+  "CMakeFiles/tracefile_test.dir/tracefile_test.cc.o.d"
+  "tracefile_test"
+  "tracefile_test.pdb"
+  "tracefile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracefile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tempo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tempo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/osvista/CMakeFiles/tempo_osvista.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tempo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/oslinux/CMakeFiles/tempo_oslinux.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/tempo_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tempo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tempo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

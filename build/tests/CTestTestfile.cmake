@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/timer_test[1]_include.cmake")
+include("/root/repo/build/tests/oslinux_test[1]_include.cmake")
+include("/root/repo/build/tests/osvista_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatcher_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_timers_test[1]_include.cmake")
+include("/root/repo/build/tests/tracefile_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dhcp_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_property_test[1]_include.cmake")
+include("/root/repo/build/tests/phi_accrual_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/trace2txt"
+  "../tools/trace2txt.pdb"
+  "CMakeFiles/trace2txt.dir/trace2txt.cc.o"
+  "CMakeFiles/trace2txt.dir/trace2txt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace2txt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

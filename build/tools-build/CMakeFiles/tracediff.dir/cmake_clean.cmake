@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tracediff"
+  "../tools/tracediff.pdb"
+  "CMakeFiles/tracediff.dir/tracediff.cc.o"
+  "CMakeFiles/tracediff.dir/tracediff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracediff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

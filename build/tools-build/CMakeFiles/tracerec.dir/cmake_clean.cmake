@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tracerec"
+  "../tools/tracerec.pdb"
+  "CMakeFiles/tracerec.dir/tracerec.cc.o"
+  "CMakeFiles/tracerec.dir/tracerec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracerec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tracestat"
+  "../tools/tracestat.pdb"
+  "CMakeFiles/tracestat.dir/tracestat.cc.o"
+  "CMakeFiles/tracestat.dir/tracestat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracestat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_record "/root/repo/build/tools/tracerec" "linux-idle" "/root/repo/build/ctest_idle.trc" "1" "7")
+set_tests_properties(tools_record PROPERTIES  FIXTURES_SETUP "trace_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_record_b "/root/repo/build/tools/tracerec" "linux-idle" "/root/repo/build/ctest_idle_b.trc" "1" "9")
+set_tests_properties(tools_record_b PROPERTIES  FIXTURES_SETUP "trace_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_trace2txt "/root/repo/build/tools/trace2txt" "/root/repo/build/ctest_idle.trc" "10")
+set_tests_properties(tools_trace2txt PROPERTIES  FIXTURES_REQUIRED "trace_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tracestat "/root/repo/build/tools/tracestat" "/root/repo/build/ctest_idle.trc" "--blame" "5" "30")
+set_tests_properties(tools_tracestat PROPERTIES  FIXTURES_REQUIRED "trace_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tracediff "/root/repo/build/tools/tracediff" "/root/repo/build/ctest_idle.trc" "/root/repo/build/ctest_idle_b.trc")
+set_tests_properties(tools_tracediff PROPERTIES  FIXTURES_REQUIRED "trace_file" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_trace2txt_missing_file "/root/repo/build/tools/trace2txt" "/nonexistent.trc")
+set_tests_properties(tools_trace2txt_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
