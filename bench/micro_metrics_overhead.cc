@@ -1,0 +1,173 @@
+// Section 3.2 methodology applied to tempo's own probes.
+//
+// The paper validated its instrumentation by measuring it: 236 cycles to
+// gather and log one record over 1,000,000 consecutive runs, <0.1% total
+// CPU. This bench does the same for the obs layer: cycles per counter
+// increment, per histogram record, and per ScopedProbe in all three
+// states — enabled, runtime-disabled, and compiled out — over 1M-iteration
+// TSC-timed loops (plus google-benchmark timings for cross-checking).
+// Results land in BENCH_metrics.json; the acceptance bar is <10 cycles per
+// disabled probe.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
+
+namespace tempo {
+namespace {
+
+obs::Counter* BenchCounter() {
+  return obs::Registry::Global().GetCounter("bench_counter", {}, "overhead bench");
+}
+
+obs::Histogram* BenchHistogram() {
+  return obs::Registry::Global().GetHistogram("bench_histogram", {}, "overhead bench");
+}
+
+// Mirror of the TEMPO_OBS_COMPILED_OUT ScopedProbe (this TU builds with
+// probes compiled in, so the compiled-out flavour is reproduced locally;
+// the codegen is identical — empty ctor/dtor, argument unused).
+class CompiledOutProbe {
+ public:
+  explicit CompiledOutProbe(obs::Histogram*) {}
+  CompiledOutProbe(const CompiledOutProbe&) = delete;
+  CompiledOutProbe& operator=(const CompiledOutProbe&) = delete;
+};
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter* counter = BenchCounter();
+  for (auto _ : state) {
+    counter->Inc();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram* hist = BenchHistogram();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hist->Record(i++ & 0xffff);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ScopedProbeEnabled(benchmark::State& state) {
+  obs::SetProbesEnabled(true);
+  obs::Histogram* hist = BenchHistogram();
+  for (auto _ : state) {
+    obs::ScopedProbe probe(hist);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedProbeEnabled);
+
+void BM_ScopedProbeDisabled(benchmark::State& state) {
+  obs::SetProbesEnabled(false);
+  obs::Histogram* hist = BenchHistogram();
+  for (auto _ : state) {
+    obs::ScopedProbe probe(hist);
+    benchmark::ClobberMemory();
+  }
+  obs::SetProbesEnabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedProbeDisabled);
+
+void BM_ScopedProbeCompiledOut(benchmark::State& state) {
+  obs::Histogram* hist = BenchHistogram();
+  for (auto _ : state) {
+    CompiledOutProbe probe(hist);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedProbeCompiledOut);
+
+// The paper's own loop shape: N consecutive runs bracketed by one pair of
+// TSC reads, reporting cycles per operation. `Op` must not be optimised
+// away; each op touches registry state, which ClobberMemory pins.
+template <typename Op>
+double CyclesPerOp(Op op, uint64_t iterations) {
+  // Warm-up pass so the measured loop sees hot caches and a resolved
+  // branch predictor, like the paper's "1,000,000 consecutive runs".
+  for (uint64_t i = 0; i < iterations / 10; ++i) {
+    op(i);
+    benchmark::ClobberMemory();
+  }
+  const uint64_t start = obs::WallCycleClock();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    op(i);
+    benchmark::ClobberMemory();
+  }
+  const uint64_t end = obs::WallCycleClock();
+  return static_cast<double>(end - start) / static_cast<double>(iterations);
+}
+
+}  // namespace
+}  // namespace tempo
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+
+  constexpr uint64_t kIterations = 1000000;  // the paper's run count
+  obs::Counter* counter = BenchCounter();
+  obs::Histogram* hist = BenchHistogram();
+
+  const double counter_cycles = CyclesPerOp([&](uint64_t) { counter->Inc(); }, kIterations);
+  const double record_cycles =
+      CyclesPerOp([&](uint64_t i) { hist->Record(i & 0xffff); }, kIterations);
+  obs::SetProbesEnabled(true);
+  const double probe_enabled_cycles =
+      CyclesPerOp([&](uint64_t) { obs::ScopedProbe probe(hist); }, kIterations);
+  obs::SetProbesEnabled(false);
+  const double probe_disabled_cycles =
+      CyclesPerOp([&](uint64_t) { obs::ScopedProbe probe(hist); }, kIterations);
+  obs::SetProbesEnabled(true);
+  const double probe_compiled_out_cycles =
+      CyclesPerOp([&](uint64_t) { CompiledOutProbe probe(hist); }, kIterations);
+
+  std::printf("\ncycles/op over %llu consecutive runs (paper: 236 cycles/record):\n",
+              static_cast<unsigned long long>(kIterations));
+  std::printf("  counter inc           %8.2f\n", counter_cycles);
+  std::printf("  histogram record      %8.2f\n", record_cycles);
+  std::printf("  scoped probe enabled  %8.2f\n", probe_enabled_cycles);
+  std::printf("  scoped probe disabled %8.2f\n", probe_disabled_cycles);
+  std::printf("  scoped probe compiled out %4.2f\n", probe_compiled_out_cycles);
+
+  const bool disabled_ok = probe_disabled_cycles < 10.0;
+  std::printf("disabled path < 10 cycles: %s\n", disabled_ok ? "PASS" : "FAIL");
+
+  FILE* out = std::fopen("BENCH_metrics.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"experiment\": \"micro_metrics_overhead\",\n"
+                 "  \"paper_cycles_per_record\": 236,\n"
+                 "  \"iterations\": %llu,\n"
+                 "  \"cycles_per_counter_inc\": %.2f,\n"
+                 "  \"cycles_per_histogram_record\": %.2f,\n"
+                 "  \"cycles_per_probe_enabled\": %.2f,\n"
+                 "  \"cycles_per_probe_disabled\": %.2f,\n"
+                 "  \"cycles_per_probe_compiled_out\": %.2f,\n"
+                 "  \"disabled_under_10_cycles\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(kIterations), counter_cycles,
+                 record_cycles, probe_enabled_cycles, probe_disabled_cycles,
+                 probe_compiled_out_cycles, disabled_ok ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_metrics.json\n");
+  }
+  return disabled_ok ? 0 : 1;
+}

@@ -76,6 +76,7 @@ bool DispatchTask::Cancel(RequirementId id) {
     return false;
   }
   ++dispatcher_->canceled_;
+  dispatcher_->metrics_.canceled->Inc();
   dispatcher_->requirements_.erase(it);
   return true;
 }
@@ -90,7 +91,28 @@ TemporalDispatcher::TemporalDispatcher(Simulator* sim)
     : TemporalDispatcher(sim, Options{}) {}
 
 TemporalDispatcher::TemporalDispatcher(Simulator* sim, Options options)
-    : sim_(sim), options_(options) {}
+    : sim_(sim), options_(options) {
+  obs::Registry& reg = obs::Registry::Global();
+  metrics_.declared =
+      reg.GetCounter("dispatcher_declared", {}, "Temporal requirements declared");
+  metrics_.dispatched =
+      reg.GetCounter("dispatcher_dispatched", {}, "Requirements dispatched");
+  metrics_.canceled =
+      reg.GetCounter("dispatcher_canceled", {}, "Requirements canceled");
+  metrics_.piggybacked = reg.GetCounter(
+      "dispatcher_piggybacked", {},
+      "Dispatches batched onto an existing wakeup (no extra hardware timer)");
+  metrics_.hw_programs =
+      reg.GetCounter("dispatcher_hw_programs", {}, "Hardware timer programmings");
+  metrics_.reprograms_saved = reg.GetCounter(
+      "dispatcher_reprograms_saved", {},
+      "Reprogram requests absorbed because the timer was already aimed right");
+  metrics_.wakeups = reg.GetCounter("dispatcher_wakeups", {}, "Hardware wakeups taken");
+  metrics_.batch_size = reg.GetHistogram("dispatcher_batch_size", {},
+                                         "Requirements dispatched per wakeup");
+  metrics_.lateness_ns = reg.GetHistogram(
+      "dispatcher_lateness_ns", {}, "Dispatch lateness past the declared window (ns)");
+}
 
 TemporalDispatcher::~TemporalDispatcher() = default;
 
@@ -115,6 +137,7 @@ RequirementId TemporalDispatcher::Declare(DispatchTask* task, Kind kind, SimTime
   req->fn = std::move(fn);
   requirements_.emplace(id, std::move(req));
   ++declared_;
+  metrics_.declared->Inc();
   if (!in_dispatch_) {
     Reprogram();
   }
@@ -129,6 +152,9 @@ void TemporalDispatcher::Reprogram() {
     needed = std::min(needed, req->latest);
   }
   if (needed == wakeup_at_) {
+    if (needed != kNeverTime) {
+      metrics_.reprograms_saved->Inc();
+    }
     return;
   }
   if (wakeup_event_ != kInvalidEventId) {
@@ -141,6 +167,7 @@ void TemporalDispatcher::Reprogram() {
   }
   needed = std::max(needed, sim_->Now());
   ++hardware_programs_;
+  metrics_.hw_programs->Inc();
   wakeup_at_ = needed;
   wakeup_event_ = sim_->ScheduleAt(needed, [this] { OnWakeup(); });
 }
@@ -224,6 +251,11 @@ size_t TemporalDispatcher::DispatchDue(bool piggyback_pass) {
         break;
       }
     }
+    metrics_.dispatched->Inc();
+    if (!was_mandatory) {
+      metrics_.piggybacked->Inc();
+    }
+    metrics_.lateness_ns->Record(static_cast<uint64_t>(lateness));
     if (fn) {
       fn();
     }
@@ -236,10 +268,12 @@ void TemporalDispatcher::OnWakeup() {
   wakeup_event_ = kInvalidEventId;
   wakeup_at_ = kNeverTime;
   in_dispatch_ = true;
+  metrics_.wakeups->Inc();
   // Mandatory work first, then everything whose window is already open
   // (the batching that a per-timer design cannot do).
-  DispatchDue(/*piggyback_pass=*/false);
-  DispatchDue(/*piggyback_pass=*/true);
+  size_t batch = DispatchDue(/*piggyback_pass=*/false);
+  batch += DispatchDue(/*piggyback_pass=*/true);
+  metrics_.batch_size->Record(batch);
   in_dispatch_ = false;
   Reprogram();
 }

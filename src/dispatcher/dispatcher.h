@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace tempo {
@@ -181,6 +182,23 @@ class TemporalDispatcher {
   uint64_t declared_ = 0;
   uint64_t dispatched_ = 0;
   uint64_t canceled_ = 0;
+
+  // Self-metrics (obs registry instruments, resolved in the constructor).
+  struct Metrics {
+    obs::Counter* declared;
+    obs::Counter* dispatched;
+    obs::Counter* canceled;
+    obs::Counter* piggybacked;
+    obs::Counter* hw_programs;
+    // Reprogram() calls that found the hardware timer already aimed at the
+    // right deadline — the reprogramming a per-timer design would have done
+    // and this design avoids.
+    obs::Counter* reprograms_saved;
+    obs::Counter* wakeups;
+    obs::Histogram* batch_size;  // requirements dispatched per wakeup
+    obs::Histogram* lateness_ns; // dispatch lateness past the window's latest
+  };
+  Metrics metrics_;
 };
 
 }  // namespace tempo

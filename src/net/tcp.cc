@@ -25,6 +25,15 @@ struct TcpConnection::Timer {
   std::string callsite;
   bool armed = false;
 
+  // Shared expiry path for all three backing modes.
+  void Fire() {
+    armed = false;
+    stack->metric_timeouts_fired_->Inc();
+    if (fn) {
+      fn();
+    }
+  }
+
   void Arm(SimDuration timeout) {
     if (armed) {
       Cancel();
@@ -33,21 +42,11 @@ struct TcpConnection::Timer {
     if (stack->private_wheel_ != nullptr) {
       // Vista mode: the stack's own wheel, invisible to the trace.
       wheel_handle = stack->private_wheel_->Schedule(
-          stack->sim().Now() + timeout, [this](TimerHandle) {
-            armed = false;
-            if (fn) {
-              fn();
-            }
-          });
+          stack->sim().Now() + timeout, [this](TimerHandle) { Fire(); });
     } else if (ktimer != nullptr) {
       stack->kernel_->ModTimerRelative(ktimer, timeout);
     } else {
-      event = stack->sim().ScheduleAfter(timeout, [this] {
-        armed = false;
-        if (fn) {
-          fn();
-        }
-      });
+      event = stack->sim().ScheduleAfter(timeout, [this] { Fire(); });
     }
   }
 
@@ -56,6 +55,7 @@ struct TcpConnection::Timer {
       return;
     }
     armed = false;
+    stack->metric_timeouts_canceled_->Inc();
     if (stack->private_wheel_ != nullptr) {
       stack->private_wheel_->Cancel(wheel_handle);
       wheel_handle = kInvalidTimerHandle;
@@ -74,7 +74,13 @@ TcpStack::TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* ke
 TcpStack::TcpStack(Simulator* sim, SimNetwork* net, NodeId node, LinuxKernel* kernel, Pid pid,
                    TcpOptions options)
     : sim_fallback_(sim), net_(net), node_(node), kernel_(kernel), pid_(pid),
-      options_(options) {}
+      options_(options),
+      metric_retransmits_(obs::Registry::Global().GetCounter(
+          "net_retransmits", {}, "TCP segment and handshake retransmissions")),
+      metric_timeouts_fired_(obs::Registry::Global().GetCounter(
+          "net_timeouts", {{"fate", "fired"}}, "TCP timeouts by fate")),
+      metric_timeouts_canceled_(obs::Registry::Global().GetCounter(
+          "net_timeouts", {{"fate", "canceled"}}, "TCP timeouts by fate")) {}
 
 TcpStack::~TcpStack() = default;
 
@@ -188,12 +194,7 @@ TcpConnection::Timer* TcpStack::AllocTimer(const char* callsite) {
     // paper's Section 3.1 example. The provenance parent records the
     // containment so analysis can aggregate either way.
     const CallsiteId ip = kernel_->callsites().Intern("net/ip");
-    t->ktimer = kernel_->InitTimer(callsite, [t] {
-      t->armed = false;
-      if (t->fn) {
-        t->fn();
-      }
-    }, pid_, 0, false, ip);
+    t->ktimer = kernel_->InitTimer(callsite, [t] { t->Fire(); }, pid_, 0, false, ip);
   }
   return t;
 }
@@ -227,6 +228,7 @@ void TcpConnection::SendSyn() {
     handshake_sent_at_ = stack_->sim().Now();
   } else {
     handshake_retransmitted_ = true;
+    stack_->metric_retransmits_->Inc();
   }
   TcpListener* target = connect_target_;
   TcpConnection* self = this;
@@ -275,6 +277,7 @@ void TcpConnection::SendSynAck() {
     handshake_sent_at_ = stack_->sim().Now();
   } else {
     handshake_retransmitted_ = true;
+    stack_->metric_retransmits_->Inc();
   }
   TcpConnection* client = peer_;
   TcpConnection* self = this;
@@ -401,6 +404,7 @@ void TcpConnection::SendSegmentInternal(size_t bytes, uint64_t seq, bool retrans
   if (retransmission) {
     inflight_retransmitted_ = true;
     ++retransmits_;
+    stack_->metric_retransmits_->Inc();
   }
   TcpConnection* receiver = peer_;
   const uint64_t receiver_gen = peer_generation_;

@@ -32,6 +32,7 @@
 
 #include "src/net/network.h"
 #include "src/net/rto.h"
+#include "src/obs/metrics.h"
 #include "src/oslinux/kernel.h"
 #include "src/timer/hashed_wheel.h"
 
@@ -240,6 +241,13 @@ class TcpStack {
   // Timer-struct slabs, one free list per call-site.
   std::map<std::string, std::deque<TcpConnection::Timer*>> free_timers_;
   uint64_t connections_opened_ = 0;
+
+  // Self-metrics: segment/handshake retransmissions, and the fired-vs-
+  // canceled fate of TCP timeouts (the paper's headline observation is
+  // that most timeouts are canceled, not fired).
+  obs::Counter* metric_retransmits_;
+  obs::Counter* metric_timeouts_fired_;
+  obs::Counter* metric_timeouts_canceled_;
 };
 
 }  // namespace tempo

@@ -1,0 +1,175 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tempo {
+namespace obs {
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: q=0 -> first, q=1 -> last.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t in_bucket = buckets_[i];
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Interpolate within [lo, hi) by the fraction of the bucket's
+      // samples below the target rank. Clamp to the observed extremes so
+      // a one-bucket histogram reports values the caller actually fed in.
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      double v = lo + (hi - lo) * frac;
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+const SnapshotEntry* MetricsSnapshot::Find(const std::string& name) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const SnapshotEntry* MetricsSnapshot::Find(const std::string& name,
+                                           const Labels& labels) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name && e.labels == labels) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Registry::Instrument* Registry::FindOrCreate(const std::string& name, Labels labels,
+                                             const std::string& help,
+                                             SnapshotEntry::Kind kind) {
+  std::sort(labels.begin(), labels.end());
+  auto [it, inserted] = instruments_.try_emplace(Key{name, std::move(labels)});
+  Instrument& inst = it->second;
+  if (inserted) {
+    inst.name = it->first.first;
+    inst.labels = it->first.second;
+    inst.help = help;
+    inst.kind = kind;
+    switch (kind) {
+      case SnapshotEntry::Kind::kCounter:
+        inst.counter.reset(new Counter());
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        inst.gauge.reset(new Gauge());
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        inst.histogram.reset(new Histogram());
+        break;
+    }
+    return &inst;
+  }
+  if (inst.kind != kind) {
+    return nullptr;  // name already bound to a different instrument kind
+  }
+  if (inst.help.empty() && !help.empty()) {
+    inst.help = help;
+  }
+  return &inst;
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels,
+                              const std::string& help) {
+  Instrument* inst =
+      FindOrCreate(name, std::move(labels), help, SnapshotEntry::Kind::kCounter);
+  return inst == nullptr ? nullptr : inst->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels,
+                          const std::string& help) {
+  Instrument* inst =
+      FindOrCreate(name, std::move(labels), help, SnapshotEntry::Kind::kGauge);
+  return inst == nullptr ? nullptr : inst->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  Instrument* inst =
+      FindOrCreate(name, std::move(labels), help, SnapshotEntry::Kind::kHistogram);
+  return inst == nullptr ? nullptr : inst->histogram.get();
+}
+
+void Registry::Reset() {
+  for (auto& [key, inst] : instruments_) {
+    switch (inst.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        inst.counter->Reset();
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        inst.gauge->Reset();
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        inst.histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricsSnapshot Registry::TakeSnapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    SnapshotEntry e;
+    e.name = inst.name;
+    e.labels = inst.labels;
+    e.help = inst.help;
+    e.kind = inst.kind;
+    switch (inst.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        e.value = static_cast<int64_t>(inst.counter->value());
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        e.value = inst.gauge->value();
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        const Histogram& h = *inst.histogram;
+        e.count = h.count();
+        e.sum = h.sum();
+        e.min = h.min();
+        e.max = h.max();
+        e.p50 = h.Quantile(0.50);
+        e.p90 = h.Quantile(0.90);
+        e.p99 = h.Quantile(0.99);
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          if (h.buckets()[i] == 0) {
+            continue;
+          }
+          cumulative += h.buckets()[i];
+          e.cumulative_buckets.emplace_back(Histogram::BucketUpperBound(i), cumulative);
+        }
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace tempo

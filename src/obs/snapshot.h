@@ -1,0 +1,33 @@
+// Renderers for MetricsSnapshot: human text, machine JSON, and
+// Prometheus text exposition format.
+//
+// All three render from the same deterministically ordered snapshot, so
+// two snapshots of identical registry state produce byte-identical output
+// in every format — pinned by tests/obs_test.cc.
+
+#ifndef TEMPO_SRC_OBS_SNAPSHOT_H_
+#define TEMPO_SRC_OBS_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace tempo {
+namespace obs {
+
+// Aligned, human-readable table. Histograms render count/mean/p50/p90/p99.
+std::string RenderText(const MetricsSnapshot& snapshot);
+
+// One JSON object: {"metrics": [{"name": ..., "labels": {...}, ...}]}.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+// Prometheus text exposition format (# HELP / # TYPE, name{label="v"}
+// value). Histograms emit cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`, counters emit a `_total`-suffixed series if the
+// name does not already end in `_total`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OBS_SNAPSHOT_H_

@@ -2,15 +2,25 @@
 
 #include <utility>
 
+#include "src/obs/probe.h"
+
 namespace tempo {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed)
+    : rng_(seed),
+      metric_events_(obs::Registry::Global().GetCounter(
+          "sim_events_executed", {}, "Events executed by the sim event loop")),
+      metric_queue_hwm_(obs::Registry::Global().GetGauge(
+          "sim_event_queue_depth_hwm", {},
+          "High-water mark of live events in the pending-event queue")) {}
 
 EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
   if (at < now_) {
     at = now_;
   }
-  return queue_.Schedule(at, std::move(fn));
+  const EventId id = queue_.Schedule(at, std::move(fn));
+  metric_queue_hwm_->Max(static_cast<int64_t>(queue_.Size()));
+  return id;
 }
 
 EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
@@ -29,6 +39,7 @@ bool Simulator::Step() {
   EventQueue::Fired fired = queue_.Pop();
   now_ = fired.at;
   ++events_executed_;
+  metric_events_->Inc();
   fired.fn();
   return true;
 }
@@ -52,6 +63,24 @@ void Simulator::RunUntil(SimTime deadline) {
     now_ = deadline;
   }
   cpu_.Finish(now_);
+}
+
+namespace {
+
+// The simulator whose virtual clock backs the obs probe clock. A plain
+// global: the probe clock is a captureless function pointer, and tempo
+// processes drive one simulation at a time.
+Simulator* g_probe_clock_sim = nullptr;
+
+uint64_t SimProbeClock() {
+  return static_cast<uint64_t>(g_probe_clock_sim->Now());
+}
+
+}  // namespace
+
+void InstallSimProbeClock(Simulator* sim) {
+  g_probe_clock_sim = sim;
+  obs::SetProbeClock(sim != nullptr ? &SimProbeClock : nullptr);
 }
 
 }  // namespace tempo

@@ -11,6 +11,7 @@
 
 #include <functional>
 
+#include "src/obs/metrics.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/process.h"
@@ -72,7 +73,17 @@ class Simulator {
   Rng rng_;
   Cpu cpu_;
   ProcessTable processes_;
+
+  // Self-metrics (obs registry instruments, resolved once).
+  obs::Counter* metric_events_ = nullptr;
+  obs::Gauge* metric_queue_hwm_ = nullptr;
 };
+
+// Makes the obs probe clock read this simulator's virtual time (in
+// nanoseconds) instead of the TSC, so metrics snapshots are deterministic
+// and sim-mode runs perform no wall-clock reads. Pass nullptr to restore
+// the default wall clock.
+void InstallSimProbeClock(Simulator* sim);
 
 }  // namespace tempo
 

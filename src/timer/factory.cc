@@ -28,4 +28,23 @@ std::vector<std::string> TimerQueueNames() {
   return {"heap", "tree", "hashed_wheel", "hierarchical_wheel"};
 }
 
+TimerQueueStats TimerQueueStats::For(const std::string& queue) {
+  obs::Registry& reg = obs::Registry::Global();
+  const char* ops_help = "Timer-queue operations by implementation and op";
+  const char* lat_help = "Timer-queue operation latency in probe-clock cycles";
+  TimerQueueStats stats;
+  stats.set_ops = reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "set"}}, ops_help);
+  stats.cancel_ops =
+      reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "cancel"}}, ops_help);
+  stats.expire_ops =
+      reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "expire"}}, ops_help);
+  stats.set_cycles =
+      reg.GetHistogram("timer_op_cycles", {{"queue", queue}, {"op", "set"}}, lat_help);
+  stats.cancel_cycles =
+      reg.GetHistogram("timer_op_cycles", {{"queue", queue}, {"op", "cancel"}}, lat_help);
+  stats.advance_cycles =
+      reg.GetHistogram("timer_op_cycles", {{"queue", queue}, {"op", "advance"}}, lat_help);
+  return stats;
+}
+
 }  // namespace tempo

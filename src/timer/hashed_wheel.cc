@@ -22,6 +22,8 @@ uint64_t HashedWheelTimerQueue::TickFor(SimTime expiry) const {
 }
 
 TimerHandle HashedWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  stats_.set_ops->Inc();
   const TimerHandle handle = next_handle_++;
   const uint64_t tick = TickFor(expiry);
   const size_t slot = static_cast<size_t>(tick % slots_.size());
@@ -33,6 +35,8 @@ TimerHandle HashedWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback c
 }
 
 bool HashedWheelTimerQueue::Cancel(TimerHandle handle) {
+  obs::ScopedProbe probe(stats_.cancel_cycles);
+  stats_.cancel_ops->Inc();
   auto it = index_.find(handle);
   if (it == index_.end()) {
     return false;
@@ -44,6 +48,7 @@ bool HashedWheelTimerQueue::Cancel(TimerHandle handle) {
 }
 
 size_t HashedWheelTimerQueue::Advance(SimTime now) {
+  obs::ScopedProbe probe(stats_.advance_cycles);
   const uint64_t target_tick =
       static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);
   size_t fired = 0;
@@ -70,6 +75,7 @@ size_t HashedWheelTimerQueue::Advance(SimTime now) {
       ++fired;
     }
   }
+  stats_.expire_ops->Inc(fired);
   return fired;
 }
 

@@ -48,6 +48,7 @@ class HashedWheelTimerQueue : public TimerQueue {
   size_t size_ = 0;
   TimerHandle next_handle_ = 1;
   uint64_t entries_examined_ = 0;
+  TimerQueueStats stats_ = TimerQueueStats::For("hashed_wheel");
 };
 
 }  // namespace tempo

@@ -5,13 +5,19 @@
 namespace tempo {
 
 TimerHandle HeapTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  stats_.set_ops->Inc();
   const TimerHandle handle = next_handle_++;
   callbacks_.emplace(handle, std::move(cb));
   heap_.push(Entry{expiry, handle});
   return handle;
 }
 
-bool HeapTimerQueue::Cancel(TimerHandle handle) { return callbacks_.erase(handle) > 0; }
+bool HeapTimerQueue::Cancel(TimerHandle handle) {
+  obs::ScopedProbe probe(stats_.cancel_cycles);
+  stats_.cancel_ops->Inc();
+  return callbacks_.erase(handle) > 0;
+}
 
 void HeapTimerQueue::DropDeadHead() const {
   while (!heap_.empty() && callbacks_.find(heap_.top().handle) == callbacks_.end()) {
@@ -20,6 +26,7 @@ void HeapTimerQueue::DropDeadHead() const {
 }
 
 size_t HeapTimerQueue::Advance(SimTime now) {
+  obs::ScopedProbe probe(stats_.advance_cycles);
   size_t fired = 0;
   for (;;) {
     DropDeadHead();
@@ -34,6 +41,7 @@ size_t HeapTimerQueue::Advance(SimTime now) {
     cb(top.handle);
     ++fired;
   }
+  stats_.expire_ops->Inc(fired);
   return fired;
 }
 

@@ -41,6 +41,7 @@ class HeapTimerQueue : public TimerQueue {
   // Live entries only; cancellation erases from this map.
   std::unordered_map<TimerHandle, TimerQueueCallback> callbacks_;
   TimerHandle next_handle_ = 1;
+  TimerQueueStats stats_ = TimerQueueStats::For("heap");
 };
 
 }  // namespace tempo

@@ -56,6 +56,8 @@ void HierarchicalWheelTimerQueue::Place(Node node) {
 }
 
 TimerHandle HierarchicalWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  stats_.set_ops->Inc();
   const TimerHandle handle = next_handle_++;
   if (expiry < 0) {
     expiry = 0;
@@ -69,6 +71,8 @@ TimerHandle HierarchicalWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCall
 }
 
 bool HierarchicalWheelTimerQueue::Cancel(TimerHandle handle) {
+  obs::ScopedProbe probe(stats_.cancel_cycles);
+  stats_.cancel_ops->Inc();
   auto it = index_.find(handle);
   if (it == index_.end()) {
     return false;
@@ -124,6 +128,7 @@ void HierarchicalWheelTimerQueue::RunTick() {
 }
 
 size_t HierarchicalWheelTimerQueue::Advance(SimTime now) {
+  obs::ScopedProbe probe(stats_.advance_cycles);
   const uint64_t target_tick =
       static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);
   size_t fired = 0;
@@ -131,6 +136,7 @@ size_t HierarchicalWheelTimerQueue::Advance(SimTime now) {
     RunTick();
     fired += fired_this_tick_;
   }
+  stats_.expire_ops->Inc(fired);
   return fired;
 }
 

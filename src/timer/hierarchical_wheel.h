@@ -65,6 +65,7 @@ class HierarchicalWheelTimerQueue : public TimerQueue {
   TimerHandle next_handle_ = 1;
   uint64_t cascades_ = 0;
   size_t fired_this_tick_ = 0;
+  TimerQueueStats stats_ = TimerQueueStats::For("hierarchical_wheel");
 };
 
 }  // namespace tempo

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
 #include "src/sim/time.h"
 
 namespace tempo {
@@ -59,6 +61,24 @@ class TimerQueue {
 
   // Implementation name for reports.
   virtual std::string Name() const = 0;
+};
+
+// Self-metrics bundle shared by every timer-queue implementation: op
+// counters and op-latency histograms labelled by implementation name.
+// Instances of the same implementation share instruments (the registry
+// aggregates per label set); pointers are resolved once, at queue
+// construction, so the hot paths never do a name lookup.
+struct TimerQueueStats {
+  obs::Counter* set_ops = nullptr;
+  obs::Counter* cancel_ops = nullptr;
+  obs::Counter* expire_ops = nullptr;
+  obs::Histogram* set_cycles = nullptr;
+  obs::Histogram* cancel_cycles = nullptr;
+  obs::Histogram* advance_cycles = nullptr;
+
+  // Instruments for `timer_ops{queue=<queue>,op=...}` and
+  // `timer_op_cycles{queue=<queue>,op=...}`.
+  static TimerQueueStats For(const std::string& queue);
 };
 
 // Creates a queue by name: "heap", "tree", "hashed_wheel",

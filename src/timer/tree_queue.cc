@@ -5,6 +5,8 @@
 namespace tempo {
 
 TimerHandle TreeTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  stats_.set_ops->Inc();
   const TimerHandle handle = next_handle_++;
   auto it = tree_.emplace(expiry, std::make_pair(handle, std::move(cb)));
   index_.emplace(handle, it);
@@ -12,6 +14,8 @@ TimerHandle TreeTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
 }
 
 bool TreeTimerQueue::Cancel(TimerHandle handle) {
+  obs::ScopedProbe probe(stats_.cancel_cycles);
+  stats_.cancel_ops->Inc();
   auto it = index_.find(handle);
   if (it == index_.end()) {
     return false;
@@ -22,6 +26,7 @@ bool TreeTimerQueue::Cancel(TimerHandle handle) {
 }
 
 size_t TreeTimerQueue::Advance(SimTime now) {
+  obs::ScopedProbe probe(stats_.advance_cycles);
   size_t fired = 0;
   while (!tree_.empty() && tree_.begin()->first <= now) {
     auto it = tree_.begin();
@@ -32,6 +37,7 @@ size_t TreeTimerQueue::Advance(SimTime now) {
     cb(handle);
     ++fired;
   }
+  stats_.expire_ops->Inc(fired);
   return fired;
 }
 

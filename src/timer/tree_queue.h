@@ -29,6 +29,7 @@ class TreeTimerQueue : public TimerQueue {
   Tree tree_;
   std::unordered_map<TimerHandle, Tree::iterator> index_;
   TimerHandle next_handle_ = 1;
+  TimerQueueStats stats_ = TimerQueueStats::For("tree");
 };
 
 }  // namespace tempo

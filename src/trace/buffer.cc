@@ -4,22 +4,45 @@
 
 namespace tempo {
 
-void NullSink::Log(const TraceRecord& record) {
-  (void)record;
-  ++dropped_;
+namespace {
+
+obs::Counter* SinkCounter(const char* name, const char* sink, const char* help) {
+  return obs::Registry::Global().GetCounter(name, {{"sink", sink}}, help);
 }
 
-RelayBuffer::RelayBuffer(size_t capacity) : capacity_(capacity) {}
+constexpr char kLoggedHelp[] = "Trace records accepted by the sink";
+constexpr char kDroppedHelp[] = "Trace records dropped or discarded by the sink";
+constexpr char kChargedHelp[] = "CPU cycles charged for logging, by sink";
+
+}  // namespace
+
+NullSink::NullSink()
+    : metric_discarded_(SinkCounter("trace_records_dropped", "null", kDroppedHelp)) {}
+
+void NullSink::Log(const TraceRecord& record) {
+  (void)record;
+  ++discarded_;
+  metric_discarded_->Inc();
+}
+
+RelayBuffer::RelayBuffer(size_t capacity)
+    : capacity_(capacity),
+      metric_logged_(SinkCounter("trace_records_logged", "relay", kLoggedHelp)),
+      metric_dropped_(SinkCounter("trace_records_dropped", "relay", kDroppedHelp)),
+      metric_charged_(SinkCounter("trace_charged_cycles", "relay", kChargedHelp)) {}
 
 void RelayBuffer::Log(const TraceRecord& record) {
   if (cpu_ != nullptr) {
     cpu_->ChargeCycles(cost_cycles_);
+    metric_charged_->Inc(cost_cycles_);
   }
   if (records_.size() >= capacity_) {
     ++dropped_;  // relayfs semantics: drop new, keep old
+    metric_dropped_->Inc();
     return;
   }
   records_.push_back(record);
+  metric_logged_->Inc();
 }
 
 std::vector<TraceRecord> RelayBuffer::TakeRecords() {
@@ -29,11 +52,17 @@ std::vector<TraceRecord> RelayBuffer::TakeRecords() {
   return out;
 }
 
+EtwSession::EtwSession()
+    : metric_logged_(SinkCounter("trace_records_logged", "etw", kLoggedHelp)),
+      metric_charged_(SinkCounter("trace_charged_cycles", "etw", kChargedHelp)) {}
+
 void EtwSession::Log(const TraceRecord& record) {
   if (cpu_ != nullptr) {
     cpu_->ChargeCycles(cost_cycles_);
+    metric_charged_->Inc(cost_cycles_);
   }
   records_.push_back(record);
+  metric_logged_->Inc();
 }
 
 std::vector<TraceRecord> EtwSession::TakeRecords() {

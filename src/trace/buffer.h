@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/cpu.h"
 #include "src/trace/record.h"
 
@@ -34,15 +35,23 @@ class TraceSink {
 };
 
 // Sink that discards everything; stands in for the "unmodified kernel" runs
-// used to measure instrumentation perturbation.
+// used to measure instrumentation perturbation. It deliberately charges no
+// CPU cycles — that is the point of the baseline — but it does count the
+// records it swallows, so a perturbation experiment can still verify that
+// both runs *attempted* the same amount of logging. The count is exposed as
+// `discarded()` (not `dropped()`): nothing was lost to overflow as in
+// RelayBuffer; every record was discarded by design.
 class NullSink : public TraceSink {
  public:
+  NullSink();
+
   void Log(const TraceRecord& record) override;
 
-  uint64_t dropped() const { return dropped_; }
+  uint64_t discarded() const { return discarded_; }
 
  private:
-  uint64_t dropped_ = 0;
+  uint64_t discarded_ = 0;
+  obs::Counter* metric_discarded_;
 };
 
 // Bounded, ordered trace buffer with relayfs overflow semantics: once the
@@ -78,6 +87,9 @@ class RelayBuffer : public TraceSink {
   uint64_t dropped_ = 0;
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
+  obs::Counter* metric_logged_;
+  obs::Counter* metric_dropped_;
+  obs::Counter* metric_charged_;
 };
 
 // ETW-style session: unbounded buffer (bounded only by memory), same record
@@ -85,7 +97,7 @@ class RelayBuffer : public TraceSink {
 // the records' `stack` field via CallsiteRegistry::InternStack.
 class EtwSession : public TraceSink {
  public:
-  EtwSession() = default;
+  EtwSession();
 
   void Log(const TraceRecord& record) override;
 
@@ -101,6 +113,8 @@ class EtwSession : public TraceSink {
   std::vector<TraceRecord> records_;
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
+  obs::Counter* metric_logged_;
+  obs::Counter* metric_charged_;
 };
 
 }  // namespace tempo

@@ -1,0 +1,339 @@
+// Unit tests for the obs self-metrics layer: registry uniqueness,
+// histogram bucket boundaries and quantiles, probe behaviour, snapshot
+// determinism under a virtual probe clock, and the three renderers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/dispatcher/dispatcher.h"
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
+#include "src/obs/snapshot.h"
+#include "src/sim/simulator.h"
+#include "src/timer/queue.h"
+
+namespace tempo {
+namespace {
+
+using obs::Histogram;
+using obs::Registry;
+
+// Tests share the process-global registry with every other instrumented
+// subsystem, so each test zeroes values first and asserts on deltas or on
+// a private Registry instance.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::Global().Reset();
+    obs::SetProbesEnabled(true);
+    obs::SetProbeClock(nullptr);  // default wall clock
+  }
+  void TearDown() override {
+    obs::SetProbesEnabled(true);
+    obs::SetProbeClock(nullptr);
+  }
+};
+
+// --- Registry ---
+
+TEST_F(ObsTest, SameNameAndLabelsReturnsSameInstrument) {
+  Registry reg;
+  obs::Counter* a = reg.GetCounter("ops", {{"queue", "heap"}});
+  obs::Counter* b = reg.GetCounter("ops", {{"queue", "heap"}});
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST_F(ObsTest, LabelOrderDoesNotMatter) {
+  Registry reg;
+  obs::Counter* a = reg.GetCounter("ops", {{"queue", "heap"}, {"op", "set"}});
+  obs::Counter* b = reg.GetCounter("ops", {{"op", "set"}, {"queue", "heap"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ObsTest, DifferentLabelsReturnDistinctInstruments) {
+  Registry reg;
+  obs::Counter* a = reg.GetCounter("ops", {{"queue", "heap"}});
+  obs::Counter* b = reg.GetCounter("ops", {{"queue", "tree"}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST_F(ObsTest, KindMismatchReturnsNull) {
+  Registry reg;
+  ASSERT_NE(reg.GetCounter("x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("x"), nullptr);
+  // The original is untouched and still reachable.
+  EXPECT_NE(reg.GetCounter("x"), nullptr);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsInstruments) {
+  Registry reg;
+  obs::Counter* c = reg.GetCounter("c");
+  obs::Histogram* h = reg.GetHistogram("h");
+  c->Inc(7);
+  h->Record(42);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("c"), c);  // same instrument, pointer-stable
+}
+
+// --- Histogram ---
+
+TEST_F(ObsTest, BucketBoundariesArePowersOfTwo) {
+  // 0 is its own bucket; then [1,2), [2,4), [4,8), ...
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The top bucket absorbs the extreme range instead of overflowing.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBucketCount - 1);
+  for (size_t i = 0; i < Histogram::kBucketCount - 1; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_LT(lo, hi);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(hi - 1), i) << "upper bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(hi), i + 1);
+  }
+}
+
+TEST_F(ObsTest, HistogramTracksCountSumMinMax) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("h");
+  h->Record(10);
+  h->Record(100);
+  h->Record(1);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 111u);
+  EXPECT_EQ(h->min(), 1u);
+  EXPECT_EQ(h->max(), 100u);
+  EXPECT_DOUBLE_EQ(h->mean(), 37.0);
+}
+
+TEST_F(ObsTest, SingleValueQuantilesAreExact) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("h");
+  for (int i = 0; i < 1000; ++i) {
+    h->Record(236);  // the paper's cycles/record
+  }
+  EXPECT_DOUBLE_EQ(h->Quantile(0.50), 236.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.90), 236.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 236.0);
+}
+
+TEST_F(ObsTest, QuantilesRespectBucketResolution) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("h");
+  // 90 fast ops in [8,16), 10 slow ops in [1024,2048).
+  for (int i = 0; i < 90; ++i) {
+    h->Record(10);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h->Record(1500);
+  }
+  // p50 lands in the fast bucket, p99 in the slow one; log-scale buckets
+  // bound each estimate within a factor of two of the true value.
+  EXPECT_GE(h->Quantile(0.50), 8.0);
+  EXPECT_LT(h->Quantile(0.50), 16.0);
+  EXPECT_GE(h->Quantile(0.99), 1024.0);
+  EXPECT_LE(h->Quantile(0.99), 1500.0);
+  EXPECT_EQ(h->Quantile(0.0), 10.0);   // clamped to observed min
+  EXPECT_EQ(h->Quantile(1.0), 1500.0); // clamped to observed max
+}
+
+TEST_F(ObsTest, EmptyHistogramQuantileIsZero) {
+  Registry reg;
+  EXPECT_DOUBLE_EQ(reg.GetHistogram("h")->Quantile(0.99), 0.0);
+}
+
+// --- ScopedProbe ---
+
+uint64_t g_test_cycles = 0;
+uint64_t TestClock() { return g_test_cycles += 10; }
+
+TEST_F(ObsTest, ProbeRecordsElapsedProbeClockCycles) {
+  obs::SetProbeClock(&TestClock);
+  Registry reg;
+  Histogram* h = reg.GetHistogram("probe");
+  {
+    obs::ScopedProbe probe(h);  // start read, then end read: 10 cycles apart
+  }
+  ASSERT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum(), 10u);
+}
+
+TEST_F(ObsTest, DisabledProbesRecordNothing) {
+  obs::SetProbeClock(&TestClock);
+  Registry reg;
+  Histogram* h = reg.GetHistogram("probe");
+  obs::SetProbesEnabled(false);
+  const uint64_t clock_before = g_test_cycles;
+  {
+    obs::ScopedProbe probe(h);
+  }
+  EXPECT_EQ(h->count(), 0u);
+  // The disabled path must not even read the clock.
+  EXPECT_EQ(g_test_cycles, clock_before);
+}
+
+TEST_F(ObsTest, NullHistogramProbeIsSafe) {
+  obs::ScopedProbe probe(nullptr);  // e.g. a kind-mismatched Get
+}
+
+// --- Snapshot determinism under the sim clock ---
+
+// Runs a deterministic simulation exercising probed subsystems (timer
+// queue + dispatcher + sim core) and returns the rendered snapshot.
+std::string RunScenarioAndSnapshot() {
+  Registry::Global().Reset();
+  Simulator sim(42);
+  InstallSimProbeClock(&sim);  // virtual time only: no wall-clock reads
+  auto queue = MakeTimerQueue("tree");
+  for (int i = 0; i < 100; ++i) {
+    const TimerHandle h = queue->Schedule(i * kMillisecond, [](TimerHandle) {});
+    if (i % 3 == 0) {
+      queue->Cancel(h);
+    }
+  }
+  TemporalDispatcher dispatcher(&sim);
+  DispatchTask* task = dispatcher.CreateTask("t");
+  task->RunEvery(5 * kMillisecond, kMillisecond, [&queue, &sim] {
+    queue->Advance(sim.Now());
+  });
+  sim.RunFor(200 * kMillisecond);
+  InstallSimProbeClock(nullptr);
+  const obs::MetricsSnapshot snap = Registry::Global().TakeSnapshot();
+  return obs::RenderText(snap) + obs::RenderJson(snap) + obs::RenderPrometheus(snap);
+}
+
+TEST_F(ObsTest, SnapshotIsDeterministicUnderSimClock) {
+  const std::string first = RunScenarioAndSnapshot();
+  const std::string second = RunScenarioAndSnapshot();
+  EXPECT_EQ(first, second);
+  // And the scenario actually produced timer metrics, not an empty echo.
+  EXPECT_NE(first.find("timer_ops{op=\"set\",queue=\"tree\"}"), std::string::npos);
+  EXPECT_NE(first.find("dispatcher_batch_size"), std::string::npos);
+}
+
+// --- Instrumented subsystems report through the global registry ---
+
+TEST_F(ObsTest, TimerQueueOpsAreCounted) {
+  for (const std::string& name : TimerQueueNames()) {
+    Registry::Global().Reset();
+    auto queue = MakeTimerQueue(name);
+    const TimerHandle a = queue->Schedule(kMillisecond, [](TimerHandle) {});
+    queue->Schedule(2 * kMillisecond, [](TimerHandle) {});
+    queue->Cancel(a);
+    queue->Advance(10 * kMillisecond);
+    const obs::MetricsSnapshot snap = Registry::Global().TakeSnapshot();
+    const obs::SnapshotEntry* set =
+        snap.Find("timer_ops", {{"op", "set"}, {"queue", name}});
+    const obs::SnapshotEntry* cancel =
+        snap.Find("timer_ops", {{"op", "cancel"}, {"queue", name}});
+    const obs::SnapshotEntry* expire =
+        snap.Find("timer_ops", {{"op", "expire"}, {"queue", name}});
+    ASSERT_NE(set, nullptr) << name;
+    ASSERT_NE(cancel, nullptr) << name;
+    ASSERT_NE(expire, nullptr) << name;
+    EXPECT_EQ(set->value, 2) << name;
+    EXPECT_EQ(cancel->value, 1) << name;
+    EXPECT_EQ(expire->value, 1) << name;
+  }
+}
+
+TEST_F(ObsTest, DispatcherBatchingIsMeasured) {
+  Simulator sim(7);
+  TemporalDispatcher dispatcher(&sim);
+  DispatchTask* a = dispatcher.CreateTask("a");
+  DispatchTask* b = dispatcher.CreateTask("b");
+  // Two cadences with generous slack collapse into shared wakeups.
+  a->RunEvery(10 * kMillisecond, 8 * kMillisecond, [] {});
+  b->RunEvery(10 * kMillisecond, 8 * kMillisecond, [] {});
+  sim.RunFor(kSecond);
+  const obs::MetricsSnapshot snap = Registry::Global().TakeSnapshot();
+  const obs::SnapshotEntry* batch = snap.Find("dispatcher_batch_size");
+  const obs::SnapshotEntry* dispatched = snap.Find("dispatcher_dispatched");
+  ASSERT_NE(batch, nullptr);
+  ASSERT_NE(dispatched, nullptr);
+  EXPECT_GT(batch->count, 0u);
+  EXPECT_EQ(batch->sum, static_cast<uint64_t>(dispatched->value));
+  EXPECT_EQ(static_cast<uint64_t>(dispatched->value),
+            dispatcher.dispatched());
+}
+
+TEST_F(ObsTest, SimulatorReportsEventsAndQueueDepth) {
+  Simulator sim(1);
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleAfter(i * kMillisecond, [] {});
+  }
+  sim.Run();
+  const obs::MetricsSnapshot snap = Registry::Global().TakeSnapshot();
+  const obs::SnapshotEntry* events = snap.Find("sim_events_executed");
+  const obs::SnapshotEntry* hwm = snap.Find("sim_event_queue_depth_hwm");
+  ASSERT_NE(events, nullptr);
+  ASSERT_NE(hwm, nullptr);
+  EXPECT_EQ(events->value, 50);
+  EXPECT_EQ(hwm->value, 50);
+}
+
+// --- Renderers ---
+
+TEST_F(ObsTest, RenderersAgreeOnValues) {
+  Registry reg;
+  reg.GetCounter("requests", {{"code", "200"}}, "Requests served")->Inc(5);
+  reg.GetGauge("depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("latency", {}, "Op latency");
+  h->Record(3);
+  h->Record(5);
+  const obs::MetricsSnapshot snap = reg.TakeSnapshot();
+
+  const std::string text = obs::RenderText(snap);
+  EXPECT_NE(text.find("requests{code=\"200\"}"), std::string::npos);
+  EXPECT_NE(text.find("5"), std::string::npos);
+  EXPECT_NE(text.find("-3"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+
+  const std::string json = obs::RenderJson(snap);
+  EXPECT_NE(json.find("\"name\":\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"code\":\"200\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\",\"count\":2,\"sum\":8"),
+            std::string::npos);
+
+  const std::string prom = obs::RenderPrometheus(snap);
+  EXPECT_NE(prom.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("requests_total{code=\"200\"} 5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("depth -3"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP latency Op latency"), std::string::npos);
+  EXPECT_NE(prom.find("latency_bucket{le=\"4\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("latency_bucket{le=\"8\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("latency_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("latency_sum 8"), std::string::npos);
+  EXPECT_NE(prom.find("latency_count 2"), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotOrderIsSortedAndStable) {
+  Registry reg;
+  reg.GetCounter("zebra");
+  reg.GetCounter("alpha");
+  reg.GetCounter("mid", {{"l", "b"}});
+  reg.GetCounter("mid", {{"l", "a"}});
+  const obs::MetricsSnapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.entries.size(), 4u);
+  EXPECT_EQ(snap.entries[0].name, "alpha");
+  EXPECT_EQ(snap.entries[1].name, "mid");
+  EXPECT_EQ(snap.entries[1].labels[0].second, "a");
+  EXPECT_EQ(snap.entries[2].labels[0].second, "b");
+  EXPECT_EQ(snap.entries[3].name, "zebra");
+}
+
+}  // namespace
+}  // namespace tempo

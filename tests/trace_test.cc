@@ -139,7 +139,48 @@ TEST(NullSinkTest, CountsButDiscards) {
   NullSink sink;
   sink.Log(MakeRecord(0, TimerOp::kSet, 1));
   sink.Log(MakeRecord(1, TimerOp::kSet, 1));
-  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.discarded(), 2u);
+}
+
+// Pins the drop/charge contract across all three sinks:
+//   * NullSink counts every record as discarded (by design, not overflow)
+//     and never charges the CPU — it is the unmodified-kernel baseline.
+//   * RelayBuffer charges per Log attempt (relayfs pays the instrumentation
+//     cost before discovering the buffer is full) and drops only on
+//     overflow, keeping old records.
+//   * EtwSession charges per Log and never drops.
+TEST(SinkAccountingTest, NullSinkNeverChargesCpu) {
+  Cpu cpu;
+  NullSink sink;  // no AttachCpu API: the baseline cannot charge by design
+  sink.Log(MakeRecord(0, TimerOp::kSet, 1));
+  EXPECT_EQ(sink.discarded(), 1u);
+  EXPECT_EQ(cpu.charged_cycles(), 0u);
+}
+
+TEST(SinkAccountingTest, RelayBufferChargesEvenForDroppedRecords) {
+  Cpu cpu;
+  RelayBuffer buffer(2);
+  buffer.AttachCpu(&cpu, 100);
+  for (int i = 0; i < 5; ++i) {
+    buffer.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  EXPECT_EQ(buffer.logged(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  EXPECT_EQ(cpu.charged_cycles(), 500u);  // all five attempts paid the cost
+  // Old records survive; the dropped ones were the new arrivals.
+  EXPECT_EQ(buffer.records()[0].timestamp, 0);
+  EXPECT_EQ(buffer.records()[1].timestamp, 1);
+}
+
+TEST(SinkAccountingTest, EtwSessionChargesAndNeverDrops) {
+  Cpu cpu;
+  EtwSession session;
+  session.AttachCpu(&cpu, kPaperLogCostCycles);
+  for (int i = 0; i < 10; ++i) {
+    session.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  EXPECT_EQ(session.records().size(), 10u);
+  EXPECT_EQ(cpu.charged_cycles(), 10 * kPaperLogCostCycles);
 }
 
 TEST(EtwSessionTest, Unbounded) {

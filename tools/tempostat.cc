@@ -1,0 +1,186 @@
+// tempostat — runs a named workload and dumps tempo's own metrics
+// snapshot: timer-queue op counts and latencies, dispatcher batching
+// efficiency, trace-sink drop rates, sim event-loop throughput, TCP
+// timeout fates.
+//
+// Usage: tempostat <workload> [--minutes M] [--seed S]
+//                  [--format text|json|prom|all] [--wall]
+//   workload: micromix (synthetic: all four timer queues, the temporal
+//             dispatcher, and a short traced webserver run) or any of
+//             tracerec's workloads: linux-{idle,skype,firefox,webserver},
+//             vista-{idle,skype,firefox,webserver,desktop}.
+//
+// By default the obs probe clock is a deterministic virtual counter, so
+// repeated runs with the same arguments produce byte-identical snapshots
+// (op counts and relative latencies are simulation facts, not wall-clock
+// noise). Pass --wall to measure real TSC cycles instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dispatcher/dispatcher.h"
+#include "src/obs/probe.h"
+#include "src/obs/snapshot.h"
+#include "src/sim/simulator.h"
+#include "src/timer/queue.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+
+namespace tempo {
+namespace {
+
+// Deterministic probe clock: advances one "cycle" per read, so a probed
+// region's cost equals the number of probe-clock reads it contains —
+// stable across machines and runs.
+uint64_t g_virtual_cycles = 0;
+uint64_t VirtualCycleClock() { return ++g_virtual_cycles; }
+
+// Exercises one timer-queue implementation with a set/cancel/expire mix
+// echoing the paper's headline shape: most timers are canceled, not fired.
+void DriveQueue(const std::string& name, uint64_t seed) {
+  std::unique_ptr<TimerQueue> queue = MakeTimerQueue(name);
+  uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<TimerHandle> handles;
+  handles.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime expiry = static_cast<SimTime>(next() % 2000) * kMillisecond;
+    handles.push_back(queue->Schedule(expiry, [](TimerHandle) {}));
+  }
+  // Cancel ~70% before they can fire (Section 4: "timers are overwhelmingly
+  // used as insurance against events that rarely happen").
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (i % 10 < 7) {
+      queue->Cancel(handles[i]);
+    }
+  }
+  for (SimTime t = 100 * kMillisecond; t <= 2 * kSecond; t += 100 * kMillisecond) {
+    queue->Advance(t);
+  }
+}
+
+// A dispatcher scenario with enough concurrent cadences that batching and
+// piggybacking actually happen.
+void DriveDispatcher(uint64_t seed) {
+  Simulator sim(seed);
+  TemporalDispatcher dispatcher(&sim);
+  DispatchTask* media = dispatcher.CreateTask("media", 4);
+  media->RunEvery(10 * kMillisecond, 2 * kMillisecond, [] {});
+  DispatchTask* poll = dispatcher.CreateTask("poll", 1);
+  poll->RunEvery(30 * kMillisecond, 20 * kMillisecond, [] {});
+  DispatchTask* housekeeping = dispatcher.CreateTask("housekeeping", 1);
+  housekeeping->RunEvery(500 * kMillisecond, 400 * kMillisecond, [] {});
+  DispatchTask* guard_owner = dispatcher.CreateTask("guarded-io", 2);
+  const RequirementId guard =
+      guard_owner->Guard(5 * kSecond, [] { std::fprintf(stderr, "watchdog fired\n"); });
+  DispatchTask* kicker = dispatcher.CreateTask("kicker", 1);
+  kicker->RunEvery(1 * kSecond, 100 * kMillisecond,
+                   [guard_owner, guard] { guard_owner->Kick(guard); });
+  sim.RunFor(30 * kSecond);
+}
+
+int Fail(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <workload> [--minutes M] [--seed S]\n"
+               "       [--format text|json|prom|all] [--wall]\n"
+               "  workloads: micromix, linux-{idle,skype,firefox,webserver},\n"
+               "             vista-{idle,skype,firefox,webserver,desktop}\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace tempo
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  if (argc < 2) {
+    return Fail(argv[0]);
+  }
+  const std::string which = argv[1];
+  std::string format = "text";
+  double minutes = 3.0;
+  uint64_t seed = 2008;
+  bool wall = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--minutes" && i + 1 < argc) {
+      minutes = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--wall") {
+      wall = true;
+    } else {
+      return Fail(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json" && format != "prom" && format != "all") {
+    return Fail(argv[0]);
+  }
+
+  if (!wall) {
+    obs::SetProbeClock(&VirtualCycleClock);
+  }
+
+  WorkloadOptions options;
+  options.duration = FromSeconds(minutes * 60.0);
+  options.seed = seed;
+
+  // Keeps the workload's simulator/kernel alive until the snapshot is taken.
+  TraceRun run;
+  if (which == "micromix") {
+    for (const std::string& name : TimerQueueNames()) {
+      DriveQueue(name, seed);
+    }
+    DriveDispatcher(seed);
+    // A short traced webserver run covers the kernel wheel, the trace
+    // sinks and the TCP stack in one go.
+    options.duration = FromSeconds(std::min(minutes, 1.0) * 60.0);
+    run = RunLinuxWebserver(options);
+  } else if (which == "linux-idle") {
+    run = RunLinuxIdle(options);
+  } else if (which == "linux-skype") {
+    run = RunLinuxSkype(options);
+  } else if (which == "linux-firefox") {
+    run = RunLinuxFirefox(options);
+  } else if (which == "linux-webserver") {
+    run = RunLinuxWebserver(options);
+  } else if (which == "vista-idle") {
+    run = RunVistaIdle(options);
+  } else if (which == "vista-skype") {
+    run = RunVistaSkype(options);
+  } else if (which == "vista-firefox") {
+    run = RunVistaFirefox(options);
+  } else if (which == "vista-webserver") {
+    run = RunVistaWebserver(options);
+  } else if (which == "vista-desktop") {
+    run = RunVistaDesktop(options);
+  } else {
+    std::fprintf(stderr, "error: unknown workload %s\n", which.c_str());
+    return 2;
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  if (format == "text" || format == "all") {
+    std::fputs(obs::RenderText(snapshot).c_str(), stdout);
+  }
+  if (format == "json" || format == "all") {
+    std::fputs(obs::RenderJson(snapshot).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (format == "prom" || format == "all") {
+    std::fputs(obs::RenderPrometheus(snapshot).c_str(), stdout);
+  }
+  return 0;
+}
