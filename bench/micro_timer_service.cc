@@ -1,0 +1,237 @@
+// Timer-service scaling microbenchmarks.
+//
+// Two questions, both feeding BENCH_timer_service.json:
+//
+//   1. NextExpiry cost. The OS models call NextExpiry() on every
+//      hardware-reprogram decision; the seed implementation answered with a
+//      full O(slots x nodes) scan. With 10k pending timers the cached
+//      minimum must beat the retained reference scan by >= 10x (the PR's
+//      acceptance bar; the bench exits non-zero if it does not).
+//
+//   2. Multi-producer set/cancel throughput. 1/2/4/8 producer threads x all
+//      four queue implementations, each multi-thread configuration run
+//      against a single global lock (shards=1) and against one shard per
+//      thread — the sharding win is the ratio between the two.
+//
+// TEMPO_QUICK=1 shrinks the op counts for CI.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/timer/hashed_wheel.h"
+#include "src/timer/hierarchical_wheel.h"
+#include "src/timer/queue.h"
+#include "src/timer/timer_service.h"
+
+namespace tempo {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// --- Part 1: NextExpiry cached vs reference scan -------------------------
+
+struct NextExpiryResult {
+  std::string queue;
+  double scan_ns = 0;
+  double cached_ns = 0;
+  double speedup = 0;
+};
+
+// The cached path gets a much larger iteration budget than the scan: it is
+// too fast to time over the scan's loop count.
+template <typename Wheel>
+NextExpiryResult MeasureNextExpiry(const std::string& name, Wheel* wheel, int population,
+                                   int scan_iters, int cached_iters) {
+  Rng rng(42);
+  for (int i = 0; i < population; ++i) {
+    wheel->Schedule(rng.UniformInt(kMillisecond, 100 * kSecond), [](TimerHandle) {});
+  }
+  NextExpiryResult result;
+  result.queue = name;
+  SimTime sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < scan_iters; ++i) {
+    sink ^= wheel->NextExpiryScan();
+  }
+  result.scan_ns = SecondsSince(start) * 1e9 / scan_iters;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < cached_iters; ++i) {
+    sink ^= wheel->NextExpiry();
+  }
+  result.cached_ns = SecondsSince(start) * 1e9 / cached_iters;
+  if (sink == 42) {  // defeat dead-code elimination without volatile
+    std::fprintf(stderr, "#");
+  }
+  result.speedup = result.cached_ns > 0 ? result.scan_ns / result.cached_ns : 0;
+  return result;
+}
+
+// --- Part 2: multi-producer throughput -----------------------------------
+
+struct ThroughputResult {
+  std::string queue;
+  int threads = 0;
+  size_t shards = 0;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double mops_per_sec = 0;
+  uint64_t contended_locks = 0;
+  double cache_hit_rate = 0;
+};
+
+// Each producer churns schedule/cancel pairs on its home shard — the
+// webserver insurance-timer pattern (arm a timeout, cancel it shortly
+// after) that dominates the paper's traces.
+ThroughputResult MeasureThroughput(const std::string& queue, int threads, size_t shards,
+                                   int ops_per_thread, int run_id) {
+  TimerService::Options options;
+  options.queue = queue;
+  options.shards = shards;
+  options.stats_label =
+      queue + "-bench" + std::to_string(run_id);  // instruments are per-run
+  TimerService service(options);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&service, &go, t, ops_per_thread] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      std::vector<TimerHandle> window(64, kInvalidTimerHandle);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const size_t slot = static_cast<size_t>(i) % window.size();
+        if (window[slot] != kInvalidTimerHandle) {
+          service.Cancel(window[slot]);
+        }
+        window[slot] =
+            service.ScheduleOn(static_cast<size_t>(t),
+                               rng.UniformInt(kMillisecond, 10 * kSecond), [](TimerHandle) {});
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  ThroughputResult result;
+  result.queue = queue;
+  result.threads = threads;
+  result.shards = service.shard_count();
+  result.ops = service.set_count() + service.cancel_count();
+  result.seconds = SecondsSince(start);
+  result.mops_per_sec = static_cast<double>(result.ops) / result.seconds / 1e6;
+  result.contended_locks = service.contended_locks();
+  const double hits = static_cast<double>(service.deadline_cache_hits());
+  const double misses = static_cast<double>(service.deadline_cache_misses());
+  result.cache_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0;
+  return result;
+}
+
+}  // namespace
+}  // namespace tempo
+
+int main() {
+  using namespace tempo;
+  const char* quick_env = std::getenv("TEMPO_QUICK");
+  const bool quick = quick_env != nullptr && quick_env[0] == '1';
+  const int population = 10000;
+  const int scan_iters = quick ? 200 : 2000;
+  const int cached_iters = quick ? 200000 : 2000000;
+  const int ops_per_thread = quick ? 20000 : 100000;
+
+  std::printf("==============================================================\n");
+  std::printf("micro_timer_service — sharded TimerService scaling\n");
+  std::printf("==============================================================\n\n");
+
+  std::vector<NextExpiryResult> next_results;
+  {
+    HierarchicalWheelTimerQueue wheel(kMillisecond, "hier-bench-next");
+    next_results.push_back(MeasureNextExpiry("hierarchical_wheel", &wheel, population,
+                                             scan_iters, cached_iters));
+  }
+  {
+    HashedWheelTimerQueue wheel(kMillisecond, 256, "hashed-bench-next");
+    next_results.push_back(
+        MeasureNextExpiry("hashed_wheel", &wheel, population, scan_iters, cached_iters));
+  }
+
+  std::printf("NextExpiry with %d pending timers (acceptance: >= 10x):\n", population);
+  for (const auto& r : next_results) {
+    std::printf("  %-20s scan %10.1f ns   cached %8.2f ns   speedup %8.1fx\n",
+                r.queue.c_str(), r.scan_ns, r.cached_ns, r.speedup);
+  }
+
+  std::printf("\nset/cancel churn, %d ops/thread (schedule+cancel pairs):\n",
+              ops_per_thread);
+  std::printf("  %-20s %8s %7s %10s %12s %10s %9s\n", "queue", "threads", "shards",
+              "Mops/s", "contended", "hit-rate", "seconds");
+  std::vector<ThroughputResult> throughput;
+  int run_id = 0;
+  for (const std::string& queue : TimerQueueNames()) {
+    for (const int threads : {1, 2, 4, 8}) {
+      std::vector<size_t> shard_configs = {1};
+      if (threads > 1) {
+        shard_configs.push_back(static_cast<size_t>(threads));
+      }
+      for (const size_t shards : shard_configs) {
+        const auto r = MeasureThroughput(queue, threads, shards, ops_per_thread, run_id++);
+        std::printf("  %-20s %8d %7zu %10.3f %12llu %10.3f %9.3f\n", r.queue.c_str(),
+                    r.threads, r.shards, r.mops_per_sec,
+                    static_cast<unsigned long long>(r.contended_locks), r.cache_hit_rate,
+                    r.seconds);
+        throughput.push_back(r);
+      }
+    }
+  }
+
+  bool speedup_ok = true;
+  for (const auto& r : next_results) {
+    if (r.speedup < 10.0) {
+      speedup_ok = false;
+    }
+  }
+  std::printf("\ncached NextExpiry >= 10x reference scan: %s\n",
+              speedup_ok ? "PASS" : "FAIL");
+
+  FILE* out = std::fopen("BENCH_timer_service.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"experiment\": \"micro_timer_service\",\n");
+    std::fprintf(out, "  \"population\": %d,\n  \"next_expiry\": [\n", population);
+    for (size_t i = 0; i < next_results.size(); ++i) {
+      const auto& r = next_results[i];
+      std::fprintf(out,
+                   "    {\"queue\": \"%s\", \"scan_ns\": %.1f, \"cached_ns\": %.2f, "
+                   "\"speedup\": %.1f}%s\n",
+                   r.queue.c_str(), r.scan_ns, r.cached_ns, r.speedup,
+                   i + 1 < next_results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"speedup_at_least_10x\": %s,\n",
+                 speedup_ok ? "true" : "false");
+    std::fprintf(out, "  \"throughput\": [\n");
+    for (size_t i = 0; i < throughput.size(); ++i) {
+      const auto& r = throughput[i];
+      std::fprintf(out,
+                   "    {\"queue\": \"%s\", \"threads\": %d, \"shards\": %zu, "
+                   "\"mops_per_sec\": %.3f, \"contended_locks\": %llu, "
+                   "\"deadline_cache_hit_rate\": %.3f}%s\n",
+                   r.queue.c_str(), r.threads, r.shards, r.mops_per_sec,
+                   static_cast<unsigned long long>(r.contended_locks), r.cache_hit_rate,
+                   i + 1 < throughput.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_timer_service.json\n");
+  }
+  return speedup_ok ? 0 : 1;
+}

@@ -19,34 +19,43 @@ void NameProvider::Lookup(const std::string& name,
 
 void NameProvider::Attempt(const std::string& name, int attempt, SimTime started,
                            std::function<void(bool, NodeId, SimDuration)> cb) {
-  // State shared between the response path and the timeout path.
+  // State shared between the response path and the timeout path. The reply
+  // cancels the per-attempt timeout event: leaving it pending until it
+  // fired as a no-op inflated the sim event queue (and its obs queue-depth
+  // high-water mark) by one dead event per successful lookup.
   auto answered = std::make_shared<bool>(false);
+  auto timeout_event = std::make_shared<EventId>(kInvalidEventId);
   auto it = table_.find(name);
   if (it != table_.end()) {
     const NodeId result = it->second;
-    net_->Send(self_, server_, 64, [this, result, answered, started, cb] {
+    net_->Send(self_, server_, 64, [this, result, answered, timeout_event, started, cb] {
       // Server-side processing, then the reply.
-      net_->Send(server_, self_, 128, [this, result, answered, started, cb] {
+      net_->Send(server_, self_, 128, [this, result, answered, timeout_event, started, cb] {
         if (*answered) {
           return;
         }
         *answered = true;
+        if (*timeout_event != kInvalidEventId) {
+          sim_->Cancel(*timeout_event);
+          *timeout_event = kInvalidEventId;
+        }
         cb(true, result, sim_->Now() - started);
       });
     });
   }
   // Unknown names get no reply at all; known names may still lose packets.
-  sim_->ScheduleAfter(options_.timeout, [this, name, attempt, started, answered, cb] {
-    if (*answered) {
-      return;
-    }
-    *answered = true;  // this attempt is dead either way
-    if (attempt <= options_.retries) {
-      Attempt(name, attempt + 1, started, cb);
-    } else {
-      cb(false, kInvalidNode, sim_->Now() - started);
-    }
-  });
+  *timeout_event =
+      sim_->ScheduleAfter(options_.timeout, [this, name, attempt, started, answered, cb] {
+        if (*answered) {
+          return;
+        }
+        *answered = true;  // this attempt is dead either way
+        if (attempt <= options_.retries) {
+          Attempt(name, attempt + 1, started, cb);
+        } else {
+          cb(false, kInvalidNode, sim_->Now() - started);
+        }
+      });
 }
 
 void ParallelResolver::Resolve(const std::string& name,

@@ -52,11 +52,20 @@ class JacobsonEstimator {
   }
 
   // Current timeout including backoff, clamped to [min_rto, max_rto].
+  // Saturates instead of shifting past max_rto: a large SRTT with a deep
+  // backoff would overflow the signed shift (UB) before the clamp applied.
   SimDuration Rto() const {
     SimDuration base = has_sample_ ? srtt_ + 4 * rttvar_ : params_.initial_rto;
     base = std::max(base, params_.min_rto);
-    const SimDuration shifted = base << backoff_shift_;
-    return std::min(shifted, params_.max_rto);
+    if (base >= params_.max_rto) {
+      return params_.max_rto;
+    }
+    // base << shift would exceed max_rto (or the type) iff max_rto >> shift
+    // cannot hold base; both sides stay in range, so no UB on either path.
+    if (backoff_shift_ >= 63 || (params_.max_rto >> backoff_shift_) < base) {
+      return params_.max_rto;
+    }
+    return std::min(base << backoff_shift_, params_.max_rto);
   }
 
   // Doubles the timeout (retransmission fired), up to the cap.

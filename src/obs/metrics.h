@@ -14,7 +14,11 @@
 //   2. Determinism. Metrics are pure observation: nothing here feeds back
 //      into simulation behaviour, and the probe clock is pluggable so sim
 //      runs can use virtual cycles instead of the TSC (see probe.h).
-//   3. Single-threaded, like the simulator. No atomics on the hot path.
+//   3. No atomics on the hot path. Instruments are not internally
+//      synchronised: an instrument may only ever be updated from one
+//      thread, or under one mutex (the sharded TimerService gives each
+//      shard its own label set and updates it only under the shard lock).
+//      Registry Get* calls and TakeSnapshot must run quiescently.
 
 #ifndef TEMPO_SRC_OBS_METRICS_H_
 #define TEMPO_SRC_OBS_METRICS_H_

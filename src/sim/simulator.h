@@ -60,6 +60,9 @@ class Simulator {
   // Number of events executed so far.
   uint64_t events_executed() const { return events_executed_; }
 
+  // Number of live (scheduled, not yet fired or canceled) events.
+  size_t PendingEvents() const { return queue_.Size(); }
+
   Rng& rng() { return rng_; }
   Cpu& cpu() { return cpu_; }
   ProcessTable& processes() { return processes_; }

@@ -9,17 +9,22 @@
 namespace tempo {
 
 std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name) {
+  return MakeTimerQueue(name, name);
+}
+
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name,
+                                           const std::string& stats_label) {
   if (name == "heap") {
-    return std::make_unique<HeapTimerQueue>();
+    return std::make_unique<HeapTimerQueue>(stats_label);
   }
   if (name == "tree") {
-    return std::make_unique<TreeTimerQueue>();
+    return std::make_unique<TreeTimerQueue>(stats_label);
   }
   if (name == "hashed_wheel") {
-    return std::make_unique<HashedWheelTimerQueue>();
+    return std::make_unique<HashedWheelTimerQueue>(kMillisecond, 256, stats_label);
   }
   if (name == "hierarchical_wheel") {
-    return std::make_unique<HierarchicalWheelTimerQueue>();
+    return std::make_unique<HierarchicalWheelTimerQueue>(kMillisecond, stats_label);
   }
   return nullptr;
 }

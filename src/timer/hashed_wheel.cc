@@ -5,9 +5,11 @@
 
 namespace tempo {
 
-HashedWheelTimerQueue::HashedWheelTimerQueue(SimDuration granularity, size_t slots)
+HashedWheelTimerQueue::HashedWheelTimerQueue(SimDuration granularity, size_t slots,
+                                             const std::string& stats_label)
     : granularity_(granularity > 0 ? granularity : kMillisecond),
-      slots_(slots > 0 ? slots : 256) {}
+      slots_(slots > 0 ? slots : 256),
+      stats_(TimerQueueStats::For(stats_label)) {}
 
 uint64_t HashedWheelTimerQueue::TickFor(SimTime expiry) const {
   if (expiry < 0) {
@@ -31,6 +33,9 @@ TimerHandle HashedWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback c
   auto it = std::prev(slots_[slot].end());
   index_.emplace(handle, std::make_pair(slot, it));
   ++size_;
+  if (cache_valid_ && tick < cached_next_tick_) {
+    cached_next_tick_ = tick;
+  }
   return handle;
 }
 
@@ -41,9 +46,18 @@ bool HashedWheelTimerQueue::Cancel(TimerHandle handle) {
   if (it == index_.end()) {
     return false;
   }
+  const uint64_t tick = it->second.second->tick;
   slots_[it->second.first].erase(it->second.second);
   index_.erase(it);
   --size_;
+  if (size_ == 0) {
+    cached_next_tick_ = UINT64_MAX;
+    cache_valid_ = true;
+  } else if (cache_valid_ && tick <= cached_next_tick_) {
+    // Removed an entry at the minimum; another node may share the tick, so
+    // the true minimum is unknown until the next lazy rescan.
+    cache_valid_ = false;
+  }
   return true;
 }
 
@@ -70,6 +84,15 @@ size_t HashedWheelTimerQueue::Advance(SimTime now) {
         ++it;  // a later revolution; leave in place
       }
     }
+    // The hand may have passed (and fired) the cached minimum; anything
+    // the callbacks scheduled lands strictly ahead of the hand, so the
+    // cache is refreshable only by a rescan.
+    if (size_ == 0) {
+      cached_next_tick_ = UINT64_MAX;
+      cache_valid_ = true;
+    } else if (cache_valid_ && cached_next_tick_ <= current_tick_) {
+      cache_valid_ = false;
+    }
     for (Node& node : due) {
       node.cb(node.handle);
       ++fired;
@@ -79,10 +102,7 @@ size_t HashedWheelTimerQueue::Advance(SimTime now) {
   return fired;
 }
 
-SimTime HashedWheelTimerQueue::NextExpiry() const {
-  if (size_ == 0) {
-    return kNeverTime;
-  }
+uint64_t HashedWheelTimerQueue::NextTickScan() const {
   // A wheel has no cheap global minimum; scan forward slot by slot from the
   // hand, tracking the best candidate. This is the cost dynticks pays on a
   // wheel-based design, one of the motivations for hrtimers' tree.
@@ -97,10 +117,26 @@ SimTime HashedWheelTimerQueue::NextExpiry() const {
       break;  // nothing in later slots can beat a hit in this revolution
     }
   }
-  if (best == UINT64_MAX) {
+  return best;
+}
+
+SimTime HashedWheelTimerQueue::NextExpiry() const {
+  if (size_ == 0) {
     return kNeverTime;
   }
-  return static_cast<SimTime>(best * static_cast<uint64_t>(granularity_));
+  if (!cache_valid_) {
+    cached_next_tick_ = NextTickScan();
+    cache_valid_ = true;
+    ++next_expiry_scans_;
+  }
+  return static_cast<SimTime>(cached_next_tick_ * static_cast<uint64_t>(granularity_));
+}
+
+SimTime HashedWheelTimerQueue::NextExpiryScan() const {
+  if (size_ == 0) {
+    return kNeverTime;
+  }
+  return static_cast<SimTime>(NextTickScan() * static_cast<uint64_t>(granularity_));
 }
 
 }  // namespace tempo

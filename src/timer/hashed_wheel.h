@@ -18,18 +18,32 @@ namespace tempo {
 // O(1) per operation when timeouts are within a few revolutions.
 class HashedWheelTimerQueue : public TimerQueue {
  public:
-  // `granularity` is the tick width; `slots` the wheel size.
-  explicit HashedWheelTimerQueue(SimDuration granularity = kMillisecond, size_t slots = 256);
+  // `granularity` is the tick width; `slots` the wheel size. `stats_label`
+  // selects the obs instrument set; sharded wrappers pass a per-shard label
+  // so concurrent instances never share an instrument.
+  explicit HashedWheelTimerQueue(SimDuration granularity = kMillisecond, size_t slots = 256,
+                                 const std::string& stats_label = "hashed_wheel");
 
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
   size_t Advance(SimTime now) override;
   size_t Size() const override { return size_; }
+  // O(1): returns the cached minimum, rescanning only after an operation
+  // that removed the earliest entry (cancel-of-min or a tick that fired it).
   SimTime NextExpiry() const override;
   std::string Name() const override { return "hashed_wheel"; }
 
+  // Reference slot-scan implementation of NextExpiry() — the seed
+  // behaviour, kept for cross-checking the cache and for the regression
+  // benchmark in bench/micro_timer_service.
+  SimTime NextExpiryScan() const;
+
   // Total slot-entry visits made by Advance; the "work" metric for E18.
   uint64_t entries_examined() const { return entries_examined_; }
+
+  // Rescans NextExpiry() had to perform because the cached minimum was
+  // invalidated; the cache-effectiveness metric.
+  uint64_t next_expiry_scans() const { return next_expiry_scans_; }
 
  private:
   struct Node {
@@ -40,6 +54,7 @@ class HashedWheelTimerQueue : public TimerQueue {
   using Slot = std::list<Node>;
 
   uint64_t TickFor(SimTime expiry) const;
+  uint64_t NextTickScan() const;  // full scan; feeds the cache refresh
 
   SimDuration granularity_;
   std::vector<Slot> slots_;
@@ -48,7 +63,15 @@ class HashedWheelTimerQueue : public TimerQueue {
   size_t size_ = 0;
   TimerHandle next_handle_ = 1;
   uint64_t entries_examined_ = 0;
-  TimerQueueStats stats_ = TimerQueueStats::For("hashed_wheel");
+
+  // Cached earliest pending tick; same discipline as the hierarchical
+  // wheel (Schedule lowers, removal-at-minimum invalidates, NextExpiry()
+  // lazily rescans). UINT64_MAX with a valid cache means "empty".
+  mutable uint64_t cached_next_tick_ = UINT64_MAX;
+  mutable bool cache_valid_ = true;
+  mutable uint64_t next_expiry_scans_ = 0;
+
+  TimerQueueStats stats_;
 };
 
 }  // namespace tempo

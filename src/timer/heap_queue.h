@@ -16,6 +16,11 @@ namespace tempo {
 // are benchmarked against.
 class HeapTimerQueue : public TimerQueue {
  public:
+  // `stats_label` selects the obs instrument set; sharded wrappers pass a
+  // per-shard label so concurrent instances never share an instrument.
+  explicit HeapTimerQueue(const std::string& stats_label = "heap")
+      : stats_(TimerQueueStats::For(stats_label)) {}
+
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
   size_t Advance(SimTime now) override;
@@ -41,7 +46,7 @@ class HeapTimerQueue : public TimerQueue {
   // Live entries only; cancellation erases from this map.
   std::unordered_map<TimerHandle, TimerQueueCallback> callbacks_;
   TimerHandle next_handle_ = 1;
-  TimerQueueStats stats_ = TimerQueueStats::For("heap");
+  TimerQueueStats stats_;
 };
 
 }  // namespace tempo

@@ -18,8 +18,10 @@ constexpr uint64_t kLevelHorizon[4] = {1ull << 8, 1ull << 14, 1ull << 20, 1ull <
 
 }  // namespace
 
-HierarchicalWheelTimerQueue::HierarchicalWheelTimerQueue(SimDuration granularity)
-    : granularity_(granularity > 0 ? granularity : kMillisecond) {
+HierarchicalWheelTimerQueue::HierarchicalWheelTimerQueue(SimDuration granularity,
+                                                         const std::string& stats_label)
+    : granularity_(granularity > 0 ? granularity : kMillisecond),
+      stats_(TimerQueueStats::For(stats_label)) {
   levels_[0].resize(kL0Slots);
   for (int i = 1; i < kLevels; ++i) {
     levels_[i].resize(kLnSlots);
@@ -53,6 +55,11 @@ void HierarchicalWheelTimerQueue::Place(Node node) {
   list.push_back(std::move(node));
   auto it = std::prev(list.end());
   index_[it->handle] = Location{level, slot, it};
+  // Inserting can only lower the minimum; an invalid cache stays invalid
+  // (the pending rescan will see this node too).
+  if (cache_valid_ && tick < cached_next_tick_) {
+    cached_next_tick_ = tick;
+  }
 }
 
 TimerHandle HierarchicalWheelTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
@@ -78,9 +85,18 @@ bool HierarchicalWheelTimerQueue::Cancel(TimerHandle handle) {
     return false;
   }
   const Location& loc = it->second;
+  const uint64_t tick = loc.it->tick;
   levels_[loc.level][loc.slot].erase(loc.it);
   index_.erase(it);
   --size_;
+  if (size_ == 0) {
+    cached_next_tick_ = UINT64_MAX;
+    cache_valid_ = true;
+  } else if (cache_valid_ && tick <= cached_next_tick_) {
+    // Removed an entry at the minimum; another node may share the tick, so
+    // the true minimum is unknown until the next lazy rescan.
+    cache_valid_ = false;
+  }
   return true;
 }
 
@@ -122,6 +138,15 @@ void HierarchicalWheelTimerQueue::RunTick() {
   }
   size_ -= due.size();
   fired_this_tick_ = due.size();
+  // Invalidate before the callbacks run: if the hand reached the cached
+  // minimum it just fired (or is firing below). Callbacks that Schedule
+  // against an invalid cache leave it invalid, which the lazy rescan fixes.
+  if (size_ == 0) {
+    cached_next_tick_ = UINT64_MAX;
+    cache_valid_ = true;
+  } else if (cache_valid_ && cached_next_tick_ <= current_tick_) {
+    cache_valid_ = false;
+  }
   for (Node& node : due) {
     node.cb(node.handle);
   }
@@ -140,10 +165,7 @@ size_t HierarchicalWheelTimerQueue::Advance(SimTime now) {
   return fired;
 }
 
-SimTime HierarchicalWheelTimerQueue::NextExpiry() const {
-  if (size_ == 0) {
-    return kNeverTime;
-  }
+uint64_t HierarchicalWheelTimerQueue::NextTickScan() const {
   uint64_t best = UINT64_MAX;
   for (const auto& level : levels_) {
     for (const Slot& slot : level) {
@@ -152,7 +174,26 @@ SimTime HierarchicalWheelTimerQueue::NextExpiry() const {
       }
     }
   }
-  return static_cast<SimTime>(best * static_cast<uint64_t>(granularity_));
+  return best;
+}
+
+SimTime HierarchicalWheelTimerQueue::NextExpiry() const {
+  if (size_ == 0) {
+    return kNeverTime;
+  }
+  if (!cache_valid_) {
+    cached_next_tick_ = NextTickScan();
+    cache_valid_ = true;
+    ++next_expiry_scans_;
+  }
+  return static_cast<SimTime>(cached_next_tick_ * static_cast<uint64_t>(granularity_));
+}
+
+SimTime HierarchicalWheelTimerQueue::NextExpiryScan() const {
+  if (size_ == 0) {
+    return kNeverTime;
+  }
+  return static_cast<SimTime>(NextTickScan() * static_cast<uint64_t>(granularity_));
 }
 
 }  // namespace tempo

@@ -20,17 +20,31 @@ namespace tempo {
 // exactly the structure behind Linux's __run_timers.
 class HierarchicalWheelTimerQueue : public TimerQueue {
  public:
-  explicit HierarchicalWheelTimerQueue(SimDuration granularity = kMillisecond);
+  // `stats_label` selects the obs instrument set; sharded wrappers pass a
+  // per-shard label so concurrent instances never share an instrument.
+  explicit HierarchicalWheelTimerQueue(SimDuration granularity = kMillisecond,
+                                       const std::string& stats_label = "hierarchical_wheel");
 
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
   size_t Advance(SimTime now) override;
   size_t Size() const override { return size_; }
+  // O(1): returns the cached minimum, rescanning only after an operation
+  // that removed the earliest entry (cancel-of-min or a tick that fired it).
   SimTime NextExpiry() const override;
   std::string Name() const override { return "hierarchical_wheel"; }
 
+  // Reference O(slots x nodes) implementation of NextExpiry() — the seed
+  // behaviour, kept for cross-checking the cache and for the regression
+  // benchmark in bench/micro_timer_service.
+  SimTime NextExpiryScan() const;
+
   // Number of entries moved between levels by cascades (work metric).
   uint64_t cascades() const { return cascades_; }
+
+  // Full rescans NextExpiry() had to perform because the cached minimum was
+  // invalidated; the cache-effectiveness metric.
+  uint64_t next_expiry_scans() const { return next_expiry_scans_; }
 
  private:
   static constexpr int kLevels = 4;
@@ -56,6 +70,7 @@ class HierarchicalWheelTimerQueue : public TimerQueue {
   void Place(Node node);
   void RunTick();     // advance hand one tick, cascading as needed
   void Cascade(int level, size_t slot);
+  uint64_t NextTickScan() const;  // full scan; feeds the cache refresh
 
   SimDuration granularity_;
   std::array<std::vector<Slot>, kLevels> levels_;
@@ -65,7 +80,16 @@ class HierarchicalWheelTimerQueue : public TimerQueue {
   TimerHandle next_handle_ = 1;
   uint64_t cascades_ = 0;
   size_t fired_this_tick_ = 0;
-  TimerQueueStats stats_ = TimerQueueStats::For("hierarchical_wheel");
+
+  // Cached earliest pending tick, maintained incrementally: Schedule can
+  // only lower it, Cancel/RunTick invalidate it when they remove an entry
+  // at the minimum, and NextExpiry() lazily rescans while invalid. UINT64_MAX
+  // with a valid cache means "empty".
+  mutable uint64_t cached_next_tick_ = UINT64_MAX;
+  mutable bool cache_valid_ = true;
+  mutable uint64_t next_expiry_scans_ = 0;
+
+  TimerQueueStats stats_;
 };
 
 }  // namespace tempo

@@ -85,6 +85,14 @@ struct TimerQueueStats {
 // "hierarchical_wheel". Returns nullptr for unknown names.
 std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name);
 
+// Same, but reporting into the instrument set labelled `stats_label`
+// instead of the implementation name. Concurrent holders (the sharded
+// TimerService) must use distinct labels: instruments with equal labels are
+// shared, and shared instruments may only be updated from one thread / one
+// lock at a time.
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name,
+                                           const std::string& stats_label);
+
 // Names of all available implementations, for parameterised tests/benches.
 std::vector<std::string> TimerQueueNames();
 

@@ -1,0 +1,239 @@
+#include "src/timer/timer_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace tempo {
+
+namespace {
+
+// Process-wide thread ordinal: each thread gets a stable small integer on
+// first use, so `ordinal % shard_count` spreads threads round-robin over
+// shards regardless of how many services exist.
+std::atomic<size_t> g_thread_ordinal_source{0};
+
+size_t ThreadOrdinal() {
+  thread_local const size_t ordinal =
+      g_thread_ordinal_source.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+TimerService::TimerService() : TimerService(Options()) {}
+
+TimerService::TimerService(Options options) : queue_name_(options.queue) {
+  size_t count = options.shards;
+  if (count == 0) {
+    count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::string label =
+      options.stats_label.empty() ? options.queue : options.stats_label;
+  obs::Registry& reg = obs::Registry::Global();
+  const char* ops_help = "TimerService operations by shard and op";
+  const char* lock_help = "TimerService shard-lock acquisitions that blocked";
+  const char* cache_help =
+      "TimerService per-shard deadline-cache outcomes (hit: published "
+      "deadline survived the op; miss: it had to be republished)";
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::string shard_label = label + "@" + std::to_string(i);
+    shard->queue = MakeTimerQueue(options.queue, shard_label);
+    if (shard->queue == nullptr) {
+      // Unknown implementation: fall back rather than crash, matching the
+      // factory's nullptr contract while keeping the service usable.
+      shard->queue = MakeTimerQueue("hierarchical_wheel", shard_label);
+      queue_name_ = "hierarchical_wheel";
+    }
+    const obs::Labels base = {{"service", label}, {"shard", std::to_string(i)}};
+    auto with = [&base](const char* key, const char* value) {
+      obs::Labels labels = base;
+      labels.emplace_back(key, value);
+      return labels;
+    };
+    shard->set_ops = reg.GetCounter("timer_service_ops", with("op", "set"), ops_help);
+    shard->cancel_ops = reg.GetCounter("timer_service_ops", with("op", "cancel"), ops_help);
+    shard->expire_ops = reg.GetCounter("timer_service_ops", with("op", "expire"), ops_help);
+    shard->contended = reg.GetCounter("timer_service_lock_contended", base, lock_help);
+    shard->cache_hits =
+        reg.GetCounter("timer_service_deadline_cache", with("result", "hit"), cache_help);
+    shard->cache_misses =
+        reg.GetCounter("timer_service_deadline_cache", with("result", "miss"), cache_help);
+    shards_.push_back(std::move(shard));
+  }
+  const obs::Labels service_labels = {{"service", label}};
+  gauge_shards_ = reg.GetGauge("timer_service_shards", service_labels,
+                               "Number of shards in the TimerService");
+  gauge_advance_calls_ = reg.GetGauge("timer_service_advance_calls", service_labels,
+                                      "AdvanceAll invocations");
+  gauge_shards_skipped_ =
+      reg.GetGauge("timer_service_advance_shards_skipped", service_labels,
+                   "Shards AdvanceAll skipped because their deadline was not due");
+  gauge_shards_advanced_ =
+      reg.GetGauge("timer_service_advance_shards_advanced", service_labels,
+                   "Shards AdvanceAll locked and advanced");
+  gauge_shards_->Set(static_cast<int64_t>(count));
+}
+
+std::unique_lock<std::mutex> TimerService::LockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    shard.contended->Inc();  // now under mu, safe to touch the instrument
+  }
+  return lock;
+}
+
+void TimerService::RepublishDeadline(Shard& shard) {
+  const SimTime next = shard.queue->NextExpiry();
+  if (next == shard.next_expiry.load(std::memory_order_relaxed)) {
+    shard.cache_hits->Inc();
+    return;
+  }
+  shard.next_expiry.store(next, std::memory_order_release);
+  shard.cache_misses->Inc();
+}
+
+TimerHandle TimerService::ScheduleLocked(size_t index, Shard& shard, SimTime expiry,
+                                         TimerQueueCallback cb) {
+  const TimerHandle local = shard.queue->Schedule(expiry, std::move(cb));
+  shard.set_ops->Inc();
+  shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
+  const SimTime published = shard.next_expiry.load(std::memory_order_relaxed);
+  if (expiry >= published) {
+    // A later timer cannot move the minimum: the published deadline stays
+    // valid with no queue query at all — the schedule fast path.
+    shard.cache_hits->Inc();
+  } else {
+    RepublishDeadline(shard);
+  }
+  return (static_cast<uint64_t>(index + 1) << kShardShift) | (local & kLocalMask);
+}
+
+TimerHandle TimerService::Schedule(SimTime expiry, TimerQueueCallback cb) {
+  return ScheduleOn(ThreadOrdinal(), expiry, std::move(cb));
+}
+
+TimerHandle TimerService::ScheduleOn(size_t shard_index, SimTime expiry, TimerQueueCallback cb) {
+  const size_t index = shard_index % shards_.size();
+  Shard& shard = *shards_[index];
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  return ScheduleLocked(index, shard, expiry, std::move(cb));
+}
+
+bool TimerService::Cancel(TimerHandle handle) {
+  const uint64_t shard_bits = handle >> kShardShift;
+  if (shard_bits == 0 || shard_bits > shards_.size()) {
+    return false;
+  }
+  Shard& shard = *shards_[static_cast<size_t>(shard_bits - 1)];
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  if (!shard.queue->Cancel(handle & kLocalMask)) {
+    return false;
+  }
+  shard.cancel_ops->Inc();
+  shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
+  RepublishDeadline(shard);
+  return true;
+}
+
+size_t TimerService::AdvanceShardLocked(Shard& shard, SimTime now) {
+  const size_t fired = shard.queue->Advance(now);
+  shard.expire_ops->Inc(fired);
+  shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
+  RepublishDeadline(shard);
+  return fired;
+}
+
+size_t TimerService::AdvanceAll(SimTime now) {
+  size_t fired = 0;
+  uint64_t skipped = 0;
+  uint64_t advanced = 0;
+  for (auto& shard : shards_) {
+    if (shard->next_expiry.load(std::memory_order_acquire) > now) {
+      ++skipped;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock = LockShard(*shard);
+    fired += AdvanceShardLocked(*shard, now);
+    ++advanced;
+  }
+  advance_calls_.fetch_add(1, std::memory_order_relaxed);
+  shards_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  shards_advanced_.fetch_add(advanced, std::memory_order_relaxed);
+  return fired;
+}
+
+SimTime TimerService::GlobalNextExpiry() const {
+  SimTime best = kNeverTime;
+  for (const auto& shard : shards_) {
+    best = std::min(best, shard->next_expiry.load(std::memory_order_acquire));
+  }
+  return best;
+}
+
+size_t TimerService::Size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->live.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t TimerService::set_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->set_ops->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::cancel_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cancel_ops->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::expire_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->expire_ops->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::contended_locks() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->contended->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::deadline_cache_hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cache_hits->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::deadline_cache_misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cache_misses->value();
+  }
+  return total;
+}
+
+void TimerService::PublishStats() {
+  gauge_advance_calls_->Set(static_cast<int64_t>(advance_calls()));
+  gauge_shards_skipped_->Set(static_cast<int64_t>(shards_skipped()));
+  gauge_shards_advanced_->Set(static_cast<int64_t>(shards_advanced()));
+}
+
+}  // namespace tempo

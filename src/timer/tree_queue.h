@@ -15,6 +15,11 @@ namespace tempo {
 // (Gleixner & Niehaus, OLS'06) because wheels quantise to a tick.
 class TreeTimerQueue : public TimerQueue {
  public:
+  // `stats_label` selects the obs instrument set; sharded wrappers pass a
+  // per-shard label so concurrent instances never share an instrument.
+  explicit TreeTimerQueue(const std::string& stats_label = "tree")
+      : stats_(TimerQueueStats::For(stats_label)) {}
+
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
   size_t Advance(SimTime now) override;
@@ -29,7 +34,7 @@ class TreeTimerQueue : public TimerQueue {
   Tree tree_;
   std::unordered_map<TimerHandle, Tree::iterator> index_;
   TimerHandle next_handle_ = 1;
-  TimerQueueStats stats_ = TimerQueueStats::For("tree");
+  TimerQueueStats stats_;
 };
 
 }  // namespace tempo

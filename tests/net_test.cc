@@ -122,6 +122,45 @@ TEST(JacobsonTest, BackoffDoublesUpToMax) {
   EXPECT_EQ(est.Rto(), 120 * kSecond);  // max clamp
 }
 
+TEST(JacobsonTest, RtoSaturatesInsteadOfOverflowingAtExtremeParams) {
+  // A large SRTT with a deep backoff shift used to compute base << shift
+  // before clamping — overflowing signed SimDuration (UB). The shift must
+  // saturate to max_rto instead.
+  JacobsonEstimator::Params params;
+  params.max_backoff_shift = 62;
+  JacobsonEstimator est(params);
+  est.Sample(40 * kHour);  // base = srtt + 4*rttvar = 120 h ≈ 2^48.6 ns
+  for (int i = 0; i < 62; ++i) {
+    est.Backoff();
+  }
+  EXPECT_EQ(est.backoff_shift(), 62);
+  EXPECT_EQ(est.Rto(), params.max_rto);
+}
+
+TEST(JacobsonTest, RtoSaturatesWithUnboundedMaxRto) {
+  // Even with max_rto at the type's ceiling the shift must not overflow.
+  JacobsonEstimator::Params params;
+  params.max_rto = INT64_MAX;
+  params.max_backoff_shift = 63;
+  JacobsonEstimator est(params);
+  est.Sample(kHour);
+  for (int i = 0; i < 63; ++i) {
+    est.Backoff();
+  }
+  EXPECT_EQ(est.Rto(), INT64_MAX);
+}
+
+TEST(JacobsonTest, ModerateBackoffStillDoublesAfterSaturationFix) {
+  JacobsonEstimator::Params params;
+  params.max_backoff_shift = 16;
+  JacobsonEstimator est(params);
+  est.Sample(kSecond);
+  const SimDuration base = est.Rto();
+  est.Backoff();
+  est.Backoff();
+  EXPECT_EQ(est.Rto(), std::min<SimDuration>(4 * base, params.max_rto));
+}
+
 TEST(JacobsonTest, SampleResetsBackoff) {
   JacobsonEstimator est;
   est.Sample(100 * kMillisecond);
@@ -384,6 +423,56 @@ TEST(ResolverTest, UnknownNameCostsFullRetrySchedule) {
   sim.RunUntil(kMinute);
   EXPECT_TRUE(done);
   EXPECT_EQ(elapsed, 10 * kSecond);  // 2 attempts x 5 s
+}
+
+TEST(ResolverTest, SuccessfulLookupsLeaveNoPendingTimeoutEvents) {
+  Simulator sim(1);
+  SimNetwork net(&sim);
+  const NodeId self = net.AddNode("self");
+  const NodeId dns = net.AddNode("dns");
+  const NodeId target = net.AddNode("target");
+  NameProvider::Options options;
+  options.timeout = 5 * kSecond;
+  options.retries = 3;
+  NameProvider provider(&sim, &net, self, dns, "dns", options);
+  provider.Register("fileserver", target);
+  constexpr int kLookups = 50;
+  int resolved = 0;
+  for (int i = 0; i < kLookups; ++i) {
+    provider.Lookup("fileserver", [&](bool f, NodeId, SimDuration) {
+      if (f) {
+        ++resolved;
+      }
+    });
+  }
+  // Replies arrive within milliseconds; run well past them but well before
+  // the 5 s timeouts would have fired as dead no-op events.
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(resolved, kLookups);
+  // Each answered attempt must cancel its timeout: nothing may stay queued.
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(ResolverTest, TimeoutStillFiresWhenReplyNeverArrives) {
+  // The timeout cancellation must not break the retry path: an unknown
+  // name still walks the full retry schedule.
+  Simulator sim(1);
+  SimNetwork net(&sim);
+  const NodeId self = net.AddNode("self");
+  const NodeId dns = net.AddNode("dns");
+  NameProvider::Options options;
+  options.timeout = kSecond;
+  options.retries = 2;
+  NameProvider provider(&sim, &net, self, dns, "dns", options);
+  bool done = false;
+  provider.Lookup("unknown", [&](bool f, NodeId, SimDuration e) {
+    EXPECT_FALSE(f);
+    EXPECT_EQ(e, 3 * kSecond);  // 3 attempts x 1 s
+    done = true;
+  });
+  sim.RunUntil(kMinute);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
 }
 
 TEST(ResolverTest, ParallelResolutionTakesFirstWinner) {

@@ -1,0 +1,226 @@
+// Tests for the sharded TimerService: routing, the lock-free published
+// deadlines, AdvanceAll's due-shard filtering, and multi-threaded
+// schedule/cancel consistency (the TSan CI job runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/timer/queue.h"
+#include "src/timer/timer_service.h"
+
+namespace tempo {
+namespace {
+
+TimerService::Options MakeOptions(const std::string& queue, size_t shards,
+                                  const std::string& label) {
+  TimerService::Options options;
+  options.queue = queue;
+  options.shards = shards;
+  options.stats_label = label;
+  return options;
+}
+
+class TimerServiceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TimerService> Make(size_t shards, const std::string& label) {
+    return std::make_unique<TimerService>(MakeOptions(GetParam(), shards, label));
+  }
+  SimDuration Granularity() const {
+    const std::string& name = GetParam();
+    if (name == "hashed_wheel" || name == "hierarchical_wheel") {
+      return kMillisecond;
+    }
+    return 0;
+  }
+};
+
+TEST_P(TimerServiceTest, SchedulesAndFiresAcrossShards) {
+  auto service = Make(4, GetParam() + "-fire");
+  EXPECT_EQ(service->shard_count(), 4u);
+  std::atomic<int> fired{0};
+  for (size_t i = 0; i < 100; ++i) {
+    service->ScheduleOn(i, (10 + static_cast<SimTime>(i)) * kMillisecond,
+                        [&fired](TimerHandle) { fired.fetch_add(1); });
+  }
+  EXPECT_EQ(service->Size(), 100u);
+  EXPECT_EQ(service->AdvanceAll(kSecond), 100u);
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(service->Size(), 0u);
+  EXPECT_EQ(service->GlobalNextExpiry(), kNeverTime);
+}
+
+TEST_P(TimerServiceTest, CancelRoutesToOwningShard) {
+  auto service = Make(4, GetParam() + "-cancel");
+  bool fired = false;
+  std::vector<TimerHandle> handles;
+  for (size_t i = 0; i < 8; ++i) {
+    handles.push_back(
+        service->ScheduleOn(i, 20 * kMillisecond, [&fired](TimerHandle) { fired = true; }));
+  }
+  for (TimerHandle h : handles) {
+    EXPECT_TRUE(service->Cancel(h));
+    EXPECT_FALSE(service->Cancel(h));  // second cancel must fail
+  }
+  EXPECT_EQ(service->AdvanceAll(kSecond), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(service->cancel_count(), 8u);
+}
+
+TEST_P(TimerServiceTest, CancelRejectsForeignHandles) {
+  auto service = Make(2, GetParam() + "-foreign");
+  EXPECT_FALSE(service->Cancel(kInvalidTimerHandle));
+  EXPECT_FALSE(service->Cancel(12345));              // bare queue-style handle
+  EXPECT_FALSE(service->Cancel(uint64_t{9} << 48));  // shard index out of range
+}
+
+TEST_P(TimerServiceTest, GlobalNextExpiryTracksMinimumAcrossShards) {
+  auto service = Make(4, GetParam() + "-next");
+  EXPECT_EQ(service->GlobalNextExpiry(), kNeverTime);
+  service->ScheduleOn(0, 500 * kMillisecond, [](TimerHandle) {});
+  const TimerHandle early =
+      service->ScheduleOn(2, 100 * kMillisecond, [](TimerHandle) {});
+  service->ScheduleOn(3, 300 * kMillisecond, [](TimerHandle) {});
+  SimTime next = service->GlobalNextExpiry();
+  EXPECT_GE(next, 100 * kMillisecond - Granularity());
+  EXPECT_LE(next, 100 * kMillisecond + Granularity());
+  // Canceling the earliest timer must republish the owning shard's deadline.
+  EXPECT_TRUE(service->Cancel(early));
+  next = service->GlobalNextExpiry();
+  EXPECT_GE(next, 300 * kMillisecond - Granularity());
+  EXPECT_LE(next, 300 * kMillisecond + Granularity());
+}
+
+TEST_P(TimerServiceTest, AdvanceAllSkipsShardsNotDue) {
+  auto service = Make(4, GetParam() + "-skip");
+  std::atomic<int> fired{0};
+  service->ScheduleOn(0, 10 * kMillisecond, [&fired](TimerHandle) { fired.fetch_add(1); });
+  service->ScheduleOn(1, 10 * kSecond, [&fired](TimerHandle) { fired.fetch_add(1); });
+  // Shards 2 and 3 are empty; shard 1 is not due: only shard 0 may be locked.
+  EXPECT_EQ(service->AdvanceAll(100 * kMillisecond), 1u);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(service->advance_calls(), 1u);
+  EXPECT_EQ(service->shards_advanced(), 1u);
+  EXPECT_EQ(service->shards_skipped(), 3u);
+  EXPECT_EQ(service->Size(), 1u);
+}
+
+TEST_P(TimerServiceTest, ScheduleLaterThanDeadlineIsACacheHit) {
+  auto service = Make(1, GetParam() + "-cachehit");
+  service->ScheduleOn(0, 10 * kMillisecond, [](TimerHandle) {});
+  const uint64_t hits_before = service->deadline_cache_hits();
+  // Strictly later than the published deadline: the fast path, no requery.
+  service->ScheduleOn(0, kSecond, [](TimerHandle) {});
+  service->ScheduleOn(0, 2 * kSecond, [](TimerHandle) {});
+  EXPECT_EQ(service->deadline_cache_hits(), hits_before + 2);
+  // Earlier than the published deadline: must republish (a miss).
+  const uint64_t misses_before = service->deadline_cache_misses();
+  service->ScheduleOn(0, 5 * kMillisecond, [](TimerHandle) {});
+  EXPECT_EQ(service->deadline_cache_misses(), misses_before + 1);
+}
+
+TEST_P(TimerServiceTest, ThreadAffineScheduleUsesConsistentShard) {
+  auto service = Make(4, GetParam() + "-affine");
+  // All Schedule calls from this thread land on one shard, so a due sweep
+  // advances exactly one shard.
+  for (int i = 0; i < 10; ++i) {
+    service->Schedule((10 + i) * kMillisecond, [](TimerHandle) {});
+  }
+  EXPECT_EQ(service->Size(), 10u);
+  EXPECT_EQ(service->AdvanceAll(kSecond), 10u);
+  EXPECT_EQ(service->shards_advanced(), 1u);
+  EXPECT_EQ(service->shards_skipped(), 3u);
+}
+
+TEST_P(TimerServiceTest, ConcurrentScheduleCancelAdvanceStaysConsistent) {
+  constexpr size_t kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  auto service = Make(kThreads, GetParam() + "-mt");
+  std::atomic<uint64_t> fired{0};
+  std::atomic<uint64_t> canceled{0};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t + 1);
+      std::vector<TimerHandle> live;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const SimTime expiry = rng.UniformInt(kMillisecond, 2 * kSecond);
+        live.push_back(service->ScheduleOn(t, expiry,
+                                           [&fired](TimerHandle) { fired.fetch_add(1); }));
+        if (i % 3 == 0) {
+          const size_t victim =
+              static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+          if (live[victim] != kInvalidTimerHandle &&
+              service->Cancel(live[victim])) {
+            canceled.fetch_add(1);
+          }
+          live[victim] = kInvalidTimerHandle;
+        }
+        if (i % 128 == 0) {
+          service->AdvanceAll(rng.UniformInt(0, kSecond));
+          service->GlobalNextExpiry();  // concurrent lock-free reads
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  service->AdvanceAll(3 * kSecond);  // past every scheduled expiry
+  EXPECT_EQ(service->Size(), 0u);
+  EXPECT_EQ(fired.load() + canceled.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(service->set_count(), kThreads * kOpsPerThread);
+  EXPECT_EQ(service->expire_count(), fired.load());
+  EXPECT_EQ(service->cancel_count(), canceled.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, TimerServiceTest,
+                         ::testing::Values("heap", "tree", "hashed_wheel",
+                                           "hierarchical_wheel"));
+
+TEST(TimerServiceDefaultsTest, DefaultShardCountIsHardwareConcurrency) {
+  TimerService service;
+  const size_t expected = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(service.shard_count(), expected);
+  EXPECT_EQ(service.queue_name(), "hierarchical_wheel");
+}
+
+TEST(TimerServiceDefaultsTest, UnknownQueueFallsBackToHierarchicalWheel) {
+  TimerService service(
+      [] {
+        TimerService::Options options;
+        options.queue = "no_such_queue";
+        options.shards = 2;
+        options.stats_label = "fallback";
+        return options;
+      }());
+  EXPECT_EQ(service.queue_name(), "hierarchical_wheel");
+  bool fired = false;
+  service.ScheduleOn(0, kMillisecond, [&fired](TimerHandle) { fired = true; });
+  service.AdvanceAll(kSecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerServiceStatsTest, PublishStatsExportsGauges) {
+  TimerService service(MakeOptions("tree", 2, "publish"));
+  service.ScheduleOn(0, kMillisecond, [](TimerHandle) {});
+  service.AdvanceAll(kSecond);
+  service.PublishStats();
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  const obs::SnapshotEntry* calls = snapshot.Find(
+      "timer_service_advance_calls", obs::Labels{{"service", "publish"}});
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->value, 1);
+  const obs::SnapshotEntry* shards = snapshot.Find(
+      "timer_service_shards", obs::Labels{{"service", "publish"}});
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->value, 2);
+}
+
+}  // namespace
+}  // namespace tempo

@@ -301,6 +301,144 @@ TEST(HashedWheelTest, SkipsOtherRevolutions) {
   EXPECT_GT(wheel.entries_examined(), 0u);
 }
 
+// --- cached NextExpiry regression (vs the reference full scan) ---
+
+// Randomized op sequence asserting the incrementally maintained minimum is
+// always byte-identical to the naive scan the seed implementation used.
+template <typename Wheel>
+void RunNextExpiryCacheRegression(Wheel* wheel, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimerHandle> live;
+  SimTime now = 0;
+  ASSERT_EQ(wheel->NextExpiry(), kNeverTime);
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      live.push_back(wheel->Schedule(now + rng.UniformInt(0, 400 * kMillisecond),
+                                     [](TimerHandle) {}));
+    } else if (roll < 0.8 && !live.empty()) {
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      wheel->Cancel(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      now += rng.UniformInt(0, 30 * kMillisecond);
+      wheel->Advance(now);
+    }
+    ASSERT_EQ(wheel->NextExpiry(), wheel->NextExpiryScan()) << "step " << step;
+  }
+  // Cancel-of-minimum and fire-of-minimum paths must have forced rescans,
+  // or the cache was never actually exercised.
+  EXPECT_GT(wheel->next_expiry_scans(), 0u);
+}
+
+TEST(HierarchicalWheelTest, NextExpiryCacheMatchesReferenceScan) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    HierarchicalWheelTimerQueue wheel(kMillisecond);
+    RunNextExpiryCacheRegression(&wheel, seed);
+  }
+}
+
+TEST(HashedWheelTest, NextExpiryCacheMatchesReferenceScan) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    HashedWheelTimerQueue wheel(kMillisecond, 64);
+    RunNextExpiryCacheRegression(&wheel, seed);
+  }
+}
+
+TEST(HierarchicalWheelTest, NextExpiryCachedBetweenQueries) {
+  HierarchicalWheelTimerQueue wheel(kMillisecond);
+  for (int i = 0; i < 1000; ++i) {
+    wheel.Schedule((10 + i) * kMillisecond, [](TimerHandle) {});
+  }
+  const SimTime first = wheel.NextExpiry();
+  const uint64_t scans = wheel.next_expiry_scans();
+  // Repeated queries (the dynticks reprogram pattern) and later-than-min
+  // schedules must not rescan.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(wheel.NextExpiry(), first);
+    wheel.Schedule(kSecond + i * kMillisecond, [](TimerHandle) {});
+  }
+  EXPECT_EQ(wheel.next_expiry_scans(), scans);
+}
+
+// --- cascade boundaries ---
+
+// A timer landing exactly at a level horizon must sit in the next level up
+// and still fire on time once cascaded down.
+TEST(HierarchicalWheelTest, TimerAtExactLevelHorizonFiresOnTime) {
+  // Horizons (in ticks) of levels 0..2, as laid out in the .cc tables.
+  for (const uint64_t horizon : {uint64_t{1} << 8, uint64_t{1} << 14, uint64_t{1} << 20}) {
+    HierarchicalWheelTimerQueue wheel(kMillisecond);
+    const SimTime expiry = static_cast<SimTime>(horizon) * kMillisecond;
+    SimTime fired_at = -1;
+    SimTime now = 0;
+    wheel.Schedule(expiry, [&](TimerHandle) { fired_at = now; });
+    now = expiry - kMillisecond;
+    wheel.Advance(now);
+    EXPECT_EQ(fired_at, -1) << "fired early at horizon " << horizon;
+    EXPECT_EQ(wheel.Size(), 1u);
+    now = expiry;
+    wheel.Advance(now);
+    EXPECT_EQ(fired_at, expiry) << "late/no fire at horizon " << horizon;
+    EXPECT_EQ(wheel.Size(), 0u);
+    EXPECT_EQ(wheel.NextExpiry(), kNeverTime);
+  }
+}
+
+// A timer whose slot cascades on the very tick it becomes due must fire on
+// that same tick, not a revolution later.
+TEST(HierarchicalWheelTest, CascadeOnDueTickFiresSameTick) {
+  HierarchicalWheelTimerQueue wheel(kMillisecond);
+  // Tick 512 = 2 * 256: level-0 hand wraps exactly when it becomes due, so
+  // the entry cascades from level 1 and fires within the same RunTick.
+  const SimTime expiry = 512 * kMillisecond;
+  SimTime fired_at = -1;
+  SimTime now = 0;
+  wheel.Schedule(expiry, [&](TimerHandle) { fired_at = now; });
+  now = expiry - kMillisecond;
+  wheel.Advance(now);
+  EXPECT_EQ(fired_at, -1);
+  now = expiry;
+  wheel.Advance(now);
+  EXPECT_EQ(fired_at, expiry);
+  EXPECT_GT(wheel.cascades(), 0u);
+}
+
+// After cascades and fires, the handle index must stay consistent with
+// size_: every live handle cancels exactly once, then the wheel is empty.
+TEST(HierarchicalWheelTest, IndexStaysConsistentWithSizeAcrossCascades) {
+  HierarchicalWheelTimerQueue wheel(kMillisecond);
+  Rng rng(17);
+  std::map<TimerHandle, SimTime> live;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Mix of horizons, deliberately including exact cascade boundaries.
+    const SimTime expiry = (i % 7 == 0)
+                               ? (256 + 256 * (i % 3)) * kMillisecond
+                               : rng.UniformInt(kMillisecond, 3000 * kMillisecond);
+    const TimerHandle h = wheel.Schedule(expiry, [&fired](TimerHandle) { ++fired; });
+    live[h] = expiry;
+  }
+  wheel.Advance(700 * kMillisecond);  // past two cascade points
+  EXPECT_EQ(wheel.Size(), live.size() - static_cast<size_t>(fired));
+  size_t canceled = 0;
+  for (const auto& [handle, expiry] : live) {
+    if (expiry > 700 * kMillisecond + kMillisecond) {
+      // Still pending: the index must know it, exactly once.
+      EXPECT_TRUE(wheel.Cancel(handle)) << "live handle missing from index";
+      EXPECT_FALSE(wheel.Cancel(handle));
+      ++canceled;
+    }
+  }
+  EXPECT_EQ(wheel.Size(), live.size() - static_cast<size_t>(fired) - canceled);
+  wheel.Advance(4000 * kMillisecond);
+  EXPECT_EQ(wheel.Size(), 0u);
+  EXPECT_EQ(static_cast<size_t>(fired) + canceled, live.size());
+  EXPECT_EQ(wheel.NextExpiry(), kNeverTime);
+}
+
 TEST(TreeQueueTest, ExactNanosecondResolution) {
   TreeTimerQueue tree;
   std::vector<SimTime> fired;
