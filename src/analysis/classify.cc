@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "src/analysis/render.h"
 
 namespace tempo {
 
@@ -181,13 +184,39 @@ TimerClass ClassifyGroup(const std::vector<Episode>& group, const ClassifyOption
   return result;
 }
 
-std::vector<TimerClass> ClassifyTrace(const std::vector<TraceRecord>& records,
-                                      const ClassifyOptions& options) {
+void ClassifyPass::Accumulate(std::span<const TraceRecord> records) {
+  episodes_.Accumulate(records);
+}
+
+void ClassifyPass::Merge(AnalysisPass&& other) {
+  episodes_.Merge(std::move(dynamic_cast<ClassifyPass&>(other).episodes_));
+}
+
+std::vector<TimerClass> ClassifyPass::Result() const {
   std::vector<TimerClass> out;
-  for (const auto& group : GroupEpisodes(BuildEpisodes(records))) {
-    out.push_back(ClassifyGroup(group, options));
+  EpisodeBuilder copy = episodes_;  // Finish consumes; keep the pass reusable
+  for (const auto& group : GroupEpisodes(std::move(copy).Finish())) {
+    out.push_back(ClassifyGroup(group, options_));
   }
   return out;
+}
+
+std::unique_ptr<AnalysisPass> ClassifyPass::Fork() const {
+  return std::make_unique<ClassifyPass>(options_, column_);
+}
+
+void ClassifyPass::Render(RenderSink& sink) {
+  sink.Section("patterns",
+               "usage patterns:\n" +
+                   RenderPatternHistogram({{column_, PatternHistogram(Result())}}) +
+                   "\n");
+}
+
+std::vector<TimerClass> ClassifyTrace(const std::vector<TraceRecord>& records,
+                                      const ClassifyOptions& options) {
+  ClassifyPass pass(options);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
 }
 
 std::map<UsagePattern, double> PatternHistogram(const std::vector<TimerClass>& classes) {

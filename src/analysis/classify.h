@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/analysis/lifetimes.h"
+#include "src/analysis/pass.h"
 
 namespace tempo {
 
@@ -75,7 +76,34 @@ struct TimerClass {
 // Classifies one group of episodes (same cluster, time-ordered).
 TimerClass ClassifyGroup(const std::vector<Episode>& group, const ClassifyOptions& options);
 
+// Streaming usage-pattern classification (Figure 2) as an AnalysisPass.
+// Classification itself needs every episode of a timer, so the pass
+// streams records into a mergeable EpisodeBuilder and classifies once,
+// at Result/Render time.
+class ClassifyPass : public AnalysisPass {
+ public:
+  explicit ClassifyPass(ClassifyOptions options = ClassifyOptions(),
+                        std::string column = "trace")
+      : options_(options), column_(std::move(column)) {}
+
+  const char* name() const override { return "patterns"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // Per-timer classifications; call after all merges.
+  std::vector<TimerClass> Result() const;
+
+ private:
+  ClassifyOptions options_;
+  std::string column_;  // column label in the rendered histogram
+  EpisodeBuilder episodes_;
+};
+
 // Classifies a whole trace.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// ClassifyPass — prefer the pass for anything that may grow large.
 std::vector<TimerClass> ClassifyTrace(const std::vector<TraceRecord>& records,
                                       const ClassifyOptions& options);
 

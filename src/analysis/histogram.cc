@@ -1,68 +1,96 @@
 #include "src/analysis/histogram.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
+#include <utility>
 
+#include "src/analysis/render.h"
 #include "src/oslinux/jiffies.h"
 
 namespace tempo {
 
-ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
-                                     const HistogramOptions& options) {
-  // Optionally identify countdown timers to filter out.
-  std::unordered_set<TimerId> countdown_timers;
-  if (options.exclude_countdowns) {
-    for (const TimerClass& c : ClassifyTrace(records, options.classify)) {
-      if (c.pattern == UsagePattern::kCountdown && c.key.b == 0) {
-        countdown_timers.insert(c.key.a);
-      }
-    }
+HistogramPass::BucketKey HistogramPass::KeyFor(const TraceRecord& r) const {
+  BucketKey key{};
+  if (options_.jiffy_quantise_kernel && !r.is_user() &&
+      (r.flags & kFlagJiffyWheel) != 0) {
+    // Kernel wheel timers: read the exact jiffy delta off the absolute
+    // expiry, as the paper's instrumentation does — this undoes the
+    // sub-2 ms conversion jitter of the observed relative value.
+    key.jiffy = true;
+    key.quantised = static_cast<int64_t>(TimeToJiffies(r.expiry)) -
+                    static_cast<int64_t>(TimeToJiffies(r.timestamp));
+  } else {
+    key.jiffy = false;
+    // 0.1 ms buckets for exactly supplied values.
+    const SimDuration grain = kMillisecond / 10;
+    key.quantised = (r.timeout + grain / 2) / grain;
   }
+  return key;
+}
 
-  struct BucketKey {
-    int64_t quantised;
-    bool jiffy;
-    bool operator<(const BucketKey& o) const {
-      if (jiffy != o.jiffy) {
-        return jiffy < o.jiffy;
-      }
-      return quantised < o.quantised;
-    }
-  };
-  std::map<BucketKey, uint64_t> counts;
-  uint64_t total = 0;
-
+void HistogramPass::Accumulate(std::span<const TraceRecord> records) {
+  if (options_.exclude_countdowns) {
+    episodes_.Accumulate(records);
+  }
   for (const TraceRecord& r : records) {
     if (r.op != TimerOp::kSet && r.op != TimerOp::kBlock) {
       continue;
     }
-    if (options.user_only && !r.is_user()) {
+    if (options_.user_only && !r.is_user()) {
       continue;
     }
-    if (options.exclude_pids.count(r.pid) != 0) {
+    if (options_.exclude_pids.count(r.pid) != 0) {
       continue;
     }
-    if (options.exclude_countdowns && countdown_timers.count(r.timer) != 0) {
-      continue;
+    const BucketKey key = KeyFor(r);
+    ++total_;
+    ++counts_[key];
+    if (options_.exclude_countdowns) {
+      ++per_timer_[r.timer][key];
     }
-    ++total;
-    BucketKey key{};
-    if (options.jiffy_quantise_kernel && !r.is_user() &&
-        (r.flags & kFlagJiffyWheel) != 0) {
-      // Kernel wheel timers: read the exact jiffy delta off the absolute
-      // expiry, as the paper's instrumentation does — this undoes the
-      // sub-2 ms conversion jitter of the observed relative value.
-      key.jiffy = true;
-      key.quantised = static_cast<int64_t>(TimeToJiffies(r.expiry)) -
-                      static_cast<int64_t>(TimeToJiffies(r.timestamp));
-    } else {
-      key.jiffy = false;
-      // 0.1 ms buckets for exactly supplied values.
-      const SimDuration grain = kMillisecond / 10;
-      key.quantised = (r.timeout + grain / 2) / grain;
+  }
+}
+
+void HistogramPass::Merge(AnalysisPass&& other) {
+  auto& later = dynamic_cast<HistogramPass&>(other);
+  total_ += later.total_;
+  for (const auto& [key, count] : later.counts_) {
+    counts_[key] += count;
+  }
+  for (auto& [timer, keys] : later.per_timer_) {
+    auto& mine = per_timer_[timer];
+    for (const auto& [key, count] : keys) {
+      mine[key] += count;
     }
-    ++counts[key];
+  }
+  episodes_.Merge(std::move(later.episodes_));
+}
+
+ValueHistogram HistogramPass::Result() const {
+  std::map<BucketKey, uint64_t> counts = counts_;
+  uint64_t total = total_;
+  if (options_.exclude_countdowns) {
+    // Identify countdown timers now that every episode is known, then
+    // back their contributions out — identical counts to the serial
+    // filter that skipped their records up front.
+    EpisodeBuilder copy = episodes_;
+    for (const auto& group : GroupEpisodes(std::move(copy).Finish())) {
+      const TimerClass c = ClassifyGroup(group, options_.classify);
+      if (c.pattern != UsagePattern::kCountdown || c.key.b != 0) {
+        continue;
+      }
+      const auto it = per_timer_.find(c.key.a);
+      if (it == per_timer_.end()) {
+        continue;
+      }
+      for (const auto& [key, count] : it->second) {
+        auto bucket = counts.find(key);
+        bucket->second -= count;
+        if (bucket->second == 0) {
+          counts.erase(bucket);
+        }
+        total -= count;
+      }
+    }
   }
 
   ValueHistogram histogram;
@@ -73,7 +101,7 @@ ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
   uint64_t covered = 0;
   for (const auto& [key, count] : counts) {
     const double percent = 100.0 * static_cast<double>(count) / static_cast<double>(total);
-    if (percent < options.min_percent) {
+    if (percent < options_.min_percent) {
       continue;
     }
     ValueBucket bucket;
@@ -94,6 +122,22 @@ ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
   histogram.coverage_percent =
       100.0 * static_cast<double>(covered) / static_cast<double>(total);
   return histogram;
+}
+
+std::unique_ptr<AnalysisPass> HistogramPass::Fork() const {
+  return std::make_unique<HistogramPass>(options_, show_jiffies_);
+}
+
+void HistogramPass::Render(RenderSink& sink) {
+  sink.Section("values",
+               "common values:\n" + RenderValueHistogram(Result(), show_jiffies_) + "\n");
+}
+
+ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
+                                     const HistogramOptions& options) {
+  HistogramPass pass(options);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
 }
 
 }  // namespace tempo

@@ -13,11 +13,13 @@
 #define TEMPO_SRC_ANALYSIS_HISTOGRAM_H_
 
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/analysis/classify.h"
+#include "src/analysis/pass.h"
 #include "src/trace/record.h"
 
 namespace tempo {
@@ -52,7 +54,53 @@ struct ValueHistogram {
   double coverage_percent = 0.0;     // % of sets the shown buckets cover
 };
 
+// Streaming value histogram (Figures 3/5/6/7) as an AnalysisPass. Bucket
+// counts merge by addition; when exclude_countdowns is set the pass also
+// tracks per-timer contributions and an EpisodeBuilder, so the countdown
+// timers identified at Result time can be subtracted exactly — the same
+// counts the serial filter produces.
+class HistogramPass : public AnalysisPass {
+ public:
+  explicit HistogramPass(HistogramOptions options = {}, bool show_jiffies = true)
+      : options_(std::move(options)), show_jiffies_(show_jiffies) {}
+
+  const char* name() const override { return "values"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished histogram; call after all merges.
+  ValueHistogram Result() const;
+
+ private:
+  struct BucketKey {
+    int64_t quantised = 0;
+    bool jiffy = false;
+    bool operator<(const BucketKey& o) const {
+      if (jiffy != o.jiffy) {
+        return jiffy < o.jiffy;
+      }
+      return quantised < o.quantised;
+    }
+  };
+
+  BucketKey KeyFor(const TraceRecord& r) const;
+
+  HistogramOptions options_;
+  bool show_jiffies_;  // render knob (tracestat --no-jiffies)
+  std::map<BucketKey, uint64_t> counts_;
+  uint64_t total_ = 0;
+  // exclude_countdowns bookkeeping: what each stable timer contributed
+  // (to subtract if it classifies as a countdown), and the episodes the
+  // classification runs on.
+  std::map<TimerId, std::map<BucketKey, uint64_t>> per_timer_;
+  EpisodeBuilder episodes_;
+};
+
 // Computes the histogram of set values in a trace.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// HistogramPass — prefer the pass for anything that may grow large.
 ValueHistogram ComputeValueHistogram(const std::vector<TraceRecord>& records,
                                      const HistogramOptions& options);
 

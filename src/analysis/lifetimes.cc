@@ -1,7 +1,7 @@
 #include "src/analysis/lifetimes.h"
 
 #include <algorithm>
-#include <map>
+#include <iterator>
 #include <utility>
 
 namespace tempo {
@@ -27,31 +27,29 @@ ClusterKey ClusterKeyFor(const Episode& episode) {
   return ClusterKey{episode.timer, 0};
 }
 
-std::vector<Episode> BuildEpisodes(const std::vector<TraceRecord>& records) {
-  std::vector<Episode> episodes;
-  episodes.reserve(records.size() / 2);
-  // Open episode per timer id (sets) and per (timer,tid) for waits.
-  std::map<TimerId, size_t> open;  // timer id -> index into episodes
+void EpisodeBuilder::Close(TimerId timer, SimTime at, EpisodeEnd end) {
+  auto it = open_.find(timer);
+  if (it == open_.end()) {
+    return;
+  }
+  Episode& e = episodes_[it->second];
+  e.end_time = at;
+  e.end = end;
+  open_.erase(it);
+}
 
-  auto close = [&](TimerId timer, SimTime at, EpisodeEnd end) {
-    auto it = open.find(timer);
-    if (it == open.end()) {
-      return;
-    }
-    Episode& e = episodes[it->second];
-    e.end_time = at;
-    e.end = end;
-    open.erase(it);
-  };
-
+void EpisodeBuilder::Accumulate(std::span<const TraceRecord> records) {
   for (const TraceRecord& r : records) {
+    if (r.op != TimerOp::kInit) {
+      first_op_.emplace(r.timer, FirstOp{r.op, r.timestamp, r.flags});
+    }
     switch (r.op) {
       case TimerOp::kInit:
         break;
       case TimerOp::kSet:
       case TimerOp::kBlock: {
         // Arming a pending timer ends the previous episode as a reset.
-        close(r.timer, r.timestamp, EpisodeEnd::kReset);
+        Close(r.timer, r.timestamp, EpisodeEnd::kReset);
         Episode e;
         e.timer = r.timer;
         e.callsite = r.callsite;
@@ -61,32 +59,94 @@ std::vector<Episode> BuildEpisodes(const std::vector<TraceRecord>& records) {
         e.timeout = r.timeout;
         e.canonical = CanonicalTimeout(r);
         e.flags = r.flags;
-        open.emplace(r.timer, episodes.size());
-        episodes.push_back(e);
+        open_.emplace(r.timer, episodes_.size());
+        episodes_.push_back(e);
         break;
       }
       case TimerOp::kCancel:
-        close(r.timer, r.timestamp, EpisodeEnd::kCanceled);
+        Close(r.timer, r.timestamp, EpisodeEnd::kCanceled);
         break;
       case TimerOp::kExpire:
-        close(r.timer, r.timestamp, EpisodeEnd::kExpired);
+        Close(r.timer, r.timestamp, EpisodeEnd::kExpired);
         break;
       case TimerOp::kUnblock:
-        close(r.timer, r.timestamp,
+        Close(r.timer, r.timestamp,
               (r.flags & kFlagWaitSatisfied) != 0 ? EpisodeEnd::kCanceled
                                                   : EpisodeEnd::kExpired);
         break;
     }
   }
+  if (!records.empty()) {
+    last_ts_ = records.back().timestamp;
+    any_records_ = true;
+  }
+}
+
+void EpisodeBuilder::Merge(EpisodeBuilder&& later) {
+  // Close our still-open episodes with the later range's first operation
+  // on the same timer — exactly what the serial scan would do next.
+  for (auto it = open_.begin(); it != open_.end();) {
+    const auto fo = later.first_op_.find(it->first);
+    if (fo == later.first_op_.end()) {
+      ++it;
+      continue;
+    }
+    Episode& e = episodes_[it->second];
+    e.end_time = fo->second.timestamp;
+    switch (fo->second.op) {
+      case TimerOp::kSet:
+      case TimerOp::kBlock:
+        e.end = EpisodeEnd::kReset;
+        break;
+      case TimerOp::kCancel:
+        e.end = EpisodeEnd::kCanceled;
+        break;
+      case TimerOp::kExpire:
+        e.end = EpisodeEnd::kExpired;
+        break;
+      case TimerOp::kUnblock:
+        e.end = (fo->second.flags & kFlagWaitSatisfied) != 0 ? EpisodeEnd::kCanceled
+                                                             : EpisodeEnd::kExpired;
+        break;
+      case TimerOp::kInit:
+        break;  // never recorded as a first op
+    }
+    it = open_.erase(it);
+  }
+
+  // Concatenating preserves creation (record) order: all of the later
+  // range's episodes started after all of ours.
+  const size_t offset = episodes_.size();
+  episodes_.insert(episodes_.end(), std::make_move_iterator(later.episodes_.begin()),
+                   std::make_move_iterator(later.episodes_.end()));
+  // Timers we still hold open were untouched by the later range, so the
+  // two open sets are disjoint.
+  for (const auto& [timer, index] : later.open_) {
+    open_.emplace(timer, index + offset);
+  }
+  // Keep the earliest first op per timer (ours wins).
+  first_op_.merge(later.first_op_);
+  if (later.any_records_) {
+    last_ts_ = later.last_ts_;
+    any_records_ = true;
+  }
+}
+
+std::vector<Episode> EpisodeBuilder::Finish() && {
   // Episodes still open at trace end keep kOpen with end_time unset; give
   // them the last timestamp so held() is meaningful.
-  if (!records.empty()) {
-    const SimTime last = records.back().timestamp;
-    for (auto& [timer, idx] : open) {
-      episodes[idx].end_time = last;
+  if (any_records_) {
+    for (const auto& [timer, index] : open_) {
+      episodes_[index].end_time = last_ts_;
     }
   }
-  return episodes;
+  return std::move(episodes_);
+}
+
+std::vector<Episode> BuildEpisodes(const std::vector<TraceRecord>& records) {
+  EpisodeBuilder builder;
+  builder.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return std::move(builder).Finish();
 }
 
 std::vector<std::vector<Episode>> GroupEpisodes(std::vector<Episode> episodes) {

@@ -16,6 +16,8 @@
 #define TEMPO_SRC_ANALYSIS_LIFETIMES_H_
 
 #include <cstdint>
+#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,9 +81,53 @@ ClusterKey ClusterKeyFor(const Episode& episode);
 // delta for Linux wheel timers, the observed value otherwise.
 SimDuration CanonicalTimeout(const TraceRecord& record);
 
+// Streaming, mergeable episode construction — the shared engine under
+// every episode-consuming AnalysisPass (classify, scatter, origins,
+// blame). Feed time-ordered record batches with Accumulate; to combine
+// two builders that covered adjacent ranges of the same trace, call
+// left.Merge(std::move(right)) where `right` saw strictly later records.
+//
+// The merge is exact: an episode left open at the end of the left range
+// is closed by the right range's first operation on that timer (a re-arm
+// closes it as kReset, a cancel as kCanceled, ...), which is precisely
+// what the serial scan would have done, so Finish() returns the same
+// episode vector — in the same order — as a single-pass build.
+class EpisodeBuilder {
+ public:
+  // Folds one batch of time-ordered records into the state.
+  void Accumulate(std::span<const TraceRecord> records);
+
+  // Absorbs a builder that accumulated the records immediately after
+  // this one's.
+  void Merge(EpisodeBuilder&& later);
+
+  // Finalizes: episodes still open get the last timestamp as end_time
+  // (end stays kOpen). The builder is consumed.
+  std::vector<Episode> Finish() &&;
+
+ private:
+  // First non-init operation per timer in this builder's range; what a
+  // preceding range's open episode of that timer gets closed by.
+  struct FirstOp {
+    TimerOp op;
+    SimTime timestamp;
+    uint16_t flags;
+  };
+
+  void Close(TimerId timer, SimTime at, EpisodeEnd end);
+
+  std::vector<Episode> episodes_;
+  std::map<TimerId, size_t> open_;  // timer id -> index into episodes_
+  std::map<TimerId, FirstOp> first_op_;
+  SimTime last_ts_ = 0;
+  bool any_records_ = false;
+};
+
 // Rebuilds episodes from a trace. Records must be time-ordered (trace
 // buffers guarantee this). Block/unblock pairs become episodes whose end is
 // kExpired when the wait timed out and kCanceled when it was satisfied.
+// Thin wrapper over EpisodeBuilder; stream consumers should use the
+// builder (or an AnalysisPass) directly.
 std::vector<Episode> BuildEpisodes(const std::vector<TraceRecord>& records);
 
 // Groups episodes by cluster key; each group is sorted by set time.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
+#include "src/analysis/render.h"
 #include "src/oslinux/jiffies.h"
 
 namespace tempo {
@@ -24,11 +26,9 @@ SimDuration Canonical(SimDuration value, bool user) {
 
 }  // namespace
 
-std::vector<OriginRow> ComputeOrigins(const std::vector<TraceRecord>& records,
-                                      const CallsiteRegistry& callsites,
-                                      const OriginOptions& options) {
-  const std::vector<TimerClass> classes = ClassifyTrace(records, options.classify);
-
+std::vector<OriginRow> ComputeOriginsFromClasses(const std::vector<TimerClass>& classes,
+                                                 const CallsiteRegistry& callsites,
+                                                 const OriginOptions& options) {
   struct Agg {
     uint64_t sets = 0;
     std::map<UsagePattern, uint64_t> patterns;
@@ -84,6 +84,39 @@ std::vector<OriginRow> ComputeOrigins(const std::vector<TraceRecord>& records,
     return a.origin < b.origin;
   });
   return out;
+}
+
+void OriginsPass::Accumulate(std::span<const TraceRecord> records) {
+  episodes_.Accumulate(records);
+}
+
+void OriginsPass::Merge(AnalysisPass&& other) {
+  episodes_.Merge(std::move(dynamic_cast<OriginsPass&>(other).episodes_));
+}
+
+std::vector<OriginRow> OriginsPass::Result() const {
+  EpisodeBuilder copy = episodes_;  // Finish consumes; keep the pass reusable
+  std::vector<TimerClass> classes;
+  for (const auto& group : GroupEpisodes(std::move(copy).Finish())) {
+    classes.push_back(ClassifyGroup(group, options_.classify));
+  }
+  return ComputeOriginsFromClasses(classes, *callsites_, options_);
+}
+
+std::unique_ptr<AnalysisPass> OriginsPass::Fork() const {
+  return std::make_unique<OriginsPass>(callsites_, options_);
+}
+
+void OriginsPass::Render(RenderSink& sink) {
+  sink.Section("origins", "origins:\n" + RenderOrigins(Result()) + "\n");
+}
+
+std::vector<OriginRow> ComputeOrigins(const std::vector<TraceRecord>& records,
+                                      const CallsiteRegistry& callsites,
+                                      const OriginOptions& options) {
+  OriginsPass pass(&callsites, options);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
 }
 
 }  // namespace tempo

@@ -36,7 +36,37 @@ struct OriginOptions {
   ClassifyOptions classify;
 };
 
+// Aggregates already-computed classifications into the table. Rows are
+// sorted by value, then origin.
+std::vector<OriginRow> ComputeOriginsFromClasses(const std::vector<TimerClass>& classes,
+                                                 const CallsiteRegistry& callsites,
+                                                 const OriginOptions& options);
+
+// Streaming origins table (Table 3) as an AnalysisPass. The registry must
+// outlive the pass (tools keep the loaded trace's registry alive).
+class OriginsPass : public AnalysisPass {
+ public:
+  OriginsPass(const CallsiteRegistry* callsites, OriginOptions options = {})
+      : callsites_(callsites), options_(std::move(options)) {}
+
+  const char* name() const override { return "origins"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished table; call after all merges.
+  std::vector<OriginRow> Result() const;
+
+ private:
+  const CallsiteRegistry* callsites_;
+  OriginOptions options_;
+  EpisodeBuilder episodes_;
+};
+
 // Builds the table from a trace. Rows are sorted by value, then origin.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// OriginsPass — prefer the pass for anything that may grow large.
 std::vector<OriginRow> ComputeOrigins(const std::vector<TraceRecord>& records,
                                       const CallsiteRegistry& callsites,
                                       const OriginOptions& options);

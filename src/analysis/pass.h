@@ -1,0 +1,139 @@
+// The AnalysisPass API: streaming, mergeable trace analyses.
+//
+// The original analysis entry points (Summarize, ClassifyTrace, ...) each
+// consumed a fully materialized std::vector<TraceRecord> in one call —
+// fine for the paper's 30-minute traces, memory-bound and single-threaded
+// at production scale. An AnalysisPass instead consumes the trace as a
+// stream of record batches and carries explicit partial state:
+//
+//   Fork()        an empty pass with the same configuration, for a worker
+//   Accumulate()  folds one batch of time-ordered records into the state
+//   Merge()       absorbs another pass's state; the argument must have
+//                 accumulated records STRICTLY LATER than this pass's
+//                 (pipeline.h feeds workers contiguous chunk ranges and
+//                 merges them in trace order, so this always holds)
+//   Render()      emits the finished report into a RenderSink
+//
+// The ordered-merge contract is what makes parallel analysis exact: every
+// pass here reproduces, byte for byte, what the serial whole-vector code
+// produces, for any chunking and any worker count. The legacy entry
+// points are now thin wrappers over these passes.
+
+#ifndef TEMPO_SRC_ANALYSIS_PASS_H_
+#define TEMPO_SRC_ANALYSIS_PASS_H_
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace tempo {
+
+// Receives rendered report sections. Keys are stable machine-readable
+// names ("summary", "patterns", ...); text is the exact human-readable
+// section body the legacy tools printed.
+class RenderSink {
+ public:
+  virtual ~RenderSink() = default;
+  virtual void Section(const std::string& key, const std::string& text) = 0;
+};
+
+// Writes section bodies verbatim to a stdio stream — the classic tool
+// output.
+class TextRenderSink : public RenderSink {
+ public:
+  explicit TextRenderSink(std::FILE* out) : out_(out) {}
+  void Section(const std::string& key, const std::string& text) override {
+    (void)key;
+    std::fputs(text.c_str(), out_);
+  }
+
+ private:
+  std::FILE* out_;
+};
+
+// Collects sections into one JSON object {"key": "text", ...}; call
+// Finish() after the last pass rendered.
+class JsonRenderSink : public RenderSink {
+ public:
+  explicit JsonRenderSink(std::FILE* out) : out_(out) {}
+  void Section(const std::string& key, const std::string& text) override {
+    sections_.emplace_back(key, text);
+  }
+  void Finish() {
+    std::fputs("{", out_);
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      if (i > 0) {
+        std::fputs(",", out_);
+      }
+      std::fputs("\n  ", out_);
+      PutString(sections_[i].first);
+      std::fputs(": ", out_);
+      PutString(sections_[i].second);
+    }
+    std::fputs("\n}\n", out_);
+  }
+
+ private:
+  void PutString(const std::string& s) {
+    std::fputc('"', out_);
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          std::fputs("\\\"", out_);
+          break;
+        case '\\':
+          std::fputs("\\\\", out_);
+          break;
+        case '\n':
+          std::fputs("\\n", out_);
+          break;
+        case '\t':
+          std::fputs("\\t", out_);
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::fprintf(out_, "\\u%04x", c);
+          } else {
+            std::fputc(c, out_);
+          }
+      }
+    }
+    std::fputc('"', out_);
+  }
+
+  std::FILE* out_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// One streaming analysis. See the file comment for the contract; concrete
+// passes live with their legacy modules (SummaryPass in summary.h, ...).
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  // Stable pass name, used for metrics labels and section ordering.
+  virtual const char* name() const = 0;
+
+  // A fresh pass with the same configuration and empty state.
+  virtual std::unique_ptr<AnalysisPass> Fork() const = 0;
+
+  // Folds one batch of time-ordered records into the partial state.
+  // Batches arrive in trace order within one pass instance.
+  virtual void Accumulate(std::span<const TraceRecord> records) = 0;
+
+  // Absorbs `other`, which must be the same concrete type and must have
+  // accumulated the records immediately following this pass's.
+  virtual void Merge(AnalysisPass&& other) = 0;
+
+  // Renders the final report section(s). Call once, after all merges.
+  virtual void Render(RenderSink& sink) = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_PASS_H_

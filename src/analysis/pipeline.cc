@@ -1,0 +1,234 @@
+#include "src/analysis/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
+#include "src/trace/codec.h"
+
+namespace tempo {
+
+namespace {
+
+// One worker's private world: forks of every pass plus plain tallies.
+// Workers never touch the obs registry or the probe clock — both are
+// main-thread-only — so this struct is all they write to.
+struct WorkerState {
+  std::vector<std::unique_ptr<AnalysisPass>> passes;
+  uint64_t chunks = 0;
+  uint64_t records = 0;
+  bool failed = false;
+  TraceReadError error = TraceReadError::kIo;
+};
+
+// Contiguous [begin, end) chunk ranges, one per worker, in trace order.
+// The remainder of an uneven split lands on the earliest workers so
+// ranges never differ by more than one chunk.
+std::vector<std::pair<size_t, size_t>> PartitionChunks(size_t chunk_count, size_t jobs) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(jobs);
+  const size_t base = chunk_count / jobs;
+  const size_t extra = chunk_count % jobs;
+  size_t begin = 0;
+  for (size_t w = 0; w < jobs; ++w) {
+    const size_t take = base + (w < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + take);
+    begin += take;
+  }
+  return ranges;
+}
+
+size_t EffectiveJobs(size_t requested, size_t chunk_count) {
+  size_t jobs = requested;
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+  }
+  jobs = std::max<size_t>(jobs, 1);
+  return std::min(jobs, std::max<size_t>(chunk_count, 1));
+}
+
+std::vector<std::unique_ptr<AnalysisPass>> ForkAll(
+    const std::vector<std::unique_ptr<AnalysisPass>>& passes) {
+  std::vector<std::unique_ptr<AnalysisPass>> forks;
+  forks.reserve(passes.size());
+  for (const auto& pass : passes) {
+    forks.push_back(pass->Fork());
+  }
+  return forks;
+}
+
+// Folds worker states into the caller's passes (in worker order — each
+// worker holds a contiguous, strictly later slice of the trace than the
+// one before it, which is exactly the ordering Merge requires; the
+// caller's passes start empty, a valid "nothing yet" left-hand side),
+// then publishes run counters to the global registry. Main thread only.
+PipelineStats MergeAndPublish(std::vector<WorkerState>& workers,
+                              const std::vector<std::unique_ptr<AnalysisPass>>& passes,
+                              uint64_t started, const std::string& label) {
+  std::vector<uint64_t> merge_cycles(passes.size(), 0);
+  for (WorkerState& w : workers) {
+    for (size_t p = 0; p < passes.size(); ++p) {
+      const uint64_t t0 = obs::ProbeClockNow();
+      passes[p]->Merge(std::move(*w.passes[p]));
+      merge_cycles[p] += obs::ProbeClockNow() - t0;
+    }
+  }
+
+  PipelineStats stats;
+  stats.jobs = workers.size();
+  for (const WorkerState& w : workers) {
+    stats.chunks += w.chunks;
+    stats.records += w.records;
+  }
+  stats.bytes = stats.records * kEncodedRecordSize;
+  stats.cycles = obs::ProbeClockNow() - started;
+
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::Labels labels = {{"trace", label}};
+  registry
+      .GetCounter("trace_pipeline_runs_total", labels,
+                  "pipeline executions over this trace label")
+      ->Inc();
+  registry
+      .GetCounter("trace_pipeline_records_total", labels,
+                  "records streamed through the analysis pipeline")
+      ->Inc(stats.records);
+  registry
+      .GetCounter("trace_pipeline_bytes_total", labels,
+                  "encoded trace bytes streamed through the analysis pipeline")
+      ->Inc(stats.bytes);
+  registry
+      .GetCounter("trace_pipeline_chunks_total", labels,
+                  "trace chunks streamed through the analysis pipeline")
+      ->Inc(stats.chunks);
+  registry
+      .GetCounter("trace_pipeline_cycles_total", labels,
+                  "probe-clock cycles spent in pipeline runs")
+      ->Inc(stats.cycles);
+  registry.GetGauge("trace_pipeline_jobs", labels, "worker threads used by the last run")
+      ->Set(static_cast<int64_t>(stats.jobs));
+  for (size_t p = 0; p < passes.size(); ++p) {
+    obs::Labels pass_labels = labels;
+    pass_labels.emplace_back("pass", passes[p]->name());
+    registry
+        .GetCounter("trace_pipeline_pass_merge_cycles_total", pass_labels,
+                    "probe-clock cycles spent merging partial pass states")
+        ->Inc(merge_cycles[p]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+bool PipelineRunner::Run(const TraceChunkReader& reader,
+                         const std::vector<std::unique_ptr<AnalysisPass>>& passes,
+                         TraceReadError* error) {
+  const size_t chunk_count = reader.chunk_count();
+  const size_t jobs = EffectiveJobs(options_.jobs, chunk_count);
+  const auto ranges = PartitionChunks(chunk_count, jobs);
+
+  std::vector<WorkerState> workers(jobs);
+  for (WorkerState& w : workers) {
+    w.passes = ForkAll(passes);
+  }
+
+  const uint64_t started = obs::ProbeClockNow();
+
+  auto drain = [&reader](const std::pair<size_t, size_t>& range, WorkerState* state) {
+    TraceChunkReader::Cursor cursor = reader.MakeCursor();
+    if (!cursor.ok()) {
+      state->failed = true;
+      state->error = cursor.error();
+      return;
+    }
+    for (size_t i = range.first; i < range.second; ++i) {
+      const std::span<const TraceRecord> chunk = cursor.Read(i);
+      if (!cursor.ok()) {
+        state->failed = true;
+        state->error = cursor.error();
+        return;
+      }
+      ++state->chunks;
+      state->records += chunk.size();
+      for (auto& pass : state->passes) {
+        pass->Accumulate(chunk);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    drain(ranges[0], &workers[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (size_t w = 0; w < jobs; ++w) {
+      threads.emplace_back(drain, ranges[w], &workers[w]);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  for (const WorkerState& w : workers) {
+    if (w.failed) {
+      if (error != nullptr) {
+        *error = w.error;
+      }
+      return false;
+    }
+  }
+
+  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label);
+  return true;
+}
+
+void PipelineRunner::Run(std::span<const TraceRecord> records,
+                         const std::vector<std::unique_ptr<AnalysisPass>>& passes,
+                         uint32_t chunk_records) {
+  if (chunk_records == 0) {
+    chunk_records = kDefaultChunkRecords;
+  }
+  const size_t chunk_count = (records.size() + chunk_records - 1) / chunk_records;
+  const size_t jobs = EffectiveJobs(options_.jobs, chunk_count);
+  const auto ranges = PartitionChunks(chunk_count, jobs);
+
+  std::vector<WorkerState> workers(jobs);
+  for (WorkerState& w : workers) {
+    w.passes = ForkAll(passes);
+  }
+
+  const uint64_t started = obs::ProbeClockNow();
+
+  auto drain = [records, chunk_records](const std::pair<size_t, size_t>& range,
+                                        WorkerState* state) {
+    for (size_t i = range.first; i < range.second; ++i) {
+      const size_t first = i * static_cast<size_t>(chunk_records);
+      const size_t count = std::min<size_t>(chunk_records, records.size() - first);
+      const std::span<const TraceRecord> chunk = records.subspan(first, count);
+      ++state->chunks;
+      state->records += chunk.size();
+      for (auto& pass : state->passes) {
+        pass->Accumulate(chunk);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    drain(ranges[0], &workers[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (size_t w = 0; w < jobs; ++w) {
+      threads.emplace_back(drain, ranges[w], &workers[w]);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label);
+}
+
+}  // namespace tempo

@@ -4,15 +4,11 @@
 #include <cstdio>
 #include <functional>
 #include <sstream>
+#include <utility>
 
 namespace tempo {
 
 namespace {
-
-struct Tally {
-  uint64_t ops = 0;
-  uint64_t sets = 0;
-};
 
 void SortTree(ProvenanceNode* node) {
   std::sort(node->children.begin(), node->children.end(),
@@ -27,20 +23,10 @@ void SortTree(ProvenanceNode* node) {
   }
 }
 
-}  // namespace
-
-std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>& records,
-                                                  const CallsiteRegistry& callsites) {
-  // Direct tallies per call-site.
-  std::map<CallsiteId, Tally> direct;
-  for (const TraceRecord& r : records) {
-    Tally& tally = direct[r.callsite];
-    ++tally.ops;
-    if (r.op == TimerOp::kSet || r.op == TimerOp::kBlock) {
-      ++tally.sets;
-    }
-  }
-
+// Assembles the forest from per-call-site (ops, sets) tallies.
+std::vector<ProvenanceNode> ForestFromDirect(
+    const std::map<CallsiteId, std::pair<uint64_t, uint64_t>>& direct,
+    const CallsiteRegistry& callsites) {
   // Children lists over the whole registry (call-sites without records can
   // still be interior provenance nodes).
   std::map<CallsiteId, std::vector<CallsiteId>> children;
@@ -60,8 +46,8 @@ std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>
     node.name = callsites.Name(id);
     const auto it = direct.find(id);
     if (it != direct.end()) {
-      node.direct_ops = it->second.ops;
-      node.direct_sets = it->second.sets;
+      node.direct_ops = it->second.first;
+      node.direct_sets = it->second.second;
     }
     node.subtree_ops = node.direct_ops;
     node.subtree_sets = node.direct_sets;
@@ -94,11 +80,51 @@ std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>
   return forest;
 }
 
-std::vector<BlameEntry> BlameWindow(const std::vector<TraceRecord>& records,
-                                    const CallsiteRegistry& callsites, SimTime start,
-                                    SimTime end) {
+}  // namespace
+
+void ProvenancePass::Accumulate(std::span<const TraceRecord> records) {
+  for (const TraceRecord& r : records) {
+    auto& [ops, sets] = direct_[r.callsite];
+    ++ops;
+    if (r.op == TimerOp::kSet || r.op == TimerOp::kBlock) {
+      ++sets;
+    }
+  }
+}
+
+void ProvenancePass::Merge(AnalysisPass&& other) {
+  auto& later = dynamic_cast<ProvenancePass&>(other);
+  for (const auto& [id, tally] : later.direct_) {
+    auto& [ops, sets] = direct_[id];
+    ops += tally.first;
+    sets += tally.second;
+  }
+}
+
+std::vector<ProvenanceNode> ProvenancePass::Result() const {
+  return ForestFromDirect(direct_, *callsites_);
+}
+
+std::unique_ptr<AnalysisPass> ProvenancePass::Fork() const {
+  return std::make_unique<ProvenancePass>(callsites_);
+}
+
+void ProvenancePass::Render(RenderSink& sink) {
+  sink.Section("provenance", "provenance:\n" + RenderProvenance(Result()) + "\n");
+}
+
+std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>& records,
+                                                  const CallsiteRegistry& callsites) {
+  ProvenancePass pass(&callsites);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
+}
+
+std::vector<BlameEntry> BlameFromEpisodes(const std::vector<Episode>& episodes,
+                                          const CallsiteRegistry& callsites, SimTime start,
+                                          SimTime end) {
   std::map<CallsiteId, BlameEntry> by_site;
-  for (const Episode& e : BuildEpisodes(records)) {
+  for (const Episode& e : episodes) {
     const SimTime episode_end = e.end == EpisodeEnd::kOpen ? end : e.end_time;
     const SimTime overlap_start = std::max(e.set_time, start);
     const SimTime overlap_end = std::min(episode_end, end);
@@ -125,6 +151,35 @@ std::vector<BlameEntry> BlameWindow(const std::vector<TraceRecord>& records,
     return a.name < b.name;
   });
   return out;
+}
+
+void BlamePass::Accumulate(std::span<const TraceRecord> records) {
+  episodes_.Accumulate(records);
+}
+
+void BlamePass::Merge(AnalysisPass&& other) {
+  episodes_.Merge(std::move(dynamic_cast<BlamePass&>(other).episodes_));
+}
+
+std::vector<BlameEntry> BlamePass::Result() const {
+  EpisodeBuilder copy = episodes_;  // Finish consumes; keep the pass reusable
+  return BlameFromEpisodes(std::move(copy).Finish(), *callsites_, start_, end_);
+}
+
+std::unique_ptr<AnalysisPass> BlamePass::Fork() const {
+  return std::make_unique<BlamePass>(callsites_, start_, end_);
+}
+
+void BlamePass::Render(RenderSink& sink) {
+  sink.Section("blame", RenderBlame(Result(), start_, end_));
+}
+
+std::vector<BlameEntry> BlameWindow(const std::vector<TraceRecord>& records,
+                                    const CallsiteRegistry& callsites, SimTime start,
+                                    SimTime end) {
+  BlamePass pass(&callsites, start, end);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
 }
 
 std::string RenderProvenance(const std::vector<ProvenanceNode>& forest) {

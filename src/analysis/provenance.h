@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/analysis/lifetimes.h"
+#include "src/analysis/pass.h"
 #include "src/trace/callsite.h"
 
 namespace tempo {
@@ -40,8 +41,31 @@ struct ProvenanceNode {
   std::vector<ProvenanceNode> children;  // sorted by subtree_ops, descending
 };
 
+// Streaming attribution forest as an AnalysisPass: per-call-site tallies
+// merge by addition; the forest is assembled at Result. The registry must
+// outlive the pass.
+class ProvenancePass : public AnalysisPass {
+ public:
+  explicit ProvenancePass(const CallsiteRegistry* callsites) : callsites_(callsites) {}
+
+  const char* name() const override { return "provenance"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished forest; call after all merges.
+  std::vector<ProvenanceNode> Result() const;
+
+ private:
+  const CallsiteRegistry* callsites_;
+  std::map<CallsiteId, std::pair<uint64_t, uint64_t>> direct_;  // ops, sets
+};
+
 // Builds the attribution forest (one tree per provenance root) for a trace.
 // Roots are sorted by subtree_ops, descending.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// ProvenancePass — prefer the pass for anything that may grow large.
 std::vector<ProvenanceNode> BuildProvenanceForest(const std::vector<TraceRecord>& records,
                                                   const CallsiteRegistry& callsites);
 
@@ -54,9 +78,40 @@ struct BlameEntry {
   SimDuration longest = 0;     // longest single episode within the window
 };
 
+// Aggregates a blame report from already-built episodes.
+std::vector<BlameEntry> BlameFromEpisodes(const std::vector<Episode>& episodes,
+                                          const CallsiteRegistry& callsites, SimTime start,
+                                          SimTime end);
+
+// Streaming blame report as an AnalysisPass (records stream into an
+// EpisodeBuilder; the window aggregation runs at Result). The registry
+// must outlive the pass.
+class BlamePass : public AnalysisPass {
+ public:
+  BlamePass(const CallsiteRegistry* callsites, SimTime start, SimTime end)
+      : callsites_(callsites), start_(start), end_(end) {}
+
+  const char* name() const override { return "blame"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished report; call after all merges.
+  std::vector<BlameEntry> Result() const;
+
+ private:
+  const CallsiteRegistry* callsites_;
+  SimTime start_;
+  SimTime end_;
+  EpisodeBuilder episodes_;
+};
+
 // For [start, end): which call-sites had timers pending, for how long.
 // Sorted by held time, descending. Answers "what was the system waiting
 // on" for a stall the user experienced.
+// Legacy whole-vector entry point, kept as a thin wrapper over BlamePass
+// — prefer the pass for anything that may grow large.
 std::vector<BlameEntry> BlameWindow(const std::vector<TraceRecord>& records,
                                     const CallsiteRegistry& callsites, SimTime start,
                                     SimTime end);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/pass.h"
 #include "src/trace/record.h"
 
 namespace tempo {
@@ -37,7 +38,41 @@ struct RateGrouping {
   std::string kernel_label = "Kernel";
 };
 
+// Streaming rate timelines (Figure 1) as an AnalysisPass. Window counts
+// are kept sparse and merge by addition. The one subtlety is the
+// end-of-range rule when options.end == 0: the serial code runs to the
+// last record's timestamp, exclusive, so records at that exact timestamp
+// never count. The pass counts them provisionally and tracks how many
+// landed on the running maximum timestamp; Result subtracts them once the
+// true trace end is known.
+class RatesPass : public AnalysisPass {
+ public:
+  RatesPass(RateGrouping grouping, RateOptions options)
+      : grouping_(std::move(grouping)), options_(options) {}
+
+  const char* name() const override { return "rates"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished series, ordered by label; call after all merges.
+  std::vector<RateSeries> Result() const;
+
+ private:
+  RateGrouping grouping_;
+  RateOptions options_;
+  // label -> window index -> count (sparse).
+  std::map<std::string, std::map<uint64_t, uint64_t>> windows_;
+  // Counted records sitting exactly on max_ts_ (derived-end mode only).
+  std::map<std::string, uint64_t> at_max_;
+  SimTime max_ts_ = 0;
+  bool any_records_ = false;
+};
+
 // Computes one series per label. Series are ordered by label.
+// Legacy whole-vector entry point, kept as a thin wrapper over RatesPass
+// — prefer the pass for anything that may grow large.
 std::vector<RateSeries> ComputeRates(const std::vector<TraceRecord>& records,
                                      const RateGrouping& grouping, const RateOptions& options);
 

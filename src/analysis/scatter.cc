@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
+
+#include "src/analysis/render.h"
 
 namespace tempo {
 
@@ -75,9 +78,32 @@ std::vector<ScatterPoint> ComputeScatter(const std::vector<Episode>& episodes,
   return points;
 }
 
+void ScatterPass::Accumulate(std::span<const TraceRecord> records) {
+  episodes_.Accumulate(records);
+}
+
+void ScatterPass::Merge(AnalysisPass&& other) {
+  episodes_.Merge(std::move(dynamic_cast<ScatterPass&>(other).episodes_));
+}
+
+std::vector<ScatterPoint> ScatterPass::Result() const {
+  EpisodeBuilder copy = episodes_;  // Finish consumes; keep the pass reusable
+  return ComputeScatter(std::move(copy).Finish(), options_);
+}
+
+std::unique_ptr<AnalysisPass> ScatterPass::Fork() const {
+  return std::make_unique<ScatterPass>(options_);
+}
+
+void ScatterPass::Render(RenderSink& sink) {
+  sink.Section("scatter", "scatter:\n" + RenderScatter(Result()) + "\n");
+}
+
 std::vector<ScatterPoint> ComputeScatter(const std::vector<TraceRecord>& records,
                                          const ScatterOptions& options) {
-  return ComputeScatter(BuildEpisodes(records), options);
+  ScatterPass pass(options);
+  pass.Accumulate(std::span<const TraceRecord>(records.data(), records.size()));
+  return pass.Result();
 }
 
 }  // namespace tempo

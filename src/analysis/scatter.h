@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/analysis/lifetimes.h"
+#include "src/analysis/pass.h"
 
 namespace tempo {
 
@@ -34,11 +35,33 @@ struct ScatterOptions {
   std::set<Pid> exclude_pids;
 };
 
+// Streaming scatter data (Figures 8-11) as an AnalysisPass: records
+// stream into a mergeable EpisodeBuilder; bucketing happens at Result.
+class ScatterPass : public AnalysisPass {
+ public:
+  explicit ScatterPass(ScatterOptions options = {}) : options_(std::move(options)) {}
+
+  const char* name() const override { return "scatter"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The aggregated points; call after all merges.
+  std::vector<ScatterPoint> Result() const;
+
+ private:
+  ScatterOptions options_;
+  EpisodeBuilder episodes_;
+};
+
 // Builds scatter points from a trace's episodes.
 std::vector<ScatterPoint> ComputeScatter(const std::vector<Episode>& episodes,
                                          const ScatterOptions& options);
 
 // Convenience: episodes from records, then scatter.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// ScatterPass — prefer the pass for anything that may grow large.
 std::vector<ScatterPoint> ComputeScatter(const std::vector<TraceRecord>& records,
                                          const ScatterOptions& options);
 

@@ -5,8 +5,11 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/analysis/pass.h"
 #include "src/trace/record.h"
 
 namespace tempo {
@@ -30,7 +33,48 @@ struct TraceSummary {
   uint64_t canceled = 0;     // kCancel + satisfied unblocks
 };
 
+// Streaming summary (Tables 1/2) as an AnalysisPass.
+//
+// Counters and the distinct-timer set merge trivially; the subtle field
+// is `concurrency`, the all-time maximum of the outstanding-timer set,
+// which depends on timers carried over a chunk boundary. Each pass
+// therefore records, per "segment" between first touches of distinct
+// timers, the maximum size its local outstanding set reached; at merge
+// time the later pass's segment maxima are raised by however many of the
+// earlier pass's open timers it had not yet touched. That reproduces the
+// serial maximum exactly for any chunking (see pipeline tests).
+class SummaryPass : public AnalysisPass {
+ public:
+  explicit SummaryPass(std::string label) : label_(std::move(label)) {}
+
+  const char* name() const override { return "summary"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+
+  // The finished summary; call after all merges.
+  TraceSummary Result() const;
+
+ private:
+  void Touch(TimerId timer);
+
+  std::string label_;
+  TraceSummary partial_;  // counter fields only; timers/concurrency at Result
+  std::unordered_set<TimerId> timers_;
+  std::unordered_set<TimerId> open_;  // outstanding at the end of our range
+  // Timers in order of first non-init operation, and the max |open_|
+  // sampled after each of those first touches (index k: after the k-th
+  // touch; 0 = no arming sample in that span).
+  std::unordered_map<TimerId, size_t> touched_index_;
+  std::vector<TimerId> touched_order_;
+  std::vector<uint64_t> segment_max_ = {0};
+};
+
 // Computes the summary of a time-ordered trace.
+// Legacy whole-vector entry point, kept as a thin wrapper over
+// SummaryPass — prefer the pass (with analysis/pipeline.h) for anything
+// that may grow large.
 TraceSummary Summarize(const std::vector<TraceRecord>& records, const std::string& label);
 
 }  // namespace tempo

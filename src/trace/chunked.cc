@@ -1,0 +1,245 @@
+#include "src/trace/chunked.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/trace/codec.h"
+#include "src/trace/wire.h"
+
+namespace tempo {
+
+namespace {
+
+constexpr size_t kMagicSize = sizeof(wire::kTraceMagic);
+// u64 footer offset + trailer magic.
+constexpr size_t kTrailerSize = 8 + kMagicSize;
+// Per index entry: u64 chunk offset + u32 record count.
+constexpr size_t kIndexEntrySize = 12;
+
+std::nullopt_t Fail(TraceReadError reason, TraceReadError* error) {
+  if (error != nullptr) {
+    *error = reason;
+  }
+  return std::nullopt;
+}
+
+// Reads exactly `length` bytes at `offset` into `out`.
+bool ReadAt(std::FILE* file, uint64_t offset, size_t length, uint8_t* out) {
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+    return false;
+  }
+  return std::fread(out, 1, length, file) == length;
+}
+
+}  // namespace
+
+std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
+                                                       TraceReadError* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Fail(TraceReadError::kIo, error);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Fail(TraceReadError::kIo, error);
+  }
+  const long end = std::ftell(file);
+  if (end < 0) {
+    return Fail(TraceReadError::kIo, error);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(end);
+
+  // The header (magic, version, call-site table, record count) has no
+  // length prefix, so read a window from the start and grow it until the
+  // table parses or the file is exhausted.
+  TraceChunkReader reader;
+  reader.path_ = path;
+  size_t window = std::min<uint64_t>(file_size, 64 * 1024);
+  std::vector<uint8_t> head;
+  uint64_t payload_start = 0;
+  for (;;) {
+    head.resize(window);
+    if (!ReadAt(file, 0, window, head.data())) {
+      return Fail(TraceReadError::kIo, error);
+    }
+    wire::Reader parse(head.data(), head.size());
+    const uint8_t* magic = parse.Raw(kMagicSize);
+    if (magic == nullptr ||
+        std::memcmp(magic, wire::kTraceMagic, kMagicSize) != 0) {
+      return Fail(TraceReadError::kMagic, error);
+    }
+    if (!parse.Read32(&reader.version_)) {
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    if (reader.version_ != kTraceFileVersion &&
+        reader.version_ != kTraceFileVersionChunked) {
+      return Fail(TraceReadError::kVersion, error);
+    }
+    reader.callsites_ = CallsiteRegistry();
+    const wire::TableParse table = wire::ReadCallsiteTable(&parse, &reader.callsites_);
+    if (table == wire::TableParse::kCorrupt) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+    uint32_t chunk_capacity = 0;
+    bool fixed_fields_ok = false;
+    if (table == wire::TableParse::kOk) {
+      fixed_fields_ok = parse.Read64(&reader.record_count_);
+      if (fixed_fields_ok && reader.version_ == kTraceFileVersionChunked) {
+        fixed_fields_ok = parse.Read32(&chunk_capacity);
+      }
+    }
+    if (table == wire::TableParse::kTruncated || !fixed_fields_ok) {
+      if (window < file_size) {
+        window = std::min<uint64_t>(file_size, window * 2);
+        continue;  // header larger than the window — grow and reparse
+      }
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    payload_start = parse.offset();
+
+    if (reader.record_count_ > file_size / kEncodedRecordSize) {
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    const uint64_t payload_bytes = reader.record_count_ * kEncodedRecordSize;
+
+    if (reader.version_ == kTraceFileVersion) {
+      // v1 has no index: records are contiguous and fixed width, so chunk
+      // boundaries are synthesized at the default capacity.
+      if (file_size < payload_start + payload_bytes) {
+        return Fail(TraceReadError::kTruncated, error);
+      }
+      for (uint64_t first = 0; first < reader.record_count_;
+           first += kDefaultChunkRecords) {
+        const uint64_t take =
+            std::min<uint64_t>(kDefaultChunkRecords, reader.record_count_ - first);
+        reader.chunks_.push_back(
+            ChunkRef{payload_start + first * kEncodedRecordSize,
+                     static_cast<uint32_t>(take)});
+      }
+      return reader;
+    }
+
+    // v2: validate the index footer against the header-derived layout.
+    if (chunk_capacity == 0) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+    const uint64_t chunk_count =
+        (reader.record_count_ + chunk_capacity - 1) / chunk_capacity;
+    const uint64_t index_offset = payload_start + payload_bytes;
+    const uint64_t expected_size =
+        index_offset + 4 + chunk_count * kIndexEntrySize + kTrailerSize;
+    if (file_size < expected_size) {
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    if (file_size != expected_size) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+
+    uint8_t trailer[kTrailerSize];
+    if (!ReadAt(file, file_size - kTrailerSize, kTrailerSize, trailer)) {
+      return Fail(TraceReadError::kIo, error);
+    }
+    if (std::memcmp(trailer + 8, wire::kTraceIndexMagic, kMagicSize) != 0 ||
+        wire::Get64(trailer) != index_offset) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+
+    std::vector<uint8_t> index_bytes(4 + chunk_count * kIndexEntrySize);
+    if (!ReadAt(file, index_offset, index_bytes.size(), index_bytes.data())) {
+      return Fail(TraceReadError::kIo, error);
+    }
+    wire::Reader index(index_bytes.data(), index_bytes.size());
+    uint32_t indexed_chunks = 0;
+    index.Read32(&indexed_chunks);
+    if (indexed_chunks != chunk_count) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+    reader.chunks_.reserve(chunk_count);
+    for (uint64_t c = 0; c < chunk_count; ++c) {
+      uint64_t offset = 0;
+      uint32_t count = 0;
+      index.Read64(&offset);
+      index.Read32(&count);
+      const uint32_t expected_count =
+          c + 1 < chunk_count || reader.record_count_ % chunk_capacity == 0
+              ? chunk_capacity
+              : static_cast<uint32_t>(reader.record_count_ % chunk_capacity);
+      if (offset != payload_start + c * uint64_t{chunk_capacity} * kEncodedRecordSize ||
+          count != expected_count) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+      reader.chunks_.push_back(ChunkRef{offset, count});
+    }
+    return reader;
+  }
+}
+
+TraceChunkReader::Cursor::Cursor(const TraceChunkReader* reader)
+    : reader_(reader), file_(std::fopen(reader->path_.c_str(), "rb")) {
+  if (file_ == nullptr) {
+    failed_ = true;
+    error_ = TraceReadError::kIo;
+  }
+}
+
+TraceChunkReader::Cursor::~Cursor() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+TraceChunkReader::Cursor::Cursor(Cursor&& other) noexcept
+    : reader_(other.reader_),
+      file_(std::exchange(other.file_, nullptr)),
+      raw_(std::move(other.raw_)),
+      decoded_(std::move(other.decoded_)),
+      failed_(other.failed_),
+      error_(other.error_) {}
+
+TraceChunkReader::Cursor& TraceChunkReader::Cursor::operator=(Cursor&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    reader_ = other.reader_;
+    file_ = std::exchange(other.file_, nullptr);
+    raw_ = std::move(other.raw_);
+    decoded_ = std::move(other.decoded_);
+    failed_ = other.failed_;
+    error_ = other.error_;
+  }
+  return *this;
+}
+
+std::span<const TraceRecord> TraceChunkReader::Cursor::Read(size_t index) {
+  if (failed_ || index >= reader_->chunks_.size()) {
+    failed_ = true;
+    return {};
+  }
+  const ChunkRef& chunk = reader_->chunks_[index];
+  raw_.resize(static_cast<size_t>(chunk.records) * kEncodedRecordSize);
+  if (!ReadAt(file_, chunk.offset, raw_.size(), raw_.data())) {
+    failed_ = true;
+    error_ = TraceReadError::kIo;
+    return {};
+  }
+  decoded_.clear();
+  decoded_.reserve(chunk.records);
+  for (uint32_t i = 0; i < chunk.records; ++i) {
+    auto record = DecodeRecord(raw_.data() + static_cast<size_t>(i) * kEncodedRecordSize);
+    if (!record.has_value()) {
+      failed_ = true;
+      error_ = TraceReadError::kCorrupt;
+      return {};
+    }
+    record->stack = kEmptyStack;
+    decoded_.push_back(*record);
+  }
+  return std::span<const TraceRecord>(decoded_.data(), decoded_.size());
+}
+
+}  // namespace tempo

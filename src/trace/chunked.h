@@ -1,0 +1,95 @@
+// Streaming access to trace files, chunk by chunk.
+//
+// TraceChunkReader opens a trace file, parses only the header (call-site
+// table) and the chunk index, and then hands out fixed-size batches of
+// decoded records on demand — the whole trace is never materialized. For
+// chunked v2 files the index comes from the footer; v1 files have no
+// index, but their records are contiguous and fixed width, so the reader
+// synthesizes chunk boundaries arithmetically and serves them the same
+// way. Consumers therefore never care which version is on disk.
+//
+// Concurrency model: the reader itself is immutable after Open and safe
+// to share across threads. Each worker thread creates its own Cursor,
+// which owns a private file handle and decode buffer; Cursor::Read seeks
+// to any chunk in any order, so N workers can stream disjoint chunk
+// ranges in parallel (this is what analysis/pipeline.h does).
+
+#ifndef TEMPO_SRC_TRACE_CHUNKED_H_
+#define TEMPO_SRC_TRACE_CHUNKED_H_
+
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/callsite.h"
+#include "src/trace/file.h"
+
+namespace tempo {
+
+class TraceChunkReader {
+ public:
+  // One chunk's location on disk.
+  struct ChunkRef {
+    uint64_t offset = 0;  // absolute file offset of the first record
+    uint32_t records = 0;
+  };
+
+  // Parses the header and chunk index of `path`. On failure returns
+  // nullopt with the reason in `*error` when given.
+  static std::optional<TraceChunkReader> Open(const std::string& path,
+                                              TraceReadError* error = nullptr);
+
+  uint32_t version() const { return version_; }
+  uint64_t record_count() const { return record_count_; }
+  size_t chunk_count() const { return chunks_.size(); }
+  const ChunkRef& chunk(size_t index) const { return chunks_[index]; }
+  const CallsiteRegistry& callsites() const { return callsites_; }
+  const std::string& path() const { return path_; }
+
+  // A per-thread read position: private file handle + decode buffer.
+  // Spans returned by Read are valid until the next Read on the same
+  // cursor (or its destruction).
+  class Cursor {
+   public:
+    explicit Cursor(const TraceChunkReader* reader);
+    ~Cursor();
+    Cursor(Cursor&& other) noexcept;
+    Cursor& operator=(Cursor&& other) noexcept;
+    Cursor(const Cursor&) = delete;
+    Cursor& operator=(const Cursor&) = delete;
+
+    // Decodes chunk `index`. Returns an empty span and sets error() on
+    // I/O failure or a corrupt record; an empty trace has no chunks, so
+    // an empty result always means failure.
+    std::span<const TraceRecord> Read(size_t index);
+
+    bool ok() const { return !failed_; }
+    TraceReadError error() const { return error_; }
+
+   private:
+    const TraceChunkReader* reader_;
+    std::FILE* file_ = nullptr;
+    std::vector<uint8_t> raw_;
+    std::vector<TraceRecord> decoded_;
+    bool failed_ = false;
+    TraceReadError error_ = TraceReadError::kIo;
+  };
+
+  // Opens a new private file handle for one consumer thread.
+  Cursor MakeCursor() const { return Cursor(this); }
+
+ private:
+  TraceChunkReader() = default;
+
+  std::string path_;
+  uint32_t version_ = 0;
+  uint64_t record_count_ = 0;
+  std::vector<ChunkRef> chunks_;
+  CallsiteRegistry callsites_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_CHUNKED_H_

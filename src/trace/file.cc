@@ -3,163 +3,94 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/trace/wire.h"
+
 namespace tempo {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'E', 'M', 'P', 'O', 'T', 'R', 'C'};
+constexpr const char* kMagic = wire::kTraceMagic;
+constexpr const char* kIndexMagic = wire::kTraceIndexMagic;
+constexpr size_t kMagicSize = sizeof(wire::kTraceMagic);
 
-void Put32(uint32_t v, std::vector<uint8_t>* out) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+std::nullopt_t Fail(TraceReadError reason, TraceReadError* error) {
+  if (error != nullptr) {
+    *error = reason;
   }
+  return std::nullopt;
 }
 
-void Put64(uint64_t v, std::vector<uint8_t>* out) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+// Number of chunks a v2 payload of `records` at `capacity` occupies.
+uint64_t ChunkCountFor(uint64_t records, uint32_t capacity) {
+  return (records + capacity - 1) / capacity;
 }
 
-void Put16(uint16_t v, std::vector<uint8_t>* out) {
-  out->push_back(static_cast<uint8_t>(v));
-  out->push_back(static_cast<uint8_t>(v >> 8));
-}
-
-// Bounds-checked little-endian reader.
-class Reader {
- public:
-  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
-
-  bool Read16(uint16_t* v) {
-    if (offset_ + 2 > bytes_.size()) {
-      return false;
-    }
-    *v = static_cast<uint16_t>(bytes_[offset_] | (bytes_[offset_ + 1] << 8));
-    offset_ += 2;
-    return true;
-  }
-  bool Read32(uint32_t* v) {
-    if (offset_ + 4 > bytes_.size()) {
-      return false;
-    }
-    *v = 0;
-    for (int i = 3; i >= 0; --i) {
-      *v = (*v << 8) | bytes_[offset_ + static_cast<size_t>(i)];
-    }
-    offset_ += 4;
-    return true;
-  }
-  bool Read64(uint64_t* v) {
-    if (offset_ + 8 > bytes_.size()) {
-      return false;
-    }
-    *v = 0;
-    for (int i = 7; i >= 0; --i) {
-      *v = (*v << 8) | bytes_[offset_ + static_cast<size_t>(i)];
-    }
-    offset_ += 8;
-    return true;
-  }
-  bool ReadString(size_t length, std::string* out) {
-    if (offset_ + length > bytes_.size()) {
-      return false;
-    }
-    out->assign(reinterpret_cast<const char*>(bytes_.data()) + offset_, length);
-    offset_ += length;
-    return true;
-  }
-  const uint8_t* Raw(size_t length) {
-    if (offset_ + length > bytes_.size()) {
-      return nullptr;
-    }
-    const uint8_t* p = bytes_.data() + offset_;
-    offset_ += length;
-    return p;
-  }
-
- private:
-  const std::vector<uint8_t>& bytes_;
-  size_t offset_ = 0;
-};
-
-}  // namespace
-
-std::vector<uint8_t> SerializeTrace(const std::vector<TraceRecord>& records,
-                                    const CallsiteRegistry& callsites) {
-  std::vector<uint8_t> out;
-  out.reserve(64 + records.size() * kEncodedRecordSize);
-  out.resize(sizeof(kMagic));
-  std::memcpy(out.data(), kMagic, sizeof(kMagic));
-  Put32(kTraceFileVersion, &out);
-
-  // Call-site table (slot 0, "?", is implicit).
-  Put32(static_cast<uint32_t>(callsites.size()), &out);
-  for (CallsiteId id = 1; id < callsites.size(); ++id) {
-    Put32(id, &out);
-    Put32(callsites.Parent(id), &out);
-    const std::string& name = callsites.Name(id);
-    Put16(static_cast<uint16_t>(name.size()), &out);
-    out.insert(out.end(), name.begin(), name.end());
-  }
-
-  Put64(records.size(), &out);
+void SerializeV1(const std::vector<TraceRecord>& records,
+                 std::vector<uint8_t>* out) {
+  wire::Put64(records.size(), out);
   for (const TraceRecord& record : records) {
-    EncodeRecord(record, &out);
+    EncodeRecord(record, out);
   }
-  return out;
 }
 
-std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes) {
-  Reader reader(bytes);
-  const uint8_t* magic = reader.Raw(sizeof(kMagic));
-  if (magic == nullptr || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return std::nullopt;
-  }
-  uint32_t version = 0;
-  if (!reader.Read32(&version) || version != kTraceFileVersion) {
-    return std::nullopt;
+void SerializeV2(const std::vector<TraceRecord>& records, uint32_t capacity,
+                 std::vector<uint8_t>* out) {
+  wire::Put64(records.size(), out);
+  wire::Put32(capacity, out);
+
+  const uint64_t chunk_count = ChunkCountFor(records.size(), capacity);
+  std::vector<std::pair<uint64_t, uint32_t>> index;  // (offset, record count)
+  index.reserve(chunk_count);
+  size_t next = 0;
+  while (next < records.size()) {
+    const size_t take = std::min<size_t>(capacity, records.size() - next);
+    index.emplace_back(out->size(), static_cast<uint32_t>(take));
+    for (size_t i = 0; i < take; ++i) {
+      EncodeRecord(records[next + i], out);
+    }
+    next += take;
   }
 
-  LoadedTrace trace;
-  uint32_t callsite_count = 0;
-  if (!reader.Read32(&callsite_count)) {
-    return std::nullopt;
+  const uint64_t index_offset = out->size();
+  wire::Put32(static_cast<uint32_t>(chunk_count), out);
+  for (const auto& [offset, count] : index) {
+    wire::Put64(offset, out);
+    wire::Put32(count, out);
   }
-  for (uint32_t i = 1; i < callsite_count; ++i) {
-    uint32_t id = 0;
-    uint32_t parent = 0;
-    uint16_t name_length = 0;
-    std::string name;
-    if (!reader.Read32(&id) || !reader.Read32(&parent) || !reader.Read16(&name_length) ||
-        !reader.ReadString(name_length, &name)) {
-      return std::nullopt;
-    }
-    // Interning in file order reproduces the original dense ids.
-    const CallsiteId assigned = trace.callsites.Intern(name, parent);
-    if (assigned != id) {
-      return std::nullopt;  // duplicate or out-of-order table: corrupt
-    }
+  wire::Put64(index_offset, out);
+  out->insert(out->end(), kIndexMagic, kIndexMagic + kMagicSize);
+}
+
+std::optional<LoadedTrace> DeserializeV1(wire::Reader* reader, size_t total_bytes,
+                                         TraceReadError* error) {
+  LoadedTrace trace;
+  switch (wire::ReadCallsiteTable(reader, &trace.callsites)) {
+    case wire::TableParse::kOk:
+      break;
+    case wire::TableParse::kTruncated:
+      return Fail(TraceReadError::kTruncated, error);
+    case wire::TableParse::kCorrupt:
+      return Fail(TraceReadError::kCorrupt, error);
   }
 
   uint64_t record_count = 0;
-  if (!reader.Read64(&record_count)) {
-    return std::nullopt;
+  if (!reader->Read64(&record_count)) {
+    return Fail(TraceReadError::kTruncated, error);
   }
   // A corrupt count must not drive a huge allocation: the payload cannot
   // hold more records than its remaining bytes.
-  if (record_count > bytes.size() / kEncodedRecordSize) {
-    return std::nullopt;
+  if (record_count > total_bytes / kEncodedRecordSize) {
+    return Fail(TraceReadError::kTruncated, error);
   }
   trace.records.reserve(record_count);
   for (uint64_t i = 0; i < record_count; ++i) {
-    const uint8_t* raw = reader.Raw(kEncodedRecordSize);
+    const uint8_t* raw = reader->Raw(kEncodedRecordSize);
     if (raw == nullptr) {
-      return std::nullopt;
+      return Fail(TraceReadError::kTruncated, error);
     }
     auto record = DecodeRecord(raw);
     if (!record.has_value()) {
-      return std::nullopt;
+      return Fail(TraceReadError::kCorrupt, error);
     }
     // Stacks are not persisted; chains can be rebuilt from call-site
     // parents via CallsiteRegistry::Chain.
@@ -169,9 +100,152 @@ std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes) {
   return trace;
 }
 
+std::optional<LoadedTrace> DeserializeV2(wire::Reader* reader, size_t total_bytes,
+                                         TraceReadError* error) {
+  LoadedTrace trace;
+  switch (wire::ReadCallsiteTable(reader, &trace.callsites)) {
+    case wire::TableParse::kOk:
+      break;
+    case wire::TableParse::kTruncated:
+      return Fail(TraceReadError::kTruncated, error);
+    case wire::TableParse::kCorrupt:
+      return Fail(TraceReadError::kCorrupt, error);
+  }
+
+  uint64_t record_count = 0;
+  uint32_t capacity = 0;
+  if (!reader->Read64(&record_count) || !reader->Read32(&capacity)) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+  if (capacity == 0) {
+    return Fail(TraceReadError::kCorrupt, error);
+  }
+  if (record_count > total_bytes / kEncodedRecordSize) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+
+  // Chunk payloads are contiguous, so the records decode sequentially; the
+  // index is then validated against where the chunks actually landed.
+  const uint64_t chunk_count = ChunkCountFor(record_count, capacity);
+  std::vector<uint64_t> chunk_offsets;
+  chunk_offsets.reserve(chunk_count);
+  trace.records.reserve(record_count);
+  for (uint64_t i = 0; i < record_count; ++i) {
+    if (i % capacity == 0) {
+      chunk_offsets.push_back(reader->offset());
+    }
+    const uint8_t* raw = reader->Raw(kEncodedRecordSize);
+    if (raw == nullptr) {
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    auto record = DecodeRecord(raw);
+    if (!record.has_value()) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+    record->stack = kEmptyStack;
+    trace.records.push_back(*record);
+  }
+
+  // Index footer: every entry must agree with the header-derived layout.
+  const uint64_t index_offset = reader->offset();
+  uint32_t indexed_chunks = 0;
+  if (!reader->Read32(&indexed_chunks)) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+  if (indexed_chunks != chunk_count) {
+    return Fail(TraceReadError::kCorrupt, error);
+  }
+  for (uint64_t c = 0; c < chunk_count; ++c) {
+    uint64_t offset = 0;
+    uint32_t count = 0;
+    if (!reader->Read64(&offset) || !reader->Read32(&count)) {
+      return Fail(TraceReadError::kTruncated, error);
+    }
+    const uint32_t expected_count =
+        c + 1 < chunk_count || record_count % capacity == 0
+            ? capacity
+            : static_cast<uint32_t>(record_count % capacity);
+    if (offset != chunk_offsets[c] || count != expected_count) {
+      return Fail(TraceReadError::kCorrupt, error);
+    }
+  }
+  uint64_t stated_index_offset = 0;
+  if (!reader->Read64(&stated_index_offset)) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+  if (stated_index_offset != index_offset) {
+    return Fail(TraceReadError::kCorrupt, error);
+  }
+  const uint8_t* trailer = reader->Raw(kMagicSize);
+  if (trailer == nullptr) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+  if (std::memcmp(trailer, kIndexMagic, kMagicSize) != 0) {
+    return Fail(TraceReadError::kCorrupt, error);
+  }
+  return trace;
+}
+
+}  // namespace
+
+const char* TraceReadErrorName(TraceReadError error) {
+  switch (error) {
+    case TraceReadError::kIo:
+      return "cannot open or read file";
+    case TraceReadError::kMagic:
+      return "not a tempo trace (bad magic)";
+    case TraceReadError::kVersion:
+      return "unsupported trace format version";
+    case TraceReadError::kTruncated:
+      return "truncated file";
+    case TraceReadError::kCorrupt:
+      return "corrupt content";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> SerializeTrace(const std::vector<TraceRecord>& records,
+                                    const CallsiteRegistry& callsites,
+                                    const TraceWriteOptions& options) {
+  std::vector<uint8_t> out;
+  out.reserve(64 + records.size() * kEncodedRecordSize);
+  out.resize(kMagicSize);
+  std::memcpy(out.data(), kMagic, kMagicSize);
+  wire::Put32(options.version, &out);
+  wire::PutCallsiteTable(callsites, &out);
+  if (options.version == kTraceFileVersion) {
+    SerializeV1(records, &out);
+  } else {
+    const uint32_t capacity = options.chunk_records > 0 ? options.chunk_records : 1;
+    SerializeV2(records, capacity, &out);
+  }
+  return out;
+}
+
+std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes,
+                                            TraceReadError* error) {
+  wire::Reader reader(bytes);
+  const uint8_t* magic = reader.Raw(kMagicSize);
+  if (magic == nullptr || std::memcmp(magic, kMagic, kMagicSize) != 0) {
+    return Fail(TraceReadError::kMagic, error);
+  }
+  uint32_t version = 0;
+  if (!reader.Read32(&version)) {
+    return Fail(TraceReadError::kTruncated, error);
+  }
+  if (version == kTraceFileVersion) {
+    return DeserializeV1(&reader, bytes.size(), error);
+  }
+  if (version == kTraceFileVersionChunked) {
+    return DeserializeV2(&reader, bytes.size(), error);
+  }
+  return Fail(TraceReadError::kVersion, error);
+}
+
 bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& records,
-                    const CallsiteRegistry& callsites) {
-  const std::vector<uint8_t> bytes = SerializeTrace(records, callsites);
+                    const CallsiteRegistry& callsites,
+                    const TraceWriteOptions& options) {
+  const std::vector<uint8_t> bytes = SerializeTrace(records, callsites, options);
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return false;
@@ -181,10 +255,11 @@ bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& rec
   return ok;
 }
 
-std::optional<LoadedTrace> ReadTraceFile(const std::string& path) {
+std::optional<LoadedTrace> ReadTraceFile(const std::string& path,
+                                         TraceReadError* error) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
-    return std::nullopt;
+    return Fail(TraceReadError::kIo, error);
   }
   std::vector<uint8_t> bytes;
   uint8_t buffer[1 << 16];
@@ -193,7 +268,7 @@ std::optional<LoadedTrace> ReadTraceFile(const std::string& path) {
     bytes.insert(bytes.end(), buffer, buffer + n);
   }
   std::fclose(file);
-  return DeserializeTrace(bytes);
+  return DeserializeTrace(bytes, error);
 }
 
 }  // namespace tempo

@@ -6,11 +6,26 @@
 // tools/trace2txt | tools/tracestat, or ReadTraceFile back into the
 // analysis pipeline.
 //
-// Format (little endian):
-//   "TEMPOTRC" magic, u32 version
-//   u32 callsite count, then per call-site: u32 id, u32 parent,
-//       u16 name length, name bytes
-//   u64 record count, then the codec.h fixed-width records.
+// Two on-disk layouts share one header (little endian):
+//
+//   v1 (monolithic):
+//     "TEMPOTRC" magic, u32 version = 1
+//     u32 callsite count, then per call-site: u32 id, u32 parent,
+//         u16 name length, name bytes
+//     u64 record count, then the codec.h fixed-width records.
+//
+//   v2 (chunked, the default since the streaming pipeline):
+//     "TEMPOTRC" magic, u32 version = 2
+//     call-site table as in v1
+//     u64 record count, u32 chunk capacity (records per full chunk)
+//     chunks of codec.h records, every chunk `capacity` records except a
+//         shorter final one
+//     index footer: u32 chunk count, then per chunk u64 file offset +
+//         u32 record count; u64 footer offset; "TEMPOIDX" trailer magic.
+//
+// The index footer lets TraceChunkReader (chunked.h) hand out chunks to
+// parallel workers without materializing the whole trace. ReadTraceFile
+// keeps reading v1 files unchanged.
 
 #ifndef TEMPO_SRC_TRACE_FILE_H_
 #define TEMPO_SRC_TRACE_FILE_H_
@@ -25,6 +40,28 @@
 namespace tempo {
 
 inline constexpr uint32_t kTraceFileVersion = 1;
+inline constexpr uint32_t kTraceFileVersionChunked = 2;
+
+// Records per full chunk in a v2 file. 64Ki records x 48 bytes = 3 MiB of
+// payload per chunk: large enough that per-chunk overheads vanish, small
+// enough that a 4-worker pipeline balances even short traces.
+inline constexpr uint32_t kDefaultChunkRecords = 64 * 1024;
+
+// Why a trace failed to load. io: the file could not be opened or read;
+// magic: not a tempo trace; version: a tempo trace from an unknown format
+// revision; truncated: the payload ends before the declared content does;
+// corrupt: the content is self-inconsistent (bad record op, out-of-order
+// call-site table, index that contradicts the header).
+enum class TraceReadError : uint8_t {
+  kIo = 0,
+  kMagic = 1,
+  kVersion = 2,
+  kTruncated = 3,
+  kCorrupt = 4,
+};
+
+// Short mnemonic ("truncated file", ...) for error messages.
+const char* TraceReadErrorName(TraceReadError error);
 
 // A trace loaded from disk.
 struct LoadedTrace {
@@ -32,19 +69,30 @@ struct LoadedTrace {
   CallsiteRegistry callsites;
 };
 
-// Writes records + call-site table to `path`. Returns false on I/O error.
-bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& records,
-                    const CallsiteRegistry& callsites);
+// Output-format knobs for WriteTraceFile / SerializeTrace.
+struct TraceWriteOptions {
+  uint32_t version = kTraceFileVersionChunked;
+  uint32_t chunk_records = kDefaultChunkRecords;  // v2 only
+};
 
-// Reads a trace file; nullopt on I/O error, bad magic, version mismatch or
-// truncated/corrupt content.
-std::optional<LoadedTrace> ReadTraceFile(const std::string& path);
+// Writes records + call-site table to `path` (chunked v2 by default).
+// Returns false on I/O error.
+bool WriteTraceFile(const std::string& path, const std::vector<TraceRecord>& records,
+                    const CallsiteRegistry& callsites,
+                    const TraceWriteOptions& options = {});
+
+// Reads a trace file of either version; nullopt on failure, with the
+// reason in `*error` when given.
+std::optional<LoadedTrace> ReadTraceFile(const std::string& path,
+                                         TraceReadError* error = nullptr);
 
 // In-memory (de)serialisation, used by the file functions and directly
 // testable without touching disk.
 std::vector<uint8_t> SerializeTrace(const std::vector<TraceRecord>& records,
-                                    const CallsiteRegistry& callsites);
-std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes);
+                                    const CallsiteRegistry& callsites,
+                                    const TraceWriteOptions& options = {});
+std::optional<LoadedTrace> DeserializeTrace(const std::vector<uint8_t>& bytes,
+                                            TraceReadError* error = nullptr);
 
 }  // namespace tempo
 

@@ -1,0 +1,128 @@
+#include "tools/common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tempo {
+namespace tools {
+
+namespace {
+
+const FlagSpec* FindSpec(std::span<const FlagSpec> specs, const std::string& name) {
+  for (const FlagSpec& spec : specs) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string ParsedArgs::Value(const std::string& flag, size_t index,
+                              const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || index >= it->second.size()) {
+    return fallback;
+  }
+  return it->second[index];
+}
+
+uint64_t ParsedArgs::UintValue(const std::string& flag, uint64_t fallback,
+                               size_t index) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || index >= it->second.size()) {
+    return fallback;
+  }
+  return static_cast<uint64_t>(std::strtoull(it->second[index].c_str(), nullptr, 10));
+}
+
+double ParsedArgs::DoubleValue(const std::string& flag, double fallback,
+                               size_t index) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || index >= it->second.size()) {
+    return fallback;
+  }
+  return std::atof(it->second[index].c_str());
+}
+
+ParsedArgs ParseArgs(int argc, char** argv, std::span<const FlagSpec> specs) {
+  ParsedArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0 || arg[2] == '\0') {
+      out.positionals_.emplace_back(arg);
+      continue;
+    }
+    std::string name = arg + 2;
+    std::string inline_value;
+    bool has_inline = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+      has_inline = true;
+    }
+    const FlagSpec* spec = FindSpec(specs, name);
+    if (spec == nullptr) {
+      out.error_ = "unknown flag --" + name;
+      return out;
+    }
+    std::vector<std::string> values;
+    if (has_inline) {
+      if (spec->arity != 1) {
+        out.error_ = "--" + name + "=... takes exactly one value";
+        return out;
+      }
+      values.push_back(std::move(inline_value));
+    } else {
+      for (int v = 0; v < spec->arity; ++v) {
+        if (i + 1 >= argc) {
+          out.error_ = "--" + name + " expects " + std::to_string(spec->arity) +
+                       (spec->arity == 1 ? " value" : " values");
+          return out;
+        }
+        values.emplace_back(argv[++i]);
+      }
+    }
+    out.flags_[name] = std::move(values);
+  }
+  return out;
+}
+
+void PrintUsage(std::FILE* out, const char* argv0, const char* positionals,
+                std::span<const FlagSpec> specs, const char* epilogue) {
+  std::fprintf(out, "usage: %s %s%s\n", argv0, positionals,
+               specs.empty() ? "" : " [options]");
+  for (const FlagSpec& spec : specs) {
+    std::string left = std::string("--") + spec.name;
+    if (spec.values[0] != '\0') {
+      left += " ";
+      left += spec.values;
+    }
+    std::fprintf(out, "  %-28s %s\n", left.c_str(), spec.help);
+  }
+  if (epilogue != nullptr) {
+    std::fputs(epilogue, out);
+  }
+}
+
+bool ParseFormatName(const std::string& name, OutputFormat* format) {
+  if (name == "text") {
+    *format = OutputFormat::kText;
+    return true;
+  }
+  if (name == "json") {
+    *format = OutputFormat::kJson;
+    return true;
+  }
+  return false;
+}
+
+void PrintTraceReadError(const std::string& path, TraceReadError error) {
+  std::fprintf(stderr, "error: cannot read trace file %s: %s\n", path.c_str(),
+               TraceReadErrorName(error));
+}
+
+}  // namespace tools
+}  // namespace tempo

@@ -1,0 +1,83 @@
+// Shared command-line plumbing for the tempo tools.
+//
+// Every tool used to hand-roll its own argv loop; this header gives them
+// one flag grammar (`--flag value`, `--flag=value`, multi-value flags like
+// `--blame <start> <end>`), one usage renderer, the common `--format` and
+// `--jobs` conventions, and one way to report trace-read failures with the
+// TraceReadError taxonomy.
+
+#ifndef TEMPO_TOOLS_COMMON_H_
+#define TEMPO_TOOLS_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/file.h"
+
+namespace tempo {
+namespace tools {
+
+// One accepted flag. `arity` is the number of values that follow it
+// (0 for booleans, 2 for windows like --blame <start> <end>).
+struct FlagSpec {
+  const char* name;        // without the leading "--"
+  int arity = 0;           // values consumed after the flag
+  const char* values = ""; // usage placeholder, e.g. "N" or "<start-s> <end-s>"
+  const char* help = "";
+};
+
+// The result of ParseArgs: positionals in order, flags by name.
+// Repeated flags keep the last occurrence.
+class ParsedArgs {
+ public:
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool Has(const std::string& flag) const { return flags_.count(flag) != 0; }
+
+  // The index-th value of a flag, or `fallback` when the flag is absent.
+  std::string Value(const std::string& flag, size_t index = 0,
+                    const std::string& fallback = "") const;
+  uint64_t UintValue(const std::string& flag, uint64_t fallback, size_t index = 0) const;
+  double DoubleValue(const std::string& flag, double fallback, size_t index = 0) const;
+
+ private:
+  friend ParsedArgs ParseArgs(int argc, char** argv, std::span<const FlagSpec> specs);
+
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::vector<std::string>> flags_;
+  std::string error_;
+};
+
+// Parses argv[1..] against `specs`. Unknown flags and missing values make
+// ok() false with a one-line reason; the tool should print the error and
+// its usage, then exit 2.
+ParsedArgs ParseArgs(int argc, char** argv, std::span<const FlagSpec> specs);
+
+// Prints "usage: <argv0> <positionals> [options]" plus one aligned line
+// per flag, and an optional free-form epilogue (e.g. a workload list).
+void PrintUsage(std::FILE* out, const char* argv0, const char* positionals,
+                std::span<const FlagSpec> specs, const char* epilogue = nullptr);
+
+// The common report-format convention. Tools with extra formats (tempostat
+// has prom/all for metric snapshots) layer them on top of ParseFormatName.
+enum class OutputFormat {
+  kText,
+  kJson,
+};
+
+// Maps "text"/"json" to OutputFormat; false for anything else.
+bool ParseFormatName(const std::string& name, OutputFormat* format);
+
+// "error: cannot read trace file <path>: <reason>\n" on stderr, with the
+// reason from TraceReadErrorName.
+void PrintTraceReadError(const std::string& path, TraceReadError error);
+
+}  // namespace tools
+}  // namespace tempo
+
+#endif  // TEMPO_TOOLS_COMMON_H_

@@ -1,0 +1,31 @@
+# Runs tracestat over TRACE_FILE with --jobs 1 and --jobs 4 and fails
+# unless the reports are byte-identical — the ordered-merge guarantee,
+# checked end to end through the real tool. Invoked by ctest via
+# cmake -DTRACESTAT=... -DTRACE_FILE=... -DOUT_DIR=... -DCASE=... -P.
+
+set(serial "${OUT_DIR}/tracestat_${CASE}_jobs1.txt")
+set(parallel "${OUT_DIR}/tracestat_${CASE}_jobs4.txt")
+
+execute_process(
+  COMMAND ${TRACESTAT} ${TRACE_FILE} --jobs 1 --blame 5 30
+  OUTPUT_FILE ${serial}
+  RESULT_VARIABLE serial_status)
+if(NOT serial_status EQUAL 0)
+  message(FATAL_ERROR "tracestat --jobs 1 failed with status ${serial_status}")
+endif()
+
+execute_process(
+  COMMAND ${TRACESTAT} ${TRACE_FILE} --jobs 4 --blame 5 30
+  OUTPUT_FILE ${parallel}
+  RESULT_VARIABLE parallel_status)
+if(NOT parallel_status EQUAL 0)
+  message(FATAL_ERROR "tracestat --jobs 4 failed with status ${parallel_status}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${serial} ${parallel}
+  RESULT_VARIABLE diff_status)
+if(NOT diff_status EQUAL 0)
+  message(FATAL_ERROR
+          "tracestat output differs between --jobs 1 and --jobs 4 for ${TRACE_FILE}")
+endif()

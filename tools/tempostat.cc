@@ -3,8 +3,6 @@
 // efficiency, trace-sink drop rates, sim event-loop throughput, TCP
 // timeout fates.
 //
-// Usage: tempostat <workload> [--minutes M] [--seed S]
-//                  [--format text|json|prom|all] [--wall]
 //   workload: micromix (synthetic: all four timer queues, the temporal
 //             dispatcher, and a short traced webserver run) or any of
 //             tracerec's workloads: linux-{idle,skype,firefox,webserver},
@@ -14,14 +12,23 @@
 // repeated runs with the same arguments produce byte-identical snapshots
 // (op counts and relative latencies are simulation facts, not wall-clock
 // noise). Pass --wall to measure real TSC cycles instead.
+//
+// The recorded trace is folded through the analysis pipeline's SummaryPass
+// before the snapshot, so text output leads with a trace summary and the
+// snapshot itself includes the trace_pipeline_* counters. --jobs defaults
+// to 1 to keep snapshots byte-stable across machines; higher values
+// exercise the parallel pipeline (workers never touch the probe clock, so
+// the virtual-clock determinism holds for any job count).
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/analysis/pipeline.h"
+#include "src/analysis/render.h"
+#include "src/analysis/summary.h"
 #include "src/dispatcher/dispatcher.h"
 #include "src/obs/probe.h"
 #include "src/obs/snapshot.h"
@@ -30,6 +37,7 @@
 #include "src/timer/timer_service.h"
 #include "src/workloads/linux_workloads.h"
 #include "src/workloads/vista_workloads.h"
+#include "tools/common.h"
 
 namespace tempo {
 namespace {
@@ -124,48 +132,41 @@ void DriveDispatcher(uint64_t seed) {
   sim.RunFor(30 * kSecond);
 }
 
-int Fail(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <workload> [--minutes M] [--seed S]\n"
-               "       [--format text|json|prom|all] [--wall]\n"
-               "  workloads: micromix, linux-{idle,skype,firefox,webserver},\n"
-               "             vista-{idle,skype,firefox,webserver,desktop}\n",
-               argv0);
-  return 2;
-}
+constexpr const char* kWorkloadList =
+    "  workloads: micromix, linux-{idle,skype,firefox,webserver},\n"
+    "             vista-{idle,skype,firefox,webserver,desktop}\n";
 
 }  // namespace
 }  // namespace tempo
 
 int main(int argc, char** argv) {
   using namespace tempo;
-  if (argc < 2) {
-    return Fail(argv[0]);
-  }
-  const std::string which = argv[1];
-  std::string format = "text";
-  double minutes = 3.0;
-  uint64_t seed = 2008;
-  bool wall = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--format" && i + 1 < argc) {
-      format = argv[++i];
-    } else if (arg == "--minutes" && i + 1 < argc) {
-      minutes = std::atof(argv[++i]);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (arg == "--wall") {
-      wall = true;
-    } else {
-      return Fail(argv[0]);
+  static const tools::FlagSpec kFlags[] = {
+      {"minutes", 1, "M", "simulated duration (default 3)"},
+      {"seed", 1, "S", "workload random seed (default 2008)"},
+      {"format", 1, "text|json|prom|all", "snapshot format (default text)"},
+      {"jobs", 1, "N", "trace-pipeline workers (0 = one per core; default 1)"},
+      {"wall", 0, "", "measure real TSC cycles instead of the virtual clock"},
+  };
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  if (!args.ok() || args.positionals().size() != 1) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
     }
+    tools::PrintUsage(stderr, argv[0], "<workload>", kFlags, kWorkloadList);
+    return 2;
   }
+  const std::string& which = args.positionals()[0];
+  const std::string format = args.Value("format", 0, "text");
+  const double minutes = args.DoubleValue("minutes", 3.0);
+  const uint64_t seed = args.UintValue("seed", 2008);
   if (format != "text" && format != "json" && format != "prom" && format != "all") {
-    return Fail(argv[0]);
+    std::fprintf(stderr, "error: unknown format %s\n", format.c_str());
+    tools::PrintUsage(stderr, argv[0], "<workload>", kFlags, kWorkloadList);
+    return 2;
   }
 
-  if (!wall) {
+  if (!args.Has("wall")) {
     obs::SetProbeClock(&VirtualCycleClock);
   }
 
@@ -206,6 +207,22 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "error: unknown workload %s\n", which.c_str());
     return 2;
+  }
+
+  // Fold the recorded trace through the streaming pipeline: the summary
+  // section below comes from SummaryPass, and the run contributes
+  // trace_pipeline_* counters to the snapshot.
+  std::vector<std::unique_ptr<AnalysisPass>> passes;
+  passes.push_back(std::make_unique<SummaryPass>(run.label.empty() ? which : run.label));
+  PipelineOptions pipeline_options;
+  pipeline_options.jobs = static_cast<size_t>(args.UintValue("jobs", 1));
+  pipeline_options.stats_label = which;
+  PipelineRunner runner(pipeline_options);
+  runner.Run(std::span<const TraceRecord>(run.records.data(), run.records.size()), passes);
+  if (format == "text" || format == "all") {
+    std::printf("trace summary:\n");
+    TextRenderSink sink(stdout);
+    passes.front()->Render(sink);
   }
 
   const obs::MetricsSnapshot snapshot = obs::Registry::Global().TakeSnapshot();

@@ -2,31 +2,61 @@
 // line (the "user-space program to read out the buffer and convert the
 // trace into a textual format" of Section 3.2).
 //
-// Usage: trace2txt <trace-file> [limit]
+// Streams the file chunk by chunk, so a multi-gigabyte trace prints its
+// first records immediately and never gets materialized in memory.
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "src/trace/chunked.h"
 #include "src/trace/codec.h"
 #include "src/trace/file.h"
+#include "tools/common.h"
 
 int main(int argc, char** argv) {
   using namespace tempo;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace-file> [limit]\n", argv[0]);
+  static const tools::FlagSpec kFlags[] = {
+      {"limit", 1, "N", "print at most N records (same as the positional limit)"},
+  };
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  if (!args.ok() || args.positionals().empty() || args.positionals().size() > 2) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    tools::PrintUsage(stderr, argv[0], "<trace-file> [limit]", kFlags);
     return 2;
   }
-  const auto trace = ReadTraceFile(argv[1]);
-  if (!trace.has_value()) {
-    std::fprintf(stderr, "error: cannot read trace file %s\n", argv[1]);
+
+  const std::string& path = args.positionals()[0];
+  TraceReadError read_error = TraceReadError::kIo;
+  const auto reader = TraceChunkReader::Open(path, &read_error);
+  if (!reader.has_value()) {
+    tools::PrintTraceReadError(path, read_error);
     return 1;
   }
-  size_t limit = trace->records.size();
-  if (argc >= 3) {
-    limit = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+
+  uint64_t limit = reader->record_count();
+  if (args.positionals().size() >= 2) {
+    limit = std::strtoull(args.positionals()[1].c_str(), nullptr, 10);
   }
-  for (size_t i = 0; i < trace->records.size() && i < limit; ++i) {
-    std::printf("%s\n", FormatRecord(trace->records[i], trace->callsites).c_str());
+  limit = args.UintValue("limit", limit);
+
+  TraceChunkReader::Cursor cursor = reader->MakeCursor();
+  uint64_t printed = 0;
+  for (size_t i = 0; i < reader->chunk_count() && printed < limit; ++i) {
+    const auto chunk = cursor.Read(i);
+    if (!cursor.ok()) {
+      tools::PrintTraceReadError(path, cursor.error());
+      return 1;
+    }
+    for (const TraceRecord& record : chunk) {
+      if (printed >= limit) {
+        break;
+      }
+      std::printf("%s\n", FormatRecord(record, reader->callsites()).c_str());
+      ++printed;
+    }
   }
   return 0;
 }

@@ -1,16 +1,18 @@
 // tracediff — compares two trace files (e.g. a kernel-feature ablation):
 // summary deltas, per-call-site set-count deltas, and values that appear in
 // only one trace.
-//
-// Usage: tracediff <trace-a> <trace-b>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "src/analysis/histogram.h"
 #include "src/analysis/summary.h"
 #include "src/trace/file.h"
+#include "tools/common.h"
 
 namespace {
 
@@ -26,23 +28,37 @@ std::map<std::string, uint64_t> SetsByCallsite(const LoadedTrace& trace) {
   return out;
 }
 
+std::optional<LoadedTrace> LoadOrExplain(const std::string& path) {
+  TraceReadError error = TraceReadError::kIo;
+  auto trace = ReadTraceFile(path, &error);
+  if (!trace.has_value()) {
+    tools::PrintTraceReadError(path, error);
+  }
+  return trace;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <trace-a> <trace-b>\n", argv[0]);
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, {});
+  if (!args.ok() || args.positionals().size() != 2) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    tools::PrintUsage(stderr, argv[0], "<trace-a> <trace-b>", {});
     return 2;
   }
-  const auto a = ReadTraceFile(argv[1]);
-  const auto b = ReadTraceFile(argv[2]);
+  const std::string& path_a = args.positionals()[0];
+  const std::string& path_b = args.positionals()[1];
+  const auto a = LoadOrExplain(path_a);
+  const auto b = LoadOrExplain(path_b);
   if (!a.has_value() || !b.has_value()) {
-    std::fprintf(stderr, "error: cannot read input traces\n");
     return 1;
   }
 
   const TraceSummary sa = Summarize(a->records, "A");
   const TraceSummary sb = Summarize(b->records, "B");
-  std::printf("%-12s %12s %12s %10s\n", "metric", argv[1], argv[2], "delta");
+  std::printf("%-12s %12s %12s %10s\n", "metric", path_a.c_str(), path_b.c_str(), "delta");
   auto row = [&](const char* name, uint64_t va, uint64_t vb) {
     std::printf("%-12s %12llu %12llu %+10lld\n", name,
                 static_cast<unsigned long long>(va), static_cast<unsigned long long>(vb),

@@ -1,41 +1,55 @@
 // tracerec — records one of the study's workloads to a binary trace file
 // that trace2txt / tracestat can consume.
 //
-// Usage: tracerec <workload> <output-file> [minutes] [seed]
-//   workload: linux-idle | linux-skype | linux-firefox | linux-webserver |
-//             vista-idle | vista-skype | vista-firefox | vista-webserver |
-//             vista-desktop
+// Writes the chunked v2 format by default so the analysis pipeline can
+// stream it in parallel; --v1 keeps the legacy flat format for
+// compatibility tests and old readers.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "src/trace/file.h"
 #include "src/workloads/linux_workloads.h"
 #include "src/workloads/vista_workloads.h"
+#include "tools/common.h"
+
+namespace {
+
+constexpr const char* kWorkloadList =
+    "  workloads: linux-{idle,skype,firefox,webserver},\n"
+    "             vista-{idle,skype,firefox,webserver,desktop}\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tempo;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <workload> <output-file> [minutes] [seed]\n"
-                 "  workloads: linux-{idle,skype,firefox,webserver},\n"
-                 "             vista-{idle,skype,firefox,webserver,desktop}\n",
-                 argv[0]);
+  static const tools::FlagSpec kFlags[] = {
+      {"v1", 0, "", "write the legacy flat v1 format instead of chunked v2"},
+      {"chunk-records", 1, "N", "records per v2 chunk (default 65536)"},
+  };
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  const auto& positionals = args.positionals();
+  if (!args.ok() || positionals.size() < 2 || positionals.size() > 4) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    tools::PrintUsage(stderr, argv[0], "<workload> <output-file> [minutes] [seed]", kFlags,
+                      kWorkloadList);
     return 2;
   }
+
   WorkloadOptions options;
   options.duration = 30 * kMinute;
   options.seed = 2008;
-  if (argc >= 4) {
-    options.duration = FromSeconds(std::atof(argv[3]) * 60.0);
+  if (positionals.size() >= 3) {
+    options.duration = FromSeconds(std::atof(positionals[2].c_str()) * 60.0);
   }
-  if (argc >= 5) {
-    options.seed = static_cast<uint64_t>(std::strtoull(argv[4], nullptr, 10));
+  if (positionals.size() >= 4) {
+    options.seed = std::strtoull(positionals[3].c_str(), nullptr, 10);
   }
 
-  const std::string which = argv[1];
+  const std::string& which = positionals[0];
   TraceRun run;
   if (which == "linux-idle") {
     run = RunLinuxIdle(options);
@@ -60,11 +74,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!WriteTraceFile(argv[2], run.records, run.callsites())) {
-    std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+  TraceWriteOptions write_options;
+  if (args.Has("v1")) {
+    write_options.version = kTraceFileVersion;
+  }
+  write_options.chunk_records = static_cast<uint32_t>(
+      args.UintValue("chunk-records", kDefaultChunkRecords));
+
+  const std::string& output = positionals[1];
+  if (!WriteTraceFile(output, run.records, run.callsites(), write_options)) {
+    std::fprintf(stderr, "error: cannot write %s\n", output.c_str());
     return 1;
   }
   std::printf("wrote %zu records (%s, %s simulated) to %s\n", run.records.size(),
-              run.label.c_str(), FormatDuration(options.duration).c_str(), argv[2]);
+              run.label.c_str(), FormatDuration(options.duration).c_str(), output.c_str());
   return 0;
 }

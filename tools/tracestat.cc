@@ -2,81 +2,100 @@
 // summary, usage patterns, value histogram, origins, provenance, and an
 // optional blame window.
 //
-// Usage: tracestat <trace-file> [--blame <start-s> <end-s>] [--user-only]
-//                  [--no-jiffies]
+// The analyses run as AnalysisPasses on the parallel streaming pipeline:
+// the trace is consumed chunk by chunk (never fully materialized) by
+// --jobs workers, and the ordered merge of partial states makes the output
+// byte-identical for any worker count — `tracestat t.trc --jobs 8` prints
+// exactly what `--jobs 1` does, just faster.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "src/analysis/classify.h"
 #include "src/analysis/histogram.h"
 #include "src/analysis/origins.h"
+#include "src/analysis/pipeline.h"
 #include "src/analysis/provenance.h"
-#include "src/analysis/render.h"
 #include "src/analysis/summary.h"
+#include "src/trace/chunked.h"
 #include "src/trace/file.h"
+#include "tools/common.h"
 
 int main(int argc, char** argv) {
   using namespace tempo;
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <trace-file> [--blame <start-s> <end-s>] [--user-only] "
-                 "[--no-jiffies]\n",
-                 argv[0]);
+  static const tools::FlagSpec kFlags[] = {
+      {"jobs", 1, "N", "worker threads (0 = one per core; default 0)"},
+      {"format", 1, "text|json", "report format (default text)"},
+      {"blame", 2, "<start-s> <end-s>", "append a blame report for [start, end)"},
+      {"user-only", 0, "", "value histogram: user-space timeouts only"},
+      {"no-jiffies", 0, "", "value histogram: skip kernel jiffy quantisation"},
+  };
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  if (!args.ok() || args.positionals().size() != 1) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    tools::PrintUsage(stderr, argv[0], "<trace-file>", kFlags);
     return 2;
   }
-  bool user_only = false;
-  bool jiffies = true;
-  double blame_start = -1;
-  double blame_end = -1;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--user-only") == 0) {
-      user_only = true;
-    } else if (std::strcmp(argv[i], "--no-jiffies") == 0) {
-      jiffies = false;
-    } else if (std::strcmp(argv[i], "--blame") == 0 && i + 2 < argc) {
-      blame_start = std::atof(argv[i + 1]);
-      blame_end = std::atof(argv[i + 2]);
-      i += 2;
-    }
+  tools::OutputFormat format = tools::OutputFormat::kText;
+  if (!tools::ParseFormatName(args.Value("format", 0, "text"), &format)) {
+    std::fprintf(stderr, "error: unknown format %s\n", args.Value("format").c_str());
+    tools::PrintUsage(stderr, argv[0], "<trace-file>", kFlags);
+    return 2;
   }
+  const bool user_only = args.Has("user-only");
+  const bool jiffies = !args.Has("no-jiffies");
+  const double blame_start = args.DoubleValue("blame", -1.0, 0);
+  const double blame_end = args.DoubleValue("blame", -1.0, 1);
 
-  const auto trace = ReadTraceFile(argv[1]);
-  if (!trace.has_value()) {
-    std::fprintf(stderr, "error: cannot read trace file %s\n", argv[1]);
+  const std::string& path = args.positionals()[0];
+  TraceReadError read_error = TraceReadError::kIo;
+  const auto reader = TraceChunkReader::Open(path, &read_error);
+  if (!reader.has_value()) {
+    tools::PrintTraceReadError(path, read_error);
     return 1;
   }
 
-  const TraceSummary summary = Summarize(trace->records, argv[1]);
-  std::printf("%s\n", RenderSummaryTable({summary}).c_str());
-
-  const auto classes = ClassifyTrace(trace->records, ClassifyOptions{});
-  std::printf("usage patterns:\n%s\n",
-              RenderPatternHistogram({{"trace", PatternHistogram(classes)}}).c_str());
-
+  std::vector<std::unique_ptr<AnalysisPass>> passes;
+  passes.push_back(std::make_unique<SummaryPass>(path));
+  passes.push_back(std::make_unique<ClassifyPass>());
   HistogramOptions histogram_options;
   histogram_options.user_only = user_only;
   histogram_options.jiffy_quantise_kernel = jiffies;
-  const ValueHistogram histogram = ComputeValueHistogram(trace->records, histogram_options);
-  std::printf("common values:\n%s\n",
-              RenderValueHistogram(histogram, jiffies).c_str());
-
+  passes.push_back(std::make_unique<HistogramPass>(histogram_options, jiffies));
   OriginOptions origin_options;
   origin_options.min_percent = 0.5;
-  std::printf("origins:\n%s\n",
-              RenderOrigins(ComputeOrigins(trace->records, trace->callsites,
-                                           origin_options)).c_str());
-
-  std::printf("provenance:\n%s\n",
-              RenderProvenance(BuildProvenanceForest(trace->records,
-                                                     trace->callsites)).c_str());
-
+  passes.push_back(std::make_unique<OriginsPass>(&reader->callsites(), origin_options));
+  passes.push_back(std::make_unique<ProvenancePass>(&reader->callsites()));
   if (blame_start >= 0 && blame_end > blame_start) {
-    const auto blame = BlameWindow(trace->records, trace->callsites,
-                                   FromSeconds(blame_start), FromSeconds(blame_end));
-    std::printf("%s",
-                RenderBlame(blame, FromSeconds(blame_start), FromSeconds(blame_end)).c_str());
+    passes.push_back(std::make_unique<BlamePass>(&reader->callsites(),
+                                                 FromSeconds(blame_start),
+                                                 FromSeconds(blame_end)));
+  }
+
+  PipelineOptions pipeline_options;
+  pipeline_options.jobs = static_cast<size_t>(args.UintValue("jobs", 0));
+  pipeline_options.stats_label = "tracestat";
+  PipelineRunner runner(pipeline_options);
+  if (!runner.Run(*reader, passes, &read_error)) {
+    tools::PrintTraceReadError(path, read_error);
+    return 1;
+  }
+
+  if (format == tools::OutputFormat::kJson) {
+    JsonRenderSink sink(stdout);
+    for (const auto& pass : passes) {
+      pass->Render(sink);
+    }
+    sink.Finish();
+  } else {
+    TextRenderSink sink(stdout);
+    for (const auto& pass : passes) {
+      pass->Render(sink);
+    }
   }
   return 0;
 }
