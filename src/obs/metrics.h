@@ -43,6 +43,14 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   void Inc(uint64_t n = 1) { value_ += n; }
+  // Raises the counter to `total` if it is behind; never lowers it. For
+  // publishers that track a running total elsewhere (e.g. a relay channel's
+  // accepted/dropped tallies) and periodically mirror it into obs.
+  void AdvanceTo(uint64_t total) {
+    if (total > value_) {
+      value_ = total;
+    }
+  }
   uint64_t value() const { return value_; }
 
  private:

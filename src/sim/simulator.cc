@@ -32,6 +32,40 @@ EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
 
 bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
 
+namespace {
+
+// State of one periodic series. The token returned to the caller is the
+// only shared_ptr; scheduled events hold weak_ptrs, so dropping the token
+// makes the next firing a no-op and the chain stops rescheduling.
+struct PeriodicState {
+  SimDuration period;
+  std::function<void()> fn;
+};
+
+void FirePeriodic(Simulator* sim, const std::weak_ptr<PeriodicState>& weak) {
+  std::shared_ptr<PeriodicState> state = weak.lock();
+  if (state == nullptr) {
+    return;  // token dropped: series canceled
+  }
+  state->fn();
+  sim->ScheduleAfter(state->period, [sim, weak] { FirePeriodic(sim, weak); });
+}
+
+}  // namespace
+
+Simulator::PeriodicToken Simulator::SchedulePeriodic(SimDuration period,
+                                                     std::function<void()> fn) {
+  if (period <= 0) {
+    period = 1;
+  }
+  auto state = std::make_shared<PeriodicState>();
+  state->period = period;
+  state->fn = std::move(fn);
+  std::weak_ptr<PeriodicState> weak = state;
+  ScheduleAfter(period, [this, weak] { FirePeriodic(this, weak); });
+  return state;
+}
+
 bool Simulator::Step() {
   if (queue_.Empty()) {
     return false;

@@ -10,6 +10,7 @@
 #define TEMPO_SRC_SIM_SIMULATOR_H_
 
 #include <functional>
+#include <memory>
 
 #include "src/obs/metrics.h"
 #include "src/sim/cpu.h"
@@ -39,6 +40,16 @@ class Simulator {
 
   // Cancels a pending event; false if it already fired or was canceled.
   bool Cancel(EventId id);
+
+  // Keeps `fn` firing every `period` (first firing one period from now) for
+  // as long as the returned token is held; dropping the token cancels the
+  // series after at most one more already-scheduled firing's bookkeeping
+  // (the callback itself will not run again). Background services — e.g. a
+  // RelayDrainer polling trace channels — hook the event loop this way
+  // without managing their own rescheduling.
+  using PeriodicToken = std::shared_ptr<void>;
+  [[nodiscard]] PeriodicToken SchedulePeriodic(SimDuration period,
+                                               std::function<void()> fn);
 
   // Runs one event; returns false if the queue is empty.
   bool Step();

@@ -23,7 +23,8 @@ size_t ThreadOrdinal() {
 
 TimerService::TimerService() : TimerService(Options()) {}
 
-TimerService::TimerService(Options options) : queue_name_(options.queue) {
+TimerService::TimerService(Options options)
+    : queue_name_(options.queue), trace_callsite_(options.trace_callsite) {
   size_t count = options.shards;
   if (count == 0) {
     count = std::max(1u, std::thread::hardware_concurrency());
@@ -40,6 +41,9 @@ TimerService::TimerService(Options options) : queue_name_(options.queue) {
   for (size_t i = 0; i < count; ++i) {
     auto shard = std::make_unique<Shard>();
     const std::string shard_label = label + "@" + std::to_string(i);
+    if (options.trace != nullptr) {
+      shard->trace = options.trace->Register("timer_service/" + shard_label);
+    }
     shard->queue = MakeTimerQueue(options.queue, shard_label);
     if (shard->queue == nullptr) {
       // Unknown implementation: fall back rather than crash, matching the
@@ -96,8 +100,36 @@ void TimerService::RepublishDeadline(Shard& shard) {
   shard.cache_misses->Inc();
 }
 
+void TimerService::TraceOp(Shard& shard, TimerOp op, TimerHandle handle,
+                           SimTime expiry) {
+  const SimTime now = trace_now_.load(std::memory_order_relaxed);
+  if (now > shard.trace_clock) {
+    shard.trace_clock = now;
+  }
+  TraceRecord record;
+  record.timestamp = shard.trace_clock;
+  record.timer = handle;
+  record.expiry = expiry;
+  if (op == TimerOp::kSet && expiry > shard.trace_clock) {
+    record.timeout = expiry - shard.trace_clock;
+  }
+  record.callsite = trace_callsite_;
+  record.op = op;
+  shard.trace->TryLog(record);
+}
+
 TimerHandle TimerService::ScheduleLocked(size_t index, Shard& shard, SimTime expiry,
                                          TimerQueueCallback cb) {
+  if (shard.trace != nullptr) {
+    // Wrap the callback so expiry is logged from wherever it fires —
+    // always under this shard's lock, inside AdvanceShardLocked.
+    cb = [this, &shard, index, expiry, inner = std::move(cb)](TimerHandle local) {
+      TraceOp(shard, TimerOp::kExpire,
+              (static_cast<uint64_t>(index + 1) << kShardShift) | (local & kLocalMask),
+              expiry);
+      inner(local);
+    };
+  }
   const TimerHandle local = shard.queue->Schedule(expiry, std::move(cb));
   shard.set_ops->Inc();
   shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
@@ -109,7 +141,12 @@ TimerHandle TimerService::ScheduleLocked(size_t index, Shard& shard, SimTime exp
   } else {
     RepublishDeadline(shard);
   }
-  return (static_cast<uint64_t>(index + 1) << kShardShift) | (local & kLocalMask);
+  const TimerHandle handle =
+      (static_cast<uint64_t>(index + 1) << kShardShift) | (local & kLocalMask);
+  if (shard.trace != nullptr) {
+    TraceOp(shard, TimerOp::kSet, handle, expiry);
+  }
+  return handle;
 }
 
 TimerHandle TimerService::Schedule(SimTime expiry, TimerQueueCallback cb) {
@@ -136,6 +173,9 @@ bool TimerService::Cancel(TimerHandle handle) {
   shard.cancel_ops->Inc();
   shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
   RepublishDeadline(shard);
+  if (shard.trace != nullptr) {
+    TraceOp(shard, TimerOp::kCancel, handle, 0);
+  }
   return true;
 }
 
@@ -147,7 +187,15 @@ size_t TimerService::AdvanceShardLocked(Shard& shard, SimTime now) {
   return fired;
 }
 
+void TimerService::SetTraceTime(SimTime now) {
+  SimTime seen = trace_now_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !trace_now_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
 size_t TimerService::AdvanceAll(SimTime now) {
+  SetTraceTime(now);
   size_t fired = 0;
   uint64_t skipped = 0;
   uint64_t advanced = 0;

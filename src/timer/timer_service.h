@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "src/timer/queue.h"
+#include "src/trace/record.h"
+#include "src/trace/relay.h"
 
 namespace tempo {
 
@@ -46,6 +48,15 @@ class TimerService {
     // alive at once must use distinct labels (instruments are shared by
     // label and are not thread-safe across services).
     std::string stats_label;
+    // Optional relay tracing: when set, every shard registers its own
+    // channel ("timer_service/<label>@<shard>") in this set and logs
+    // kSet / kCancel / kExpire records through it under the shard lock —
+    // the lock makes the shard's interleaved callers one logical producer,
+    // so the whole sharded service traces concurrently with no extra
+    // synchronisation. The set must outlive the service.
+    RelayChannelSet* trace = nullptr;
+    // Call site stamped on the records (intern one per service).
+    CallsiteId trace_callsite = kUnknownCallsite;
   };
 
   TimerService();  // default options
@@ -100,6 +111,12 @@ class TimerService {
   // Call from a quiescent thread before snapshotting the registry.
   void PublishStats();
 
+  // Advances the clock used to stamp trace records (monotonic: earlier
+  // values are ignored). AdvanceAll folds its `now` in automatically; call
+  // this from the driving clock when Schedule/Cancel timestamps matter.
+  // No-op when tracing is off. Thread-safe.
+  void SetTraceTime(SimTime now);
+
  private:
   // Shard index lives in the handle's top bits (biased by one so a service
   // handle is never 0 and never collides with a bare queue handle).
@@ -113,6 +130,11 @@ class TimerService {
     // release, read lock-free with acquire.
     std::atomic<SimTime> next_expiry{kNeverTime};
     std::atomic<size_t> live{0};
+    // Relay trace channel and its per-shard clock mirror (guarded by mu;
+    // the mirror keeps the channel's timestamps nondecreasing even if
+    // SetTraceTime races with ops on other shards).
+    RelayChannel* trace = nullptr;
+    SimTime trace_clock = 0;
     // Obs instruments, updated only under mu.
     obs::Counter* set_ops = nullptr;
     obs::Counter* cancel_ops = nullptr;
@@ -129,8 +151,13 @@ class TimerService {
   // Republishes the shard's deadline; counts a cache hit when the
   // published value was still correct and a miss when it had to change.
   void RepublishDeadline(Shard& shard);
+  // Logs one record to the shard's trace channel (no-op when tracing is
+  // off). Must hold the shard lock.
+  void TraceOp(Shard& shard, TimerOp op, TimerHandle handle, SimTime expiry);
 
   std::string queue_name_;
+  CallsiteId trace_callsite_ = kUnknownCallsite;
+  std::atomic<SimTime> trace_now_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> advance_calls_{0};
   std::atomic<uint64_t> shards_skipped_{0};

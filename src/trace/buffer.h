@@ -1,13 +1,16 @@
-// Trace buffers: relayfs-style bounded ring and ETW-style session.
+// Trace sinks: legacy adapters over the relay-channel recording path.
 //
 // The Linux study used relayfs with a 512 MiB in-kernel buffer: ordered,
 // lossless up to capacity, with new events *dropped* (never overwriting old
 // ones) on overflow. The Vista study used ETW, effectively unbounded for the
-// trace lengths involved. Both are modelled here over a common sink
-// interface so the OS models can log through either.
+// trace lengths involved. Since the relay rework both are thin shims over a
+// RelayChannel (relay.h): records take the same lock-free sub-buffer path
+// the multi-producer pipeline uses, and the classes here only add the
+// legacy conveniences — a materialized `records()` vector, exact capacity
+// accounting, CPU cycle charging — on top.
 //
 // Logging itself costs CPU: the paper measured 236 cycles per record
-// (Section 3.2). Buffers charge a configurable per-record cycle cost to the
+// (Section 3.2). Sinks charge a configurable per-record cycle cost to the
 // simulated CPU so the overhead experiment can be re-run.
 
 #ifndef TEMPO_SRC_TRACE_BUFFER_H_
@@ -19,13 +22,16 @@
 #include "src/obs/metrics.h"
 #include "src/sim/cpu.h"
 #include "src/trace/record.h"
+#include "src/trace/relay.h"
 
 namespace tempo {
 
 // Per-record instrumentation cost measured in the paper (Section 3.2).
 inline constexpr uint64_t kPaperLogCostCycles = 236;
 
-// Abstract destination for trace records.
+// Abstract destination for trace records. Legacy interface: the hot
+// recording path is RelayChannel::TryLog (non-virtual); TraceSink remains
+// for callers that want pluggable single-threaded sinks.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -54,15 +60,45 @@ class NullSink : public TraceSink {
   obs::Counter* metric_discarded_;
 };
 
+// TraceSink adapter over a relay channel: lets legacy TraceSink callers
+// feed the channel/drainer pipeline. The virtual call is the adapter's
+// price; hot paths should hold the RelayChannel* directly.
+class ChannelSink : public TraceSink {
+ public:
+  explicit ChannelSink(RelayChannel* channel) : channel_(channel) {}
+
+  void Log(const TraceRecord& record) override {
+    if (cpu_ != nullptr) {
+      cpu_->ChargeCycles(cost_cycles_);
+    }
+    channel_->TryLog(record);
+  }
+
+  // Attaches a CPU to charge `cost_cycles` per logged record.
+  void AttachCpu(Cpu* cpu, uint64_t cost_cycles = kPaperLogCostCycles) {
+    cpu_ = cpu;
+    cost_cycles_ = cost_cycles;
+  }
+
+  RelayChannel* channel() const { return channel_; }
+
+ private:
+  RelayChannel* channel_;
+  Cpu* cpu_ = nullptr;
+  uint64_t cost_cycles_ = kPaperLogCostCycles;
+};
+
 // Bounded, ordered trace buffer with relayfs overflow semantics: once the
 // buffer is full, new records are dropped and counted; existing records are
-// never overwritten.
+// never overwritten. Backed by a private RelayChannel; `records()` and
+// `TakeRecords()` harvest it on demand, so single-threaded callers see the
+// same materialized-vector behaviour as before the relay rework.
 class RelayBuffer : public TraceSink {
  public:
-  // `capacity` is the maximum number of records retained. The default
-  // corresponds to the paper's 512 MiB buffer at 48 bytes/record scaled down
-  // for simulation (the traces in this repo fit comfortably).
-  explicit RelayBuffer(size_t capacity = 8u << 20);
+  // `capacity` is the maximum number of records retained. The default is
+  // the paper's 512 MiB relayfs buffer expressed in records — derived from
+  // sizeof(TraceRecord) in relay.h, not hard-coded.
+  explicit RelayBuffer(size_t capacity = kRelayDefaultCapacity);
 
   void Log(const TraceRecord& record) override;
 
@@ -72,19 +108,24 @@ class RelayBuffer : public TraceSink {
     cost_cycles_ = cost_cycles;
   }
 
-  const std::vector<TraceRecord>& records() const { return records_; }
+  const std::vector<TraceRecord>& records() const;
   size_t capacity() const { return capacity_; }
   uint64_t dropped() const { return dropped_; }
-  uint64_t logged() const { return records_.size(); }
+  uint64_t logged() const { return logged_; }
 
   // Releases the stored records (e.g. to hand to the analysis pipeline
   // without copying) and resets the buffer.
   std::vector<TraceRecord> TakeRecords();
 
  private:
+  // Harvests everything logged so far out of the channel into records_.
+  void Sync() const;
+
   size_t capacity_;
-  std::vector<TraceRecord> records_;
-  uint64_t dropped_ = 0;
+  mutable RelayChannel channel_;              // Sync flushes + harvests it
+  mutable std::vector<TraceRecord> records_;  // harvested on demand
+  uint64_t logged_ = 0;   // records accepted since the last TakeRecords
+  uint64_t dropped_ = 0;  // resets with TakeRecords, unlike the channel's
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
   obs::Counter* metric_logged_;
@@ -93,8 +134,10 @@ class RelayBuffer : public TraceSink {
 };
 
 // ETW-style session: unbounded buffer (bounded only by memory), same record
-// format. Vista instrumentation additionally captures stacks; those live in
-// the records' `stack` field via CallsiteRegistry::InternStack.
+// format. Backed by a small RelayChannel ring that spills into the
+// materialized vector whenever it fills, so no record is ever dropped.
+// Vista instrumentation additionally captures stacks; those live in the
+// records' `stack` field via CallsiteRegistry::InternStack.
 class EtwSession : public TraceSink {
  public:
   EtwSession();
@@ -106,11 +149,14 @@ class EtwSession : public TraceSink {
     cost_cycles_ = cost_cycles;
   }
 
-  const std::vector<TraceRecord>& records() const { return records_; }
+  const std::vector<TraceRecord>& records() const;
   std::vector<TraceRecord> TakeRecords();
 
  private:
-  std::vector<TraceRecord> records_;
+  void Sync() const;
+
+  mutable RelayChannel channel_;
+  mutable std::vector<TraceRecord> records_;
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
   obs::Counter* metric_logged_;

@@ -1,0 +1,135 @@
+#include "src/trace/stream_writer.h"
+
+#include <cstring>
+
+#include "src/trace/wire.h"
+
+namespace tempo {
+
+namespace {
+constexpr size_t kMagicSize = sizeof(wire::kTraceMagic);
+constexpr size_t kCopyBlock = size_t{1} << 16;
+}  // namespace
+
+TraceStreamWriter::TraceStreamWriter(std::string path,
+                                     const CallsiteRegistry* callsites,
+                                     const TraceWriteOptions& options)
+    : path_(std::move(path)),
+      spill_path_(path_ + ".spill"),
+      callsites_(callsites),
+      capacity_(options.chunk_records > 0 ? options.chunk_records : 1) {
+  if (options.version != kTraceFileVersionChunked) {
+    ok_ = false;
+    return;
+  }
+  spill_ = std::fopen(spill_path_.c_str(), "wb");
+  if (spill_ == nullptr) {
+    ok_ = false;
+    return;
+  }
+  chunk_.reserve(static_cast<size_t>(capacity_) * kEncodedRecordSize);
+}
+
+TraceStreamWriter::~TraceStreamWriter() { Close(); }
+
+bool TraceStreamWriter::Append(const TraceRecord& record) {
+  if (!ok_ || closed_) {
+    return false;
+  }
+  EncodeRecord(record, &chunk_);
+  ++chunk_records_;
+  ++records_;
+  if (chunk_records_ == capacity_) {
+    FlushChunk();
+  }
+  return ok_;
+}
+
+void TraceStreamWriter::FlushChunk() {
+  if (chunk_records_ == 0) {
+    return;
+  }
+  index_.emplace_back(spill_bytes_, chunk_records_);
+  if (std::fwrite(chunk_.data(), 1, chunk_.size(), spill_) != chunk_.size()) {
+    FailAndCleanup();
+    return;
+  }
+  spill_bytes_ += chunk_.size();
+  chunk_.clear();
+  chunk_records_ = 0;
+}
+
+bool TraceStreamWriter::Close() {
+  if (closed_) {
+    return ok_;
+  }
+  closed_ = true;
+  if (!ok_) {
+    FailAndCleanup();
+    return false;
+  }
+  FlushChunk();
+  if (!ok_) {
+    return false;
+  }
+
+  // Everything that precedes the chunks in the v2 layout is now known.
+  std::vector<uint8_t> header(kMagicSize);
+  std::memcpy(header.data(), wire::kTraceMagic, kMagicSize);
+  wire::Put32(kTraceFileVersionChunked, &header);
+  wire::PutCallsiteTable(*callsites_, &header);
+  wire::Put64(records_, &header);
+  wire::Put32(capacity_, &header);
+  const uint64_t header_size = header.size();
+
+  // The footer's offsets are spill-relative until rebased past the header —
+  // this is what makes the result byte-identical to SerializeTrace.
+  std::vector<uint8_t> footer;
+  wire::Put32(static_cast<uint32_t>(index_.size()), &footer);
+  for (const auto& [offset, count] : index_) {
+    wire::Put64(header_size + offset, &footer);
+    wire::Put32(count, &footer);
+  }
+  wire::Put64(header_size + spill_bytes_, &footer);
+  footer.insert(footer.end(), wire::kTraceIndexMagic,
+                wire::kTraceIndexMagic + kMagicSize);
+
+  bool ok = std::fclose(spill_) == 0;
+  spill_ = nullptr;
+  std::FILE* in = ok ? std::fopen(spill_path_.c_str(), "rb") : nullptr;
+  std::FILE* out = in != nullptr ? std::fopen(path_.c_str(), "wb") : nullptr;
+  ok = out != nullptr &&
+       std::fwrite(header.data(), 1, header.size(), out) == header.size();
+  if (ok) {
+    uint8_t block[kCopyBlock];
+    size_t n = 0;
+    while (ok && (n = std::fread(block, 1, sizeof(block), in)) > 0) {
+      ok = std::fwrite(block, 1, n, out) == n;
+    }
+    ok = ok && std::ferror(in) == 0;
+  }
+  ok = ok && std::fwrite(footer.data(), 1, footer.size(), out) == footer.size();
+  if (in != nullptr) {
+    std::fclose(in);
+  }
+  if (out != nullptr) {
+    ok = (std::fclose(out) == 0) && ok;
+  }
+  std::remove(spill_path_.c_str());
+  if (!ok) {
+    std::remove(path_.c_str());  // never leave a half-written trace behind
+    ok_ = false;
+  }
+  return ok_;
+}
+
+void TraceStreamWriter::FailAndCleanup() {
+  ok_ = false;
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  std::remove(spill_path_.c_str());
+}
+
+}  // namespace tempo

@@ -1,0 +1,81 @@
+// Streaming v2 trace writer.
+//
+// The study's instrumented kernels never held a whole trace in memory:
+// relayfs sub-buffers went to disk as they filled, and analysis ran on the
+// files afterwards (Section 3.2). TraceStreamWriter is the file-side half of
+// that pipeline for tempo: records are appended one at a time (typically by
+// a RelayDrainer's emit callback), encoded chunks go to disk as they fill,
+// and Close() produces a file byte-identical to what
+// SerializeTrace(records, callsites, {version = 2}) would have built from
+// the same record sequence — so tracestat, TraceChunkReader and
+// PipelineRunner consume streamed and buffered traces interchangeably.
+//
+// The v2 layout puts the call-site table and the record count *before* the
+// chunks, and both are only known once recording ends. The writer therefore
+// streams chunks to a spill file (`path` + ".spill") and assembles the
+// final file at Close(): header, spill contents copied through a small
+// buffer, then the index footer with offsets rebased past the header. Peak
+// memory is one open chunk regardless of trace length.
+//
+// Single-threaded: all calls must come from one thread (the drainer).
+
+#ifndef TEMPO_SRC_TRACE_STREAM_WRITER_H_
+#define TEMPO_SRC_TRACE_STREAM_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/callsite.h"
+#include "src/trace/file.h"
+
+namespace tempo {
+
+class TraceStreamWriter {
+ public:
+  // Starts a streamed v2 trace at `path`. The registry is read at Close(),
+  // so call sites may still be interned while recording; it must outlive
+  // the writer. `options.version` must be the chunked version (v1 has no
+  // index and gains nothing from streaming).
+  TraceStreamWriter(std::string path, const CallsiteRegistry* callsites,
+                    const TraceWriteOptions& options = {});
+  ~TraceStreamWriter();
+  TraceStreamWriter(const TraceStreamWriter&) = delete;
+  TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+
+  // Appends one record; flushes the chunk to the spill file when it fills.
+  // Returns false once the writer has failed (I/O error or bad options).
+  bool Append(const TraceRecord& record);
+
+  // Flushes the final partial chunk, assembles the final file, and removes
+  // the spill file. Returns false if any step failed; idempotent.
+  bool Close();
+
+  bool ok() const { return ok_; }
+  uint64_t records_written() const { return records_; }
+  uint64_t chunks_flushed() const { return index_.size(); }
+
+ private:
+  void FlushChunk();
+  void FailAndCleanup();
+
+  std::string path_;
+  std::string spill_path_;
+  const CallsiteRegistry* callsites_;
+  uint32_t capacity_;
+
+  std::FILE* spill_ = nullptr;
+  std::vector<uint8_t> chunk_;       // encoded records of the open chunk
+  uint32_t chunk_records_ = 0;       // records in the open chunk
+  uint64_t spill_bytes_ = 0;         // bytes already flushed to the spill
+  std::vector<std::pair<uint64_t, uint32_t>> index_;  // (spill offset, count)
+  uint64_t records_ = 0;
+  bool ok_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_STREAM_WRITER_H_

@@ -191,6 +191,41 @@ TEST(EtwSessionTest, Unbounded) {
   EXPECT_EQ(session.records().size(), 1000u);
 }
 
+TEST(EtwSessionTest, GrowthBeyondInternalRingLosesNothing) {
+  // The session is backed by a fixed relay ring (32Ki records by default)
+  // that spills into the materialized vector when it fills; growth far past
+  // the ring must stay lossless and ordered.
+  EtwSession session;
+  constexpr int kRecords = 100000;
+  for (int i = 0; i < kRecords; ++i) {
+    session.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  ASSERT_EQ(session.records().size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_EQ(session.records()[static_cast<size_t>(i)].timestamp, i);
+  }
+  // TakeRecords hands everything over and resets for the next run.
+  auto taken = session.TakeRecords();
+  EXPECT_EQ(taken.size(), static_cast<size_t>(kRecords));
+  EXPECT_TRUE(session.records().empty());
+  session.Log(MakeRecord(kRecords, TimerOp::kSet, 1));
+  EXPECT_EQ(session.records().size(), 1u);
+}
+
+TEST(EtwSessionTest, AttachCpuChargesEveryRecordAcrossGrowth) {
+  // Cycle charging must cover every Log, including the ones that trigger a
+  // ring spill on their way in.
+  Cpu cpu;
+  EtwSession session;
+  session.AttachCpu(&cpu, 10);
+  constexpr int kRecords = 50000;  // > the 32Ki internal ring
+  for (int i = 0; i < kRecords; ++i) {
+    session.Log(MakeRecord(i, TimerOp::kSet, 1));
+  }
+  EXPECT_EQ(session.records().size(), static_cast<size_t>(kRecords));
+  EXPECT_EQ(cpu.charged_cycles(), static_cast<uint64_t>(kRecords) * 10);
+}
+
 // --- codec ---
 
 class CodecRoundTripTest : public ::testing::TestWithParam<TimerOp> {};

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/trace/file.h"
+#include "src/trace/stream_writer.h"
 #include "src/workloads/linux_workloads.h"
 #include "src/workloads/vista_workloads.h"
 #include "tools/common.h"
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   static const tools::FlagSpec kFlags[] = {
       {"v1", 0, "", "write the legacy flat v1 format instead of chunked v2"},
       {"chunk-records", 1, "N", "records per v2 chunk (default 65536)"},
+      {"stream", 0, "", "write v2 chunks incrementally (streaming writer)"},
   };
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
   const auto& positionals = args.positionals();
@@ -81,8 +83,25 @@ int main(int argc, char** argv) {
   write_options.chunk_records = static_cast<uint32_t>(
       args.UintValue("chunk-records", kDefaultChunkRecords));
 
+  if (args.Has("stream") && args.Has("v1")) {
+    std::fprintf(stderr, "error: --stream writes chunked v2 only\n");
+    return 2;
+  }
+
   const std::string& output = positionals[1];
-  if (!WriteTraceFile(output, run.records, run.callsites(), write_options)) {
+  if (args.Has("stream")) {
+    // Record-at-a-time through the streaming writer: the output is
+    // byte-identical to the buffered WriteTraceFile path (pinned by the
+    // tools_stream_identical ctest), but peak memory is one chunk.
+    TraceStreamWriter writer(output, &run.callsites(), write_options);
+    for (const TraceRecord& record : run.records) {
+      writer.Append(record);
+    }
+    if (!writer.Close()) {
+      std::fprintf(stderr, "error: cannot write %s\n", output.c_str());
+      return 1;
+    }
+  } else if (!WriteTraceFile(output, run.records, run.callsites(), write_options)) {
     std::fprintf(stderr, "error: cannot write %s\n", output.c_str());
     return 1;
   }
