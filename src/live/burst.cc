@@ -1,0 +1,51 @@
+#include "src/live/burst.h"
+
+namespace tempo {
+namespace live {
+
+BurstDetector::BurstDetector(const BurstThresholds& thresholds, const std::string& label)
+    : threshold_(thresholds.threshold),
+      clear_(thresholds.clear > thresholds.threshold ? thresholds.threshold
+                                                     : thresholds.clear) {
+  if (!label.empty()) {
+    obs::Registry& registry = obs::Registry::Global();
+    gauge_active_ = registry.GetGauge("live_burst_active", {{"series", label}},
+                                      "1 while the series is inside a rate burst");
+    gauge_rate_ = registry.GetGauge("live_burst_rate", {{"series", label}},
+                                    "Peak events/s of the burst in progress");
+    counter_bursts_ = registry.GetCounter("live_bursts_total", {{"series", label}},
+                                          "Rate bursts detected (threshold + hysteresis)");
+  }
+}
+
+void BurstDetector::OnWindowClosed(uint64_t window, double rate) {
+  if (!active_) {
+    if (rate < threshold_) {
+      return;
+    }
+    active_ = true;
+    ++bursts_;
+    start_window_ = window;
+    current_peak_ = rate;
+    if (counter_bursts_ != nullptr) {
+      counter_bursts_->Inc();
+    }
+  } else if (rate < clear_) {
+    active_ = false;
+    current_peak_ = 0.0;
+  } else if (rate > current_peak_) {
+    current_peak_ = rate;
+  }
+  if (active_ && current_peak_ > peak_rate_) {
+    peak_rate_ = current_peak_;
+  }
+  if (gauge_active_ != nullptr) {
+    gauge_active_->Set(active_ ? 1 : 0);
+  }
+  if (gauge_rate_ != nullptr) {
+    gauge_rate_->Set(static_cast<int64_t>(active_ ? current_peak_ : 0.0));
+  }
+}
+
+}  // namespace live
+}  // namespace tempo

@@ -1,0 +1,66 @@
+// Streaming burst detector for per-process timer-set rates.
+//
+// Figure 1's headline phenomenon is a burst: Outlook's 5-second UI-watchdog
+// idiom sits near 70 sets/s and then spikes to ~7000 sets/s for a second at
+// a time. A BurstDetector watches one series' closed windows and flags the
+// spike with threshold + hysteresis semantics: a burst begins when a
+// window's rate reaches `threshold` sets/s and ends only once the rate
+// falls below `clear` (clear < threshold), so a storm that wobbles around
+// the threshold is one burst, not many. Active bursts are surfaced through
+// obs gauges (live_burst_active / live_burst_rate) and completed ones
+// counted (live_bursts_total), so an operator's dashboard shows the spike
+// while it is happening.
+
+#ifndef TEMPO_SRC_LIVE_BURST_H_
+#define TEMPO_SRC_LIVE_BURST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace tempo {
+namespace live {
+
+struct BurstThresholds {
+  // Rate (events/s over one closed window) that starts a burst.
+  double threshold = 5000.0;
+  // Rate below which an active burst ends; clamped to <= threshold.
+  double clear = 2500.0;
+};
+
+class BurstDetector {
+ public:
+  // Instruments are labelled {series=<label>} under `stats_label`-prefixed
+  // metric names; pass an empty label for an uninstrumented detector.
+  BurstDetector(const BurstThresholds& thresholds, const std::string& label);
+
+  // Feeds the rate of one closed window. Windows must arrive in order.
+  void OnWindowClosed(uint64_t window, double rate);
+
+  bool active() const { return active_; }
+  // Completed + active bursts so far.
+  uint64_t bursts() const { return bursts_; }
+  // Largest single-window rate inside any burst (0 before the first).
+  double peak_rate() const { return peak_rate_; }
+  // Largest single-window rate inside the current burst.
+  double current_peak_rate() const { return active_ ? current_peak_ : 0.0; }
+  uint64_t start_window() const { return start_window_; }
+
+ private:
+  double threshold_;
+  double clear_;
+  bool active_ = false;
+  uint64_t bursts_ = 0;
+  uint64_t start_window_ = 0;
+  double current_peak_ = 0.0;
+  double peak_rate_ = 0.0;
+  obs::Gauge* gauge_active_ = nullptr;
+  obs::Gauge* gauge_rate_ = nullptr;
+  obs::Counter* counter_bursts_ = nullptr;
+};
+
+}  // namespace live
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_LIVE_BURST_H_

@@ -1,0 +1,179 @@
+#include "src/live/classifier.h"
+
+#include <cstdlib>
+
+namespace tempo {
+namespace live {
+
+namespace {
+
+bool Near(SimDuration a, SimDuration b, SimDuration variance) {
+  const SimDuration d = a > b ? a - b : b - a;
+  return d <= variance;
+}
+
+}  // namespace
+
+OnlineClassifier::OnlineClassifier(Options options) : options_(std::move(options)) {
+  if (options_.capacity == 0) {
+    options_.capacity = 1;
+  }
+  if (!options_.stats_label.empty()) {
+    obs::Registry& registry = obs::Registry::Global();
+    metric_evictions_ = registry.GetCounter(
+        "live_classifier_evictions", {{"analyzer", options_.stats_label}},
+        "Cold timers evicted from the online classifier's LRU");
+    gauge_tracked_ = registry.GetGauge(
+        "live_classifier_tracked", {{"analyzer", options_.stats_label}},
+        "Timers currently tracked by the online classifier");
+  }
+}
+
+void OnlineClassifier::Observe(const TraceRecord& record) {
+  const TimerOp op = record.op;
+  if (op != TimerOp::kSet && op != TimerOp::kBlock && op != TimerOp::kCancel &&
+      op != TimerOp::kExpire) {
+    return;
+  }
+  ++observed_;
+
+  auto it = timers_.find(record.timer);
+  if (it == timers_.end()) {
+    // Cancel/expire of an untracked (likely evicted) timer carries no
+    // inter-set information; only an arming operation opens a timer.
+    if (op == TimerOp::kCancel || op == TimerOp::kExpire) {
+      return;
+    }
+    if (timers_.size() >= options_.capacity) {
+      const TimerId coldest = lru_.back();
+      lru_.pop_back();
+      timers_.erase(coldest);  // its pattern stays frozen in mix_
+      ++evictions_;
+      if (metric_evictions_ != nullptr) {
+        metric_evictions_->Inc();
+      }
+    }
+    it = timers_.emplace(record.timer, TimerState{}).first;
+    lru_.push_front(record.timer);
+    it->second.lru = lru_.begin();
+    ++mix_[static_cast<size_t>(UsagePattern::kSingleUse)];
+  }
+  TimerState& state = it->second;
+  Touch(state, record.timer);
+
+  switch (op) {
+    case TimerOp::kSet:
+    case TimerOp::kBlock:
+      OnArm(state, record);
+      break;
+    case TimerOp::kCancel:
+      state.pending = false;
+      state.canceled_since_set = true;
+      break;
+    case TimerOp::kExpire:
+      state.pending = false;
+      state.expired_since_set = true;
+      state.last_expire = record.timestamp;
+      ++state.expiries;
+      break;
+    default:
+      break;
+  }
+  if (gauge_tracked_ != nullptr) {
+    gauge_tracked_->Set(static_cast<int64_t>(timers_.size()));
+  }
+}
+
+void OnlineClassifier::Touch(TimerState& state, TimerId id) {
+  if (state.lru != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, state.lru);
+    state.lru = lru_.begin();
+  }
+  (void)id;
+}
+
+void OnlineClassifier::OnArm(TimerState& state, const TraceRecord& record) {
+  const SimDuration variance = options_.variance;
+  if (state.sets > 0) {
+    // One streaming transition: how the previous arming ended, and how the
+    // new value relates to the previous one.
+    const SimDuration elapsed = record.timestamp - state.last_set;
+    if (Near(record.timeout, state.last_timeout, variance)) {
+      ++state.same_value;
+    } else if (state.last_timeout > elapsed &&
+               Near(record.timeout, state.last_timeout - elapsed, variance)) {
+      ++state.countdown;
+    }
+    if (state.expired_since_set) {
+      // Re-set after expiry: immediately (periodic) or after a gap (delay).
+      if (record.timestamp - state.last_expire <= variance) {
+        ++state.periodic;
+      } else {
+        ++state.delay;
+      }
+    } else if (state.canceled_since_set) {
+      ++state.timeout;
+    } else {
+      ++state.watchdog;  // re-armed while still pending
+    }
+  }
+  ++state.sets;
+  state.last_set = record.timestamp;
+  state.last_timeout = record.timeout;
+  state.pending = true;
+  state.expired_since_set = false;
+  state.canceled_since_set = false;
+  Reassign(state);
+}
+
+UsagePattern OnlineClassifier::Classify(const TimerState& state) const {
+  if (state.sets < options_.min_episodes) {
+    return UsagePattern::kSingleUse;
+  }
+  const double transitions = static_cast<double>(state.sets - 1);
+  const double dominance = options_.dominance;
+  // The countdown idiom never repeats a value, so test it before demanding
+  // value stability.
+  if (static_cast<double>(state.countdown) >= dominance * transitions) {
+    return UsagePattern::kCountdown;
+  }
+  if (static_cast<double>(state.same_value) < dominance * transitions) {
+    return UsagePattern::kOther;
+  }
+  if (static_cast<double>(state.periodic) >= dominance * transitions) {
+    return UsagePattern::kPeriodic;
+  }
+  if (static_cast<double>(state.watchdog) >= dominance * transitions) {
+    // A pure watchdog never expires; the deferred pattern looks like a
+    // watchdog that gives up and fires every few iterations.
+    return state.expiries == 0 ? UsagePattern::kWatchdog : UsagePattern::kDeferred;
+  }
+  if (static_cast<double>(state.delay) >= dominance * transitions) {
+    return UsagePattern::kDelay;
+  }
+  if (static_cast<double>(state.timeout) >= dominance * transitions) {
+    return UsagePattern::kTimeout;
+  }
+  return UsagePattern::kOther;
+}
+
+void OnlineClassifier::Reassign(TimerState& state) {
+  const UsagePattern next = Classify(state);
+  if (next != state.pattern) {
+    --mix_[static_cast<size_t>(state.pattern)];
+    ++mix_[static_cast<size_t>(next)];
+    state.pattern = next;
+  }
+}
+
+bool OnlineClassifier::Lookup(TimerId timer, UsagePattern* pattern) const {
+  const auto it = timers_.find(timer);
+  if (it == timers_.end()) {
+    return false;
+  }
+  *pattern = it->second.pattern;
+  return true;
+}
+
+}  // namespace live
+}  // namespace tempo

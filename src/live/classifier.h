@@ -1,0 +1,115 @@
+// Online usage-pattern classifier over a streaming trace.
+//
+// The offline classifier (src/analysis/classify.h) needs every episode of a
+// timer before it decides; a live consumer cannot wait for the run to end
+// or hold every timer forever. OnlineClassifier applies the same rules —
+// the paper's 2 ms variance when comparing timeout values and re-set gaps,
+// a minimum episode count, a dominance fraction (Section 4.1.1) — to the
+// *streaming* inter-set deltas of each timer, updating the timer's pattern
+// after every arming operation:
+//
+//   * periodic  — expired and re-set to the same value within the variance;
+//   * delay     — expired and re-set to the same value after a real gap;
+//   * watchdog  — re-set to the same value while still pending;
+//   * deferred  — watchdog-dominant but with expiries mixed in (the Vista
+//                 lazy-close shape);
+//   * timeout   — canceled, then re-set to the same value later;
+//   * countdown — successive sets count the previous value down by the
+//                 elapsed time (the select idiom of Figure 4);
+//   * other     — no dominant behaviour; single-use below min_episodes.
+//
+// Memory is bounded by an LRU over timer ids: when `capacity` timers are
+// tracked, the coldest (least recently touched) is evicted, its pattern
+// frozen into the aggregate mix, and the eviction counted in the obs
+// registry (live_classifier_evictions) — cold timers cost nothing, hot
+// timers keep exact streaming state.
+
+#ifndef TEMPO_SRC_LIVE_CLASSIFIER_H_
+#define TEMPO_SRC_LIVE_CLASSIFIER_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/obs/metrics.h"
+#include "src/trace/record.h"
+
+namespace tempo {
+namespace live {
+
+class OnlineClassifier {
+ public:
+  struct Options {
+    // Maximum timers tracked at once; the coldest is evicted beyond this.
+    size_t capacity = 4096;
+    // The paper's 2 ms comparison variance (Sections 3.1, 4.1.1).
+    SimDuration variance = 2 * kMillisecond;
+    // Arming operations before a pattern is assigned.
+    size_t min_episodes = 3;
+    // Fraction of transitions that must agree for a dominant behaviour.
+    double dominance = 0.7;
+    // Label on the obs instruments; empty disables instrumentation.
+    std::string stats_label = "live";
+  };
+
+  explicit OnlineClassifier(Options options);
+
+  // Feeds one record; only kSet/kBlock/kCancel/kExpire advance state.
+  void Observe(const TraceRecord& record);
+
+  // Timers currently assigned each pattern, evicted timers included (their
+  // last pattern is frozen into the mix). Indexed by UsagePattern.
+  const std::array<uint64_t, 8>& mix() const { return mix_; }
+
+  size_t tracked() const { return timers_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t observed() const { return observed_; }
+
+  // Pattern currently assigned to a tracked timer (kSingleUse when below
+  // min_episodes); kOther + false return for untracked ids.
+  bool Lookup(TimerId timer, UsagePattern* pattern) const;
+
+ private:
+  struct TimerState {
+    SimTime last_set = 0;
+    SimDuration last_timeout = 0;
+    SimTime last_expire = 0;
+    bool pending = false;
+    bool expired_since_set = false;
+    bool canceled_since_set = false;
+    // Transition tallies between consecutive arming operations.
+    uint32_t sets = 0;
+    uint32_t periodic = 0;
+    uint32_t watchdog = 0;
+    uint32_t delay = 0;
+    uint32_t timeout = 0;
+    uint32_t same_value = 0;
+    uint32_t countdown = 0;
+    uint32_t expiries = 0;
+    UsagePattern pattern = UsagePattern::kSingleUse;
+    std::list<TimerId>::iterator lru;
+  };
+
+  void Touch(TimerState& state, TimerId id);
+  void OnArm(TimerState& state, const TraceRecord& record);
+  UsagePattern Classify(const TimerState& state) const;
+  void Reassign(TimerState& state);
+
+  Options options_;
+  std::unordered_map<TimerId, TimerState> timers_;
+  std::list<TimerId> lru_;  // front = hottest, back = eviction candidate
+  std::array<uint64_t, 8> mix_{};
+  uint64_t evictions_ = 0;
+  uint64_t observed_ = 0;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Gauge* gauge_tracked_ = nullptr;
+};
+
+}  // namespace live
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_LIVE_CLASSIFIER_H_

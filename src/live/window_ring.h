@@ -1,0 +1,113 @@
+// Bounded sliding-window count ring for the live analysis layer.
+//
+// One RateRing holds per-window event counts for one series (one process
+// label, one origin, one op kind) over the most recent `capacity` windows.
+// The ingest path only ever moves forward in time — the RelayDrainer emits
+// a globally timestamp-ordered merge — so the ring is a plain circular
+// array indexed by window number: Add() is an increment plus at most a few
+// slot recycles, with no allocation after construction. Windows that fall
+// off the back are *counted* (evicted_windows / evicted_count), never
+// silently lost, so totals and mean rates stay exact even after eviction
+// and the live ≡ offline identity contract can state precisely when it
+// holds (no evicted windows).
+
+#ifndef TEMPO_SRC_LIVE_WINDOW_RING_H_
+#define TEMPO_SRC_LIVE_WINDOW_RING_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace tempo {
+namespace live {
+
+class RateRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit RateRing(size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity), 0),
+        mask_(slots_.size() - 1) {}
+
+  // Adds `n` events to window `window`. Windows must be presented in
+  // nondecreasing order (the drainer's ordering contract); a window older
+  // than the retained range is dropped into the evicted tallies.
+  void Add(uint64_t window, uint64_t n = 1) {
+    if (!any_) {
+      any_ = true;
+      lo_ = hi_ = window;
+    } else if (window > hi_) {
+      AdvanceTo(window);
+    } else if (window < lo_) {
+      // Out-of-retention straggler: account for it, don't resurrect it.
+      ++evicted_windows_;
+      evicted_count_ += n;
+      total_ += n;
+      return;
+    }
+    const uint64_t c = (slots_[window & mask_] += n);
+    total_ += n;
+    if (c > peak_count_) {
+      peak_count_ = c;
+      peak_window_ = window;
+    }
+  }
+
+  // Count recorded in `window`; 0 outside the retained range.
+  uint64_t Count(uint64_t window) const {
+    if (!any_ || window < lo_ || window > hi_) {
+      return 0;
+    }
+    return slots_[window & mask_];
+  }
+
+  bool any() const { return any_; }
+  // Retained range [lo, hi] of window indices (valid when any()).
+  uint64_t lo() const { return lo_; }
+  uint64_t hi() const { return hi_; }
+  size_t capacity() const { return slots_.size(); }
+  // Sum of every count ever added, including evicted windows.
+  uint64_t total() const { return total_; }
+  // Largest single-window count ever seen and the window it occurred in.
+  uint64_t peak_count() const { return peak_count_; }
+  uint64_t peak_window() const { return peak_window_; }
+  // Windows (and their summed counts) that fell off the back of the ring.
+  uint64_t evicted_windows() const { return evicted_windows_; }
+  uint64_t evicted_count() const { return evicted_count_; }
+
+ private:
+  void AdvanceTo(uint64_t window) {
+    // Recycle the slots that leave the retained range [window - cap + 1,
+    // window]. A jump farther than the capacity evicts everything retained.
+    const uint64_t cap = slots_.size();
+    const uint64_t new_lo = window + 1 >= cap ? window + 1 - cap : 0;
+    if (new_lo > lo_) {
+      const uint64_t evict_to = new_lo > hi_ + 1 ? hi_ + 1 : new_lo;
+      for (uint64_t w = lo_; w < evict_to; ++w) {
+        uint64_t& slot = slots_[w & mask_];
+        if (slot != 0) {
+          ++evicted_windows_;
+          evicted_count_ += slot;
+          slot = 0;
+        }
+      }
+      lo_ = new_lo;
+    }
+    hi_ = window;
+  }
+
+  std::vector<uint64_t> slots_;
+  uint64_t mask_;
+  bool any_ = false;
+  uint64_t lo_ = 0;
+  uint64_t hi_ = 0;
+  uint64_t total_ = 0;
+  uint64_t peak_count_ = 0;
+  uint64_t peak_window_ = 0;
+  uint64_t evicted_windows_ = 0;
+  uint64_t evicted_count_ = 0;
+};
+
+}  // namespace live
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_LIVE_WINDOW_RING_H_

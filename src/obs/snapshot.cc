@@ -21,6 +21,30 @@ void Append(std::string* out, const char* fmt, ...) {
   out->append(buf);
 }
 
+// Prometheus label-value escaping: backslash, double quote and newline
+// must be escaped inside the quoted value (exposition format rules);
+// anything else passes through.
+std::string LabelValueEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 // name{k="v",k2="v2"} — empty label set renders as the bare name.
 std::string LabeledName(const SnapshotEntry& e) {
   if (e.labels.empty()) {
@@ -31,7 +55,7 @@ std::string LabeledName(const SnapshotEntry& e) {
     if (i > 0) {
       out += ",";
     }
-    out += e.labels[i].first + "=\"" + e.labels[i].second + "\"";
+    out += e.labels[i].first + "=\"" + LabelValueEscape(e.labels[i].second) + "\"";
   }
   out += "}";
   return out;
@@ -180,7 +204,7 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
       if (!labels.empty()) {
         labels += ",";
       }
-      labels += k + "=\"" + v + "\"";
+      labels += k + "=\"" + LabelValueEscape(v) + "\"";
     }
 
     if (e.kind != SnapshotEntry::Kind::kHistogram) {

@@ -45,6 +45,9 @@ void RelayBuffer::Log(const TraceRecord& record) {
     return;
   }
   channel_.TryLog(record);
+  if (live_tap_ != nullptr) {
+    live_tap_->TryLog(record);
+  }
   ++logged_;
   metric_logged_->Inc();
 }
@@ -83,6 +86,9 @@ void EtwSession::Log(const TraceRecord& record) {
     // session is unbounded, so the record must not be lost.
     Sync();
     channel_.TryLog(record);
+  }
+  if (live_tap_ != nullptr) {
+    live_tap_->TryLog(record);
   }
   metric_logged_->Inc();
 }

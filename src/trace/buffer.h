@@ -108,6 +108,11 @@ class RelayBuffer : public TraceSink {
     cost_cycles_ = cost_cycles;
   }
 
+  // Tees every *accepted* record into `tap` as well (e.g. a channel a live
+  // drainer polls while the run executes); nullptr disables. Records this
+  // buffer drops are not teed, so the live view matches the recorded trace.
+  void SetLiveTap(RelayChannel* tap) { live_tap_ = tap; }
+
   const std::vector<TraceRecord>& records() const;
   size_t capacity() const { return capacity_; }
   uint64_t dropped() const { return dropped_; }
@@ -126,6 +131,7 @@ class RelayBuffer : public TraceSink {
   mutable std::vector<TraceRecord> records_;  // harvested on demand
   uint64_t logged_ = 0;   // records accepted since the last TakeRecords
   uint64_t dropped_ = 0;  // resets with TakeRecords, unlike the channel's
+  RelayChannel* live_tap_ = nullptr;
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
   obs::Counter* metric_logged_;
@@ -149,6 +155,10 @@ class EtwSession : public TraceSink {
     cost_cycles_ = cost_cycles;
   }
 
+  // Tees every record into `tap` as well; nullptr disables. ETW sessions
+  // never drop, so the tee sees exactly the recorded stream.
+  void SetLiveTap(RelayChannel* tap) { live_tap_ = tap; }
+
   const std::vector<TraceRecord>& records() const;
   std::vector<TraceRecord> TakeRecords();
 
@@ -157,6 +167,7 @@ class EtwSession : public TraceSink {
 
   mutable RelayChannel channel_;
   mutable std::vector<TraceRecord> records_;
+  RelayChannel* live_tap_ = nullptr;
   Cpu* cpu_ = nullptr;
   uint64_t cost_cycles_ = kPaperLogCostCycles;
   obs::Counter* metric_logged_;

@@ -30,6 +30,18 @@ LinuxBase MakeLinuxBase(const std::string& label, const WorkloadOptions& options
 
   auto buffer = std::make_unique<RelayBuffer>();
   buffer->AttachCpu(&base.run.sim->cpu());
+  if (options.live != nullptr && options.live->channels != nullptr) {
+    RelayChannel* tap = options.live->channels->Register("live/" + label);
+    buffer->SetLiveTap(tap);
+    if (options.live->poll && options.live->period > 0) {
+      auto poll = options.live->poll;
+      base.run.keepalive.push_back(
+          base.run.sim->SchedulePeriodic(options.live->period, [tap, poll] {
+            tap->FlushOpen();  // the drainer only sees published sub-buffers
+            poll();
+          }));
+    }
+  }
   base.buffer = base.run.Keep(std::move(buffer));
 
   LinuxKernel::Options kernel_options;
@@ -46,6 +58,10 @@ LinuxBase MakeLinuxBase(const std::string& label, const WorkloadOptions& options
 
   base.kernel->Boot();
   base.subsystems->Start();
+  if (options.live != nullptr) {
+    options.live->processes = &base.run.sim->processes();
+    options.live->callsites = &base.kernel->callsites();
+  }
   return base;
 }
 

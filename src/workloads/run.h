@@ -8,6 +8,7 @@
 #ifndef TEMPO_SRC_WORKLOADS_RUN_H_
 #define TEMPO_SRC_WORKLOADS_RUN_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -52,6 +53,27 @@ struct TraceRun {
   }
 };
 
+// Live observation hookup. Workload functions run their simulation to
+// completion internally, so a caller who wants to watch the trace *while*
+// it runs (tempotop, the live-analysis tests) supplies this: the workload
+// registers a "live/<label>" channel in `channels`, tees every recorded
+// trace record into it, and schedules `poll` every `period` of simulated
+// time (after flushing the tap, so a RelayDrainer over `channels` sees
+// everything logged so far). The caller's poll typically runs
+// RelayDrainer::Poll into a LiveAnalyzer and refreshes a display.
+struct LiveTapOptions {
+  RelayChannelSet* channels = nullptr;
+  std::function<void()> poll;
+  SimDuration period = 100 * kMillisecond;
+  // Filled by the workload during setup, before the first poll fires: the
+  // running simulation's process table and the kernel's callsite registry.
+  // A poll callback uses them to label pids / resolve origins while the
+  // run is still executing (the TraceRun itself only exists afterwards).
+  // Both stay valid for the lifetime of the returned TraceRun.
+  const ProcessTable* processes = nullptr;
+  const CallsiteRegistry* callsites = nullptr;
+};
+
 // Options shared by all workloads.
 struct WorkloadOptions {
   // Trace length. The paper's traces are exactly 30 minutes; tests use
@@ -66,6 +88,10 @@ struct WorkloadOptions {
   bool coalesce_ticks = false;
   // Scales application activity (1.0 = calibrated to the paper's rates).
   double intensity = 1.0;
+  // Live observation hookup; nullptr (the default) records normally with
+  // no tap. Must outlive the workload call (the workload writes the
+  // processes/callsites back-pointers during setup).
+  LiveTapOptions* live = nullptr;
 };
 
 }  // namespace tempo

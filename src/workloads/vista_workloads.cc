@@ -24,6 +24,18 @@ VistaBase MakeVistaBase(const std::string& label, const WorkloadOptions& options
 
   auto session = std::make_unique<EtwSession>();
   session->AttachCpu(&base.run.sim->cpu());
+  if (options.live != nullptr && options.live->channels != nullptr) {
+    RelayChannel* tap = options.live->channels->Register("live/" + label);
+    session->SetLiveTap(tap);
+    if (options.live->poll && options.live->period > 0) {
+      auto poll = options.live->poll;
+      base.run.keepalive.push_back(
+          base.run.sim->SchedulePeriodic(options.live->period, [tap, poll] {
+            tap->FlushOpen();  // the drainer only sees published sub-buffers
+            poll();
+          }));
+    }
+  }
   base.session = base.run.Keep(std::move(session));
 
   VistaKernel::Options kernel_options;
@@ -33,6 +45,10 @@ VistaBase MakeVistaBase(const std::string& label, const WorkloadOptions& options
   base.kernel = base.run.vista_kernel.get();
   base.api = base.run.Keep(std::make_unique<VistaUserApi>(base.kernel));
   base.kernel->Boot();
+  if (options.live != nullptr) {
+    options.live->processes = &base.run.sim->processes();
+    options.live->callsites = &base.kernel->callsites();
+  }
   return base;
 }
 

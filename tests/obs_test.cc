@@ -188,6 +188,31 @@ TEST_F(ObsTest, NullHistogramProbeIsSafe) {
   obs::ScopedProbe probe(nullptr);  // e.g. a kind-mismatched Get
 }
 
+// --- Renderer escaping ---
+
+// Prometheus exposition rules: backslash, double quote and newline in a
+// label value must render as \\, \" and \n. A value like a Windows path
+// ("C:\x") used to produce an unparseable exposition line.
+TEST_F(ObsTest, PrometheusLabelValuesAreEscaped) {
+  Registry reg;
+  reg.GetCounter("esc_total", {{"path", "C:\\temp\\\"quoted\"\nline"}})->Inc(3);
+  const obs::MetricsSnapshot snap = reg.TakeSnapshot();
+
+  const std::string prom = obs::RenderPrometheus(snap);
+  EXPECT_NE(prom.find("esc_total{path=\"C:\\\\temp\\\\\\\"quoted\\\"\\nline\"} 3"),
+            std::string::npos)
+      << prom;
+  // No raw newline may survive inside the braces (it would split the line).
+  const size_t brace = prom.find('{');
+  ASSERT_NE(brace, std::string::npos);
+  EXPECT_EQ(prom.find('\n', brace), prom.find("\"} 3\n") + 4) << prom;
+
+  // The text renderer shares the labelled-name formatting.
+  const std::string text = obs::RenderText(snap);
+  EXPECT_NE(text.find("\\\\temp"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\n"), std::string::npos) << text;
+}
+
 // --- Snapshot determinism under the sim clock ---
 
 // Runs a deterministic simulation exercising probed subsystems (timer

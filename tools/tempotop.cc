@@ -1,0 +1,414 @@
+// tempotop — live timer observatory. Runs a workload with a live tap on
+// its trace path and shows, while the simulation executes, what an
+// operator of the timer subsystem would want on a dashboard: the top-K
+// per-process set/expire/cancel rates (Figure 1 computed online), active
+// rate bursts (the Outlook watchdog storms), the streaming usage-pattern
+// mix, relay-channel drop counters, and the obs metrics snapshot.
+//
+// The workload tees every recorded trace record into a relay channel; a
+// RelayDrainer polls that channel on a simulated-time cadence and feeds
+// the timestamp-ordered merge to a LiveAnalyzer (src/live). Nothing here
+// re-reads the recorded trace: every number on screen was computed online,
+// in bounded memory, from the drain path.
+//
+//   workload: linux-{idle,skype,firefox,webserver},
+//             vista-{idle,skype,firefox,webserver,desktop}, or `service`
+//             (drives the sharded TimerService through its relay trace
+//             path instead of a simulated OS).
+//
+// --check-burst and --check-rate turn the tool into an assertion for CI:
+// exit 1 unless the named series saw a burst of at least the given rate /
+// kept its mean rate inside the given band.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/live/live_analyzer.h"
+#include "src/obs/snapshot.h"
+#include "src/sim/simulator.h"
+#include "src/timer/timer_service.h"
+#include "src/trace/relay.h"
+#include "src/workloads/linux_workloads.h"
+#include "src/workloads/vista_workloads.h"
+#include "tools/common.h"
+
+namespace tempo {
+namespace {
+
+constexpr const char* kWorkloadList =
+    "  workloads: linux-{idle,skype,firefox,webserver},\n"
+    "             vista-{idle,skype,firefox,webserver,desktop}, service\n";
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Labels every registered process by its own name; pids the table does not
+// know (there are none in practice) fall under "System".
+RateGrouping GroupingFrom(const ProcessTable& table) {
+  RateGrouping grouping;
+  for (const Process& p : table.processes()) {
+    if (p.pid != kKernelPid) {
+      grouping.pid_labels[p.pid] = p.name;
+    }
+  }
+  return grouping;
+}
+
+void PrintSeries(std::FILE* out, const char* title,
+                 const std::vector<live::LiveSeriesStats>& series) {
+  if (series.empty()) {
+    return;
+  }
+  std::fprintf(out, "%s\n", title);
+  std::fprintf(out, "  %-28s %10s %10s %10s %9s %9s %9s  %s\n", "label", "sets",
+               "expires", "cancels", "mean/s", "last/s", "peak/s", "burst");
+  for (const live::LiveSeriesStats& s : series) {
+    std::string burst;
+    if (s.bursts > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s%" PRIu64 " (peak %.0f/s)",
+                    s.burst_active ? "*ACTIVE* " : "", s.bursts, s.burst_peak_rate);
+      burst = buf;
+    }
+    std::fprintf(out, "  %-28s %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                      " %9.1f %9.1f %9.1f  %s\n",
+                 s.label.c_str(), s.sets, s.expires, s.cancels, s.mean_rate,
+                 s.last_rate, s.peak_rate, burst.c_str());
+  }
+}
+
+void PrintText(std::FILE* out, const std::string& workload,
+               const live::LiveSnapshot& snap, RelayChannelSet* channels) {
+  std::fprintf(out, "tempotop — %s @ %.1fs (window %.3fs, %" PRIu64 " records)\n",
+               workload.c_str(), ToSeconds(snap.now), ToSeconds(snap.window),
+               snap.records);
+  PrintSeries(out, "processes:", snap.processes);
+  PrintSeries(out, "origins:", snap.origins);
+  if (!snap.patterns.empty()) {
+    std::fprintf(out, "patterns:");
+    for (const auto& [name, count] : snap.patterns) {
+      std::fprintf(out, " %s=%" PRIu64, name.c_str(), count);
+    }
+    std::fprintf(out, "  (tracked %" PRIu64 ", evicted %" PRIu64 ")\n",
+                 snap.classifier_tracked, snap.classifier_evictions);
+  }
+  std::fprintf(out, "relay:");
+  for (size_t i = 0; i < channels->size(); ++i) {
+    const RelayChannel* ch = channels->channel(i);
+    std::fprintf(out, " %s accepted=%" PRIu64 " dropped=%" PRIu64,
+                 ch->name().c_str(), ch->accepted(), ch->dropped());
+  }
+  std::fprintf(out, "\n");
+  if (snap.windows_evicted > 0) {
+    std::fprintf(out, "note: %" PRIu64 " rate windows evicted (ring too small"
+                      " for this run length)\n", snap.windows_evicted);
+  }
+}
+
+void PrintJsonSeries(std::string* out, const char* key,
+                     const std::vector<live::LiveSeriesStats>& series) {
+  *out += std::string("\"") + key + "\":[";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const live::LiveSeriesStats& s = series[i];
+    if (i > 0) {
+      *out += ",";
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"label\":\"%s\",\"sets\":%" PRIu64 ",\"expires\":%" PRIu64
+                  ",\"cancels\":%" PRIu64
+                  ",\"mean_rate\":%.3f,\"last_rate\":%.3f,\"peak_rate\":%.3f"
+                  ",\"peak_at_s\":%.3f,\"burst_active\":%s,\"bursts\":%" PRIu64
+                  ",\"burst_peak_rate\":%.3f}",
+                  JsonEscape(s.label).c_str(), s.sets, s.expires, s.cancels,
+                  s.mean_rate, s.last_rate, s.peak_rate, s.peak_at_s,
+                  s.burst_active ? "true" : "false", s.bursts, s.burst_peak_rate);
+    *out += buf;
+  }
+  *out += "]";
+}
+
+void PrintJson(std::FILE* out, const std::string& workload,
+               const live::LiveSnapshot& snap, RelayChannelSet* channels) {
+  std::string json = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"workload\":\"%s\",\"now_s\":%.3f,\"window_s\":%.3f,"
+                "\"records\":%" PRIu64 ",",
+                JsonEscape(workload).c_str(), ToSeconds(snap.now),
+                ToSeconds(snap.window), snap.records);
+  json += buf;
+  PrintJsonSeries(&json, "processes", snap.processes);
+  json += ",";
+  PrintJsonSeries(&json, "origins", snap.origins);
+  json += ",\"patterns\":{";
+  for (size_t i = 0; i < snap.patterns.size(); ++i) {
+    if (i > 0) {
+      json += ",";
+    }
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
+                  snap.patterns[i].first.c_str(), snap.patterns[i].second);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"classifier\":{\"tracked\":%" PRIu64 ",\"evictions\":%" PRIu64
+                "},\"windows_evicted\":%" PRIu64 ",\"relay\":[",
+                snap.classifier_tracked, snap.classifier_evictions,
+                snap.windows_evicted);
+  json += buf;
+  for (size_t i = 0; i < channels->size(); ++i) {
+    const RelayChannel* ch = channels->channel(i);
+    if (i > 0) {
+      json += ",";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"channel\":\"%s\",\"accepted\":%" PRIu64 ",\"dropped\":%" PRIu64
+                  "}",
+                  JsonEscape(ch->name()).c_str(), ch->accepted(), ch->dropped());
+    json += buf;
+  }
+  json += "],\"metrics\":";
+  json += obs::RenderJson(obs::Registry::Global().TakeSnapshot());
+  json += "}";
+  std::fprintf(out, "%s\n", json.c_str());
+}
+
+// `service` mode: a sharded TimerService traced through its own relay
+// channels, drained live — no simulated OS involved. Deterministic
+// single-threaded driver (the TSan tests cover the concurrent case).
+void DriveService(RelayChannelSet* channels, RelayDrainer* drainer,
+                  SimDuration duration, uint64_t seed) {
+  TimerService::Options options;
+  options.shards = 4;
+  options.stats_label = "tempotop";
+  options.trace = channels;
+  TimerService service(options);
+  uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<TimerHandle> handles;
+  for (SimTime now = 0; now < duration; now += 10 * kMillisecond) {
+    service.SetTraceTime(now);
+    for (int i = 0; i < 20; ++i) {
+      const SimTime expiry = now + kMillisecond * (1 + next() % 5000);
+      handles.push_back(service.ScheduleOn(next() % 4, expiry, [](TimerHandle) {}));
+    }
+    // Cancel ~70% soon after arming: the paper's insurance idiom.
+    while (handles.size() > 6) {
+      const TimerHandle h = handles.front();
+      handles.erase(handles.begin());
+      if (next() % 10 < 7) {
+        service.Cancel(h);
+      }
+    }
+    service.AdvanceAll(now);
+    drainer->Poll();
+  }
+  service.PublishStats();
+}
+
+}  // namespace
+}  // namespace tempo
+
+int main(int argc, char** argv) {
+  using namespace tempo;
+  static const tools::FlagSpec kFlags[] = {
+      {"minutes", 1, "M", "simulated duration (default 2)"},
+      {"seed", 1, "S", "workload random seed (default 2008)"},
+      {"window", 1, "SECONDS", "rate window (default 1.0)"},
+      {"topk", 1, "K", "series shown per table (0 = all; default 10)"},
+      {"refresh", 1, "SECONDS", "simulated time between live redraws (default 30)"},
+      {"once", 0, "", "no live redraws; print one final view"},
+      {"format", 1, "text|json", "final view format (default text)"},
+      {"burst-threshold", 1, "RATE", "sets/s that starts a burst (default 5000)"},
+      {"burst-clear", 1, "RATE", "sets/s that ends a burst (default 2500)"},
+      {"check-burst", 2, "LABEL MIN", "exit 1 unless LABEL burst-peaked >= MIN sets/s"},
+      {"check-rate", 3, "LABEL LO HI", "exit 1 unless LABEL mean rate is in [LO, HI]"},
+  };
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  if (!args.ok() || args.positionals().size() != 1) {
+    if (!args.ok()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    tools::PrintUsage(stderr, argv[0], "<workload>", kFlags, kWorkloadList);
+    return 2;
+  }
+  const std::string& which = args.positionals()[0];
+  tools::OutputFormat format = tools::OutputFormat::kText;
+  if (!tools::ParseFormatName(args.Value("format", 0, "text"), &format)) {
+    std::fprintf(stderr, "error: unknown format %s\n",
+                 args.Value("format").c_str());
+    return 2;
+  }
+  const double minutes = args.DoubleValue("minutes", 2.0);
+  const uint64_t seed = args.UintValue("seed", 2008);
+  const double window_s = args.DoubleValue("window", 1.0);
+  const size_t top_k = static_cast<size_t>(args.UintValue("topk", 10));
+  const double refresh_s = args.DoubleValue("refresh", 30.0);
+  const bool once = args.Has("once");
+  if (window_s <= 0) {
+    std::fprintf(stderr, "error: --window must be positive\n");
+    return 2;
+  }
+
+  live::BurstThresholds thresholds;
+  thresholds.threshold = args.DoubleValue("burst-threshold", thresholds.threshold);
+  thresholds.clear = args.DoubleValue("burst-clear", thresholds.clear);
+
+  RelayChannelSet channels;
+  std::unique_ptr<live::LiveAnalyzer> analyzer;
+  std::unique_ptr<RelayDrainer> drainer;
+  LiveTapOptions tap;
+  tap.channels = &channels;
+
+  auto ensure_analyzer = [&](const RateGrouping& grouping,
+                             const CallsiteRegistry* callsites) {
+    if (analyzer != nullptr) {
+      return;
+    }
+    live::LiveOptions live_options;
+    live_options.window = FromSeconds(window_s);
+    live_options.grouping = grouping;
+    live_options.callsites = callsites;
+    live_options.burst = thresholds;
+    // Enough windows for any plausible interactive run; ~3 rings × series.
+    live_options.ring_windows =
+        static_cast<size_t>(minutes * 60.0 / window_s) + 16;
+    analyzer = std::make_unique<live::LiveAnalyzer>(live_options);
+    drainer = std::make_unique<RelayDrainer>(
+        &channels, [&a = *analyzer](const TraceRecord& r) { a.Ingest(r); });
+  };
+
+  SimTime next_redraw = FromSeconds(refresh_s);
+  tap.poll = [&] {
+    // First poll: every process is registered by now, so the per-process
+    // grouping can be built (the workload filled the back-pointers).
+    ensure_analyzer(GroupingFrom(*tap.processes), tap.callsites);
+    drainer->Poll();
+    if (!once && analyzer->now() >= next_redraw) {
+      live::LiveSnapshot snap = analyzer->TakeSnapshot(top_k);
+      PrintText(stdout, which, snap, &channels);
+      std::fprintf(stdout, "\n");
+      next_redraw = analyzer->now() + FromSeconds(refresh_s);
+    }
+  };
+
+  WorkloadOptions options;
+  options.duration = FromSeconds(minutes * 60.0);
+  options.seed = seed;
+  options.live = &tap;
+
+  TraceRun run;  // keeps the sim/kernel alive until the final snapshot
+  if (which == "service") {
+    ensure_analyzer(RateGrouping{}, nullptr);
+    DriveService(&channels, drainer.get(), options.duration, seed);
+  } else if (which == "linux-idle") {
+    run = RunLinuxIdle(options);
+  } else if (which == "linux-skype") {
+    run = RunLinuxSkype(options);
+  } else if (which == "linux-firefox") {
+    run = RunLinuxFirefox(options);
+  } else if (which == "linux-webserver") {
+    run = RunLinuxWebserver(options);
+  } else if (which == "vista-idle") {
+    run = RunVistaIdle(options);
+  } else if (which == "vista-skype") {
+    run = RunVistaSkype(options);
+  } else if (which == "vista-firefox") {
+    run = RunVistaFirefox(options);
+  } else if (which == "vista-webserver") {
+    run = RunVistaWebserver(options);
+  } else if (which == "vista-desktop") {
+    run = RunVistaDesktop(options);
+  } else {
+    std::fprintf(stderr, "error: unknown workload %s\n", which.c_str());
+    tools::PrintUsage(stderr, argv[0], "<workload>", kFlags, kWorkloadList);
+    return 2;
+  }
+  if (analyzer == nullptr) {
+    // Degenerate run (shorter than one poll period): drain what exists.
+    ensure_analyzer(tap.processes != nullptr ? GroupingFrom(*tap.processes)
+                                             : RateGrouping{},
+                    tap.callsites);
+  }
+  channels.CloseAll();
+  drainer->Finish();
+  analyzer->SyncObs();
+
+  const live::LiveSnapshot snap = analyzer->TakeSnapshot(top_k);
+  if (format == tools::OutputFormat::kJson) {
+    PrintJson(stdout, which, snap, &channels);
+  } else {
+    PrintText(stdout, which, snap, &channels);
+    std::fputs("\nmetrics:\n", stdout);
+    std::fputs(obs::RenderText(obs::Registry::Global().TakeSnapshot()).c_str(),
+               stdout);
+  }
+
+  int rc = 0;
+  auto find_series = [&snap](const std::string& label) -> const live::LiveSeriesStats* {
+    for (const auto& s : snap.processes) {
+      if (s.label == label) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  if (args.Has("check-burst")) {
+    const std::string label = args.Value("check-burst", 0);
+    const double min_rate = args.DoubleValue("check-burst", 0.0, 1);
+    const live::LiveSeriesStats* s = find_series(label);
+    if (s == nullptr || s->bursts == 0 || s->burst_peak_rate < min_rate) {
+      std::fprintf(stderr,
+                   "check-burst FAILED: %s %s (want a burst >= %.0f sets/s)\n",
+                   label.c_str(),
+                   s == nullptr ? "has no series"
+                                : s->bursts == 0 ? "never burst" : "burst too low",
+                   min_rate);
+      if (s != nullptr) {
+        std::fprintf(stderr, "  bursts=%" PRIu64 " burst_peak_rate=%.1f\n",
+                     s->bursts, s->burst_peak_rate);
+      }
+      rc = 1;
+    }
+  }
+  if (args.Has("check-rate")) {
+    const std::string label = args.Value("check-rate", 0);
+    const double lo = args.DoubleValue("check-rate", 0.0, 1);
+    const double hi = args.DoubleValue("check-rate", 0.0, 2);
+    const live::LiveSeriesStats* s = find_series(label);
+    if (s == nullptr || s->mean_rate < lo || s->mean_rate > hi) {
+      std::fprintf(stderr,
+                   "check-rate FAILED: %s mean %.1f sets/s not in [%.1f, %.1f]\n",
+                   label.c_str(), s == nullptr ? 0.0 : s->mean_rate, lo, hi);
+      rc = 1;
+    }
+  }
+  return rc;
+}
