@@ -1,0 +1,270 @@
+#include "src/fleet/aggregator.h"
+
+#include <algorithm>
+
+namespace tempo {
+namespace fleet {
+
+namespace {
+
+void MergeSeries(const std::vector<SeriesSummary>& in,
+                 std::map<std::string, FleetSeries>* out) {
+  for (const SeriesSummary& series : in) {
+    FleetSeries& merged = (*out)[series.label];
+    merged.label = series.label;
+    ++merged.hosts;
+    merged.sets += series.sets;
+    merged.expires += series.expires;
+    merged.cancels += series.cancels;
+    merged.rate_sum += series.last_rate;
+    merged.peak_rate = std::max(merged.peak_rate, series.peak_rate);
+    if (series.burst_active) {
+      ++merged.hosts_bursting;
+    }
+    merged.bursts += series.bursts;
+    merged.burst_peak_rate = std::max(merged.burst_peak_rate, series.burst_peak_rate);
+  }
+}
+
+std::vector<FleetSeries> TopK(std::map<std::string, FleetSeries>&& merged,
+                              size_t top_k) {
+  std::vector<FleetSeries> out;
+  out.reserve(merged.size());
+  for (auto& [label, series] : merged) {
+    out.push_back(std::move(series));
+  }
+  // Busiest first; label order (already sorted by the map) breaks ties, so
+  // the view is deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FleetSeries& a, const FleetSeries& b) {
+                     return a.sets > b.sets;
+                   });
+  if (top_k > 0 && out.size() > top_k) {
+    out.resize(top_k);
+  }
+  return out;
+}
+
+}  // namespace
+
+FleetAggregator::FleetAggregator(FleetOptions options) : options_(std::move(options)) {
+  if (!options_.stats_label.empty()) {
+    obs::Registry& registry = obs::Registry::Global();
+    const obs::Labels labels = {{"aggregator", options_.stats_label}};
+    gauge_hosts_ = registry.GetGauge("fleet_hosts", labels,
+                                     "Hosts the aggregator has ever seen");
+    gauge_hosts_live_ = registry.GetGauge("fleet_hosts_live", labels,
+                                          "Hosts with a fresh summary");
+    metric_frames_ = registry.GetCounter("fleet_frames_total", labels,
+                                         "Summary frames ingested");
+    metric_decode_errors_ = registry.GetCounter(
+        "fleet_decode_errors_total", labels, "Frames lost to wire damage");
+    metric_sequence_gaps_ = registry.GetCounter(
+        "fleet_sequence_gaps_total", labels, "Summary frames that never arrived");
+  }
+}
+
+void FleetAggregator::Ingest(const HostSummary& summary, const std::string& source) {
+  ++frames_;
+  if (!source.empty()) {
+    ++sources_[source].frames;
+  }
+  HostState& state = hosts_[summary.host];
+  ++state.frames;
+  state.source = source;
+  const uint64_t prev = state.last.sequence;
+  if (summary.sequence <= prev) {
+    // A replay or an out-of-order frame; keep the newer state we have.
+    ++state.duplicates;
+    return;
+  }
+  // Sequences start at 1; anything skipped is a frame that never arrived.
+  state.sequence_gaps += summary.sequence - prev - 1;
+  state.last = summary;
+  fleet_now_ = std::max(fleet_now_, summary.now);
+}
+
+void FleetAggregator::NoteDecodeError(const std::string& source, FleetReadError error) {
+  ++decode_errors_;
+  SourceState& state = sources_[source];
+  ++state.decode_errors;
+  state.last_error = error;
+  state.saw_error = true;
+  for (auto& [host, host_state] : hosts_) {
+    if (host_state.source == source) {
+      host_state.source_poisoned = true;
+    }
+  }
+}
+
+void FleetAggregator::NoteClose(const std::string& source, bool clean) {
+  SourceState& state = sources_[source];
+  state.closed = true;
+  state.clean_close = state.clean_close && clean;
+  for (auto& [host, host_state] : hosts_) {
+    if (host_state.source == source) {
+      host_state.closed = true;
+      host_state.clean_close = host_state.clean_close && clean;
+    }
+  }
+}
+
+FleetView FleetAggregator::TakeView(size_t top_k) const {
+  FleetView view;
+  view.fleet_now = fleet_now_;
+  view.frames_total = frames_;
+  view.decode_errors_total = decode_errors_;
+  view.hosts_total = hosts_.size();
+
+  std::map<std::string, FleetSeries> processes;
+  std::map<std::string, FleetSeries> origins;
+  std::map<std::string, uint64_t> patterns;
+  view.hosts.reserve(hosts_.size());
+  for (const auto& [name, state] : hosts_) {
+    const HostSummary& last = state.last;
+    FleetHostStatus status;
+    status.host = name;
+    status.source = state.source;
+    status.frames = state.frames;
+    status.sequence = last.sequence;
+    status.sequence_gaps = state.sequence_gaps;
+    status.duplicates = state.duplicates;
+    status.now = last.now;
+    status.age = fleet_now_ - last.now;
+    status.records = last.records;
+    status.relay_dropped = last.relay_dropped();
+    for (const SeriesSummary& series : last.processes) {
+      status.burst_active = status.burst_active || series.burst_active;
+    }
+    status.stale = status.age > options_.stale_after;
+    status.closed = state.closed;
+    status.clean = !state.source_poisoned && state.clean_close &&
+                   state.sequence_gaps == 0 && state.duplicates == 0;
+
+    view.records_total += last.records;
+    view.relay_dropped_total += status.relay_dropped;
+    view.sequence_gaps_total += state.sequence_gaps;
+    view.duplicates_total += state.duplicates;
+    if (status.stale) {
+      ++view.hosts_stale;
+    } else {
+      ++view.hosts_live;
+    }
+    if (status.closed) {
+      ++view.hosts_closed;
+    }
+    MergeSeries(last.processes, &processes);
+    MergeSeries(last.origins, &origins);
+    for (const auto& [pattern, timers] : last.patterns) {
+      patterns[pattern] += timers;
+    }
+    view.hosts.push_back(std::move(status));
+  }
+  view.processes = TopK(std::move(processes), top_k);
+  view.origins = TopK(std::move(origins), top_k);
+  view.patterns.assign(patterns.begin(), patterns.end());
+
+  for (const auto& [name, state] : sources_) {
+    if (state.closed && !state.clean_close) {
+      ++view.dirty_closes_total;
+    }
+    if (!state.saw_error && (!state.closed || state.clean_close)) {
+      continue;  // healthy sources need no row of their own
+    }
+    FleetSourceStatus status;
+    status.source = name;
+    status.frames = state.frames;
+    status.decode_errors = state.decode_errors;
+    if (state.saw_error) {
+      status.last_error = FleetReadErrorName(state.last_error);
+    }
+    status.closed = state.closed;
+    status.clean = !state.saw_error && state.clean_close;
+    view.sources.push_back(std::move(status));
+  }
+  return view;
+}
+
+uint64_t FleetAggregator::HostsWithBurst(const std::string& label,
+                                         double min_rate) const {
+  uint64_t count = 0;
+  for (const auto& [name, state] : hosts_) {
+    for (const SeriesSummary& series : state.last.processes) {
+      if (series.label == label && series.bursts > 0 &&
+          series.burst_peak_rate >= min_rate) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+void FleetAggregator::SyncObs() {
+  if (gauge_hosts_ == nullptr) {
+    return;
+  }
+  uint64_t live = 0;
+  uint64_t gaps = 0;
+  for (const auto& [name, state] : hosts_) {
+    if (fleet_now_ - state.last.now <= options_.stale_after) {
+      ++live;
+    }
+    gaps += state.sequence_gaps;
+  }
+  gauge_hosts_->Set(static_cast<int64_t>(hosts_.size()));
+  gauge_hosts_live_->Set(static_cast<int64_t>(live));
+  metric_frames_->AdvanceTo(frames_);
+  metric_decode_errors_->AdvanceTo(decode_errors_);
+  metric_sequence_gaps_->AdvanceTo(gaps);
+}
+
+FleetCollector::FleetCollector(FleetAggregator* aggregator)
+    : aggregator_(aggregator) {}
+
+void FleetCollector::OnBytes(const std::string& source, const uint8_t* data,
+                             size_t size) {
+  PerSource& state = sources_[source];
+  state.decoder.Feed(data, size);
+  Drain(source, &state);
+}
+
+void FleetCollector::OnClose(const std::string& source, bool clean) {
+  PerSource& state = sources_[source];
+  state.decoder.Close();
+  Drain(source, &state);  // buffered partial bytes surface as kTruncated
+  aggregator_->NoteClose(source, clean && !state.decoder.poisoned());
+}
+
+void FleetCollector::Drain(const std::string& source, PerSource* state) {
+  HostSummary summary;
+  FleetReadError error = FleetReadError::kTruncated;
+  for (;;) {
+    switch (state->decoder.Next(&summary, &error)) {
+      case FrameDecoder::Status::kFrame:
+        aggregator_->Ingest(summary, source);
+        break;
+      case FrameDecoder::Status::kNeedMore:
+        return;
+      case FrameDecoder::Status::kError:
+        if (!state->error_reported) {
+          state->error_reported = true;
+          aggregator_->NoteDecodeError(source, error);
+        }
+        return;
+    }
+  }
+}
+
+ByteStreamHandler FleetCollector::Handler() {
+  ByteStreamHandler handler;
+  handler.on_bytes = [this](const std::string& source, const uint8_t* data,
+                            size_t size) { OnBytes(source, data, size); };
+  handler.on_close = [this](const std::string& source, bool clean) {
+    OnClose(source, clean);
+  };
+  return handler;
+}
+
+}  // namespace fleet
+}  // namespace tempo

@@ -1,0 +1,216 @@
+// Merging host summaries into one fleet-wide view.
+//
+// A FleetAggregator consumes decoded HostSummary frames (from any number of
+// transports) and maintains, per host, the latest summary plus the loss
+// accounting the wire cannot hide: sequence gaps (frames that never
+// arrived), duplicates, decode errors charged to the host's source, and
+// whether the stream closed cleanly. TakeView() folds the per-host state
+// into fleet totals — per-label series merged across hosts, the fleet
+// pattern mix, and a status row per host with its staleness relative to the
+// fleet clock (the newest host timestamp seen). The invariant is that a
+// host, once seen, never silently disappears: it ages into "stale", it
+// closes, its source poisons — each is a visible state, never an absence.
+//
+// Single-threaded, like the live analyzer it mirrors: callers serialise
+// (FleetTcpServer wraps one aggregator and its collector in a mutex).
+
+#ifndef TEMPO_SRC_FLEET_AGGREGATOR_H_
+#define TEMPO_SRC_FLEET_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/summary.h"
+#include "src/fleet/wire.h"
+#include "src/obs/metrics.h"
+#include "src/sim/time.h"
+#include "src/trace/transport.h"
+
+namespace tempo {
+namespace fleet {
+
+struct FleetOptions {
+  // A host whose last summary is older than this (against the fleet clock)
+  // is reported stale.
+  SimDuration stale_after = 3 * kSecond;
+  // Label on the aggregator's obs instruments; empty disables them.
+  std::string stats_label = "fleet";
+};
+
+// One label's series merged across every host reporting it.
+struct FleetSeries {
+  std::string label;
+  uint64_t hosts = 0;  // hosts reporting this label
+  uint64_t sets = 0;
+  uint64_t expires = 0;
+  uint64_t cancels = 0;
+  double rate_sum = 0.0;         // sum of last-window rates (fleet sets/s)
+  double peak_rate = 0.0;        // largest single-host window rate
+  uint64_t hosts_bursting = 0;   // hosts with the burst flag up right now
+  uint64_t bursts = 0;           // burst episodes, fleet-total
+  double burst_peak_rate = 0.0;  // hottest burst any host saw
+};
+
+// One host's status row inside a FleetView.
+struct FleetHostStatus {
+  std::string host;
+  std::string source;  // transport connection that carried it
+  uint64_t frames = 0;
+  uint64_t sequence = 0;
+  uint64_t sequence_gaps = 0;
+  uint64_t duplicates = 0;
+  SimTime now = 0;
+  SimDuration age = 0;  // fleet_now - now
+  uint64_t records = 0;
+  uint64_t relay_dropped = 0;
+  bool burst_active = false;  // any series bursting in the last summary
+  bool stale = false;
+  bool closed = false;
+  // False once anything unexplained happened on this host's path: a decode
+  // error on its source, a dirty close, a sequence gap or a duplicate.
+  bool clean = true;
+};
+
+// A transport source's accounting — kept even when the source never
+// delivered a single valid host, so damage has a row of its own.
+struct FleetSourceStatus {
+  std::string source;
+  uint64_t frames = 0;
+  uint64_t decode_errors = 0;
+  std::string last_error;  // FleetReadErrorName, empty if none
+  bool closed = false;
+  bool clean = true;
+};
+
+struct FleetView {
+  SimTime fleet_now = 0;  // newest host timestamp seen
+  uint64_t hosts_total = 0;
+  uint64_t hosts_live = 0;  // fresh (age <= stale_after), closed or not
+  uint64_t hosts_stale = 0;
+  uint64_t hosts_closed = 0;
+  uint64_t frames_total = 0;
+  uint64_t records_total = 0;
+  uint64_t relay_dropped_total = 0;
+  uint64_t sequence_gaps_total = 0;
+  uint64_t duplicates_total = 0;
+  uint64_t decode_errors_total = 0;
+  uint64_t dirty_closes_total = 0;
+
+  std::vector<FleetSeries> processes;  // top-K by fleet sets
+  std::vector<FleetSeries> origins;    // top-K by fleet sets
+  // Pattern name -> timers fleet-wide.
+  std::vector<std::pair<std::string, uint64_t>> patterns;
+  std::vector<FleetHostStatus> hosts;      // sorted by host name
+  std::vector<FleetSourceStatus> sources;  // only sources with trouble
+
+  // Nothing lost anywhere: every frame decoded, no gaps, no duplicates,
+  // every close clean, no relay drops on any host.
+  bool clean() const {
+    return decode_errors_total == 0 && sequence_gaps_total == 0 &&
+           duplicates_total == 0 && dirty_closes_total == 0 &&
+           relay_dropped_total == 0;
+  }
+};
+
+class FleetAggregator {
+ public:
+  explicit FleetAggregator(FleetOptions options = {});
+  FleetAggregator(const FleetAggregator&) = delete;
+  FleetAggregator& operator=(const FleetAggregator&) = delete;
+
+  // Consumes one decoded summary. `source` names the transport connection
+  // it arrived on ("" for direct ingestion in tests and benches).
+  void Ingest(const HostSummary& summary, const std::string& source = "");
+
+  // Charges a decode error to a source; hosts carried by that source stop
+  // being clean.
+  void NoteDecodeError(const std::string& source, FleetReadError error);
+
+  // Marks a source's stream finished; its hosts are marked closed.
+  void NoteClose(const std::string& source, bool clean);
+
+  // Folds the current state into a view. `top_k` bounds the merged series
+  // lists (0: all). Host and source rows are always complete.
+  FleetView TakeView(size_t top_k = 0) const;
+
+  // Hosts whose `label` process series saw a burst peaking at or above
+  // `min_rate` sets/s.
+  uint64_t HostsWithBurst(const std::string& label, double min_rate) const;
+
+  // Publishes fleet aggregates into obs gauges; call before a snapshot.
+  void SyncObs();
+
+  uint64_t hosts_seen() const { return hosts_.size(); }
+  uint64_t frames_ingested() const { return frames_; }
+  uint64_t decode_errors() const { return decode_errors_; }
+
+ private:
+  struct HostState {
+    HostSummary last;
+    std::string source;
+    uint64_t frames = 0;
+    uint64_t sequence_gaps = 0;
+    uint64_t duplicates = 0;
+    bool closed = false;
+    bool clean_close = true;
+    bool source_poisoned = false;
+  };
+
+  struct SourceState {
+    uint64_t frames = 0;
+    uint64_t decode_errors = 0;
+    FleetReadError last_error = FleetReadError::kTruncated;
+    bool saw_error = false;
+    bool closed = false;
+    bool clean_close = true;
+  };
+
+  FleetOptions options_;
+  // std::map keeps view ordering deterministic.
+  std::map<std::string, HostState> hosts_;
+  std::map<std::string, SourceState> sources_;
+  SimTime fleet_now_ = 0;
+  uint64_t frames_ = 0;
+  uint64_t decode_errors_ = 0;
+  obs::Gauge* gauge_hosts_ = nullptr;
+  obs::Gauge* gauge_hosts_live_ = nullptr;
+  obs::Counter* metric_frames_ = nullptr;
+  obs::Counter* metric_decode_errors_ = nullptr;
+  obs::Counter* metric_sequence_gaps_ = nullptr;
+};
+
+// Binds per-source FrameDecoders to an aggregator: feed transport bytes in,
+// decoded summaries (and typed losses) come out the other side. A poisoned
+// source reports its error once and discards further bytes.
+class FleetCollector {
+ public:
+  explicit FleetCollector(FleetAggregator* aggregator);
+
+  // Transport callbacks; wire these into a ByteStreamHandler.
+  void OnBytes(const std::string& source, const uint8_t* data, size_t size);
+  void OnClose(const std::string& source, bool clean);
+
+  // Convenience handler calling the two methods above. The collector must
+  // outlive the transport using it.
+  ByteStreamHandler Handler();
+
+ private:
+  struct PerSource {
+    FrameDecoder decoder;
+    bool error_reported = false;
+  };
+
+  void Drain(const std::string& source, PerSource* state);
+
+  FleetAggregator* aggregator_;
+  std::unordered_map<std::string, PerSource> sources_;
+};
+
+}  // namespace fleet
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_FLEET_AGGREGATOR_H_

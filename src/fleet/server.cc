@@ -1,0 +1,65 @@
+#include "src/fleet/server.h"
+
+#include <utility>
+
+namespace tempo {
+namespace fleet {
+
+namespace {
+
+// Serialises the collector callbacks against owner-side reads: the
+// transport's service thread and View()/HostsWithBurst() callers all take
+// the same mutex.
+ByteStreamHandler LockedHandler(std::mutex* mu, FleetCollector* collector) {
+  ByteStreamHandler handler;
+  handler.on_bytes = [mu, collector](const std::string& source,
+                                     const uint8_t* data, size_t size) {
+    std::lock_guard<std::mutex> lock(*mu);
+    collector->OnBytes(source, data, size);
+  };
+  handler.on_close = [mu, collector](const std::string& source, bool clean) {
+    std::lock_guard<std::mutex> lock(*mu);
+    collector->OnClose(source, clean);
+  };
+  return handler;
+}
+
+}  // namespace
+
+FleetTcpServer::FleetTcpServer() : FleetTcpServer(FleetOptions()) {}
+
+FleetTcpServer::FleetTcpServer(FleetOptions options)
+    : FleetTcpServer(std::move(options), TcpStreamServer::Options()) {}
+
+FleetTcpServer::FleetTcpServer(FleetOptions options,
+                               TcpStreamServer::Options transport)
+    : aggregator_(std::move(options)),
+      collector_(&aggregator_),
+      transport_(LockedHandler(&mu_, &collector_), std::move(transport)) {}
+
+bool FleetTcpServer::Start(std::string* error) { return transport_.Start(error); }
+
+void FleetTcpServer::Stop() { transport_.Stop(); }
+
+FleetView FleetTcpServer::View(size_t top_k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregator_.TakeView(top_k);
+}
+
+uint64_t FleetTcpServer::HostsWithBurst(const std::string& label, double min_rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregator_.HostsWithBurst(label, min_rate);
+}
+
+uint64_t FleetTcpServer::hosts_seen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregator_.hosts_seen();
+}
+
+void FleetTcpServer::SyncObs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregator_.SyncObs();
+}
+
+}  // namespace fleet
+}  // namespace tempo

@@ -1,0 +1,54 @@
+// A ready-to-run fleet collection endpoint: TCP listener, per-connection
+// frame decoding, and one aggregator, with the locking the transport's
+// service thread requires. Hosts connect with ConnectTcpStream (or any
+// ByteSink writing EncodeSummaryFrame output) and publish summaries; the
+// owner reads merged views from any thread.
+
+#ifndef TEMPO_SRC_FLEET_SERVER_H_
+#define TEMPO_SRC_FLEET_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/fleet/aggregator.h"
+#include "src/trace/transport.h"
+
+namespace tempo {
+namespace fleet {
+
+class FleetTcpServer {
+ public:
+  FleetTcpServer();
+  explicit FleetTcpServer(FleetOptions options);
+  FleetTcpServer(FleetOptions options, TcpStreamServer::Options transport);
+
+  // Binds and starts the service thread; false with *error on failure.
+  bool Start(std::string* error);
+
+  // Stops accepting, drains connected sockets, joins the thread.
+  void Stop();
+
+  uint16_t port() const { return transport_.port(); }
+
+  // Thread-safe reads of the merged state.
+  FleetView View(size_t top_k = 0);
+  uint64_t HostsWithBurst(const std::string& label, double min_rate);
+  uint64_t hosts_seen();
+
+  // Runs the aggregator's SyncObs under the lock. The obs registry's
+  // single-writer rule still applies: only call from the thread that owns
+  // the fleet instruments, with the transport stopped or quiescent.
+  void SyncObs();
+
+ private:
+  std::mutex mu_;
+  FleetAggregator aggregator_;
+  FleetCollector collector_;
+  TcpStreamServer transport_;
+};
+
+}  // namespace fleet
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_FLEET_SERVER_H_

@@ -1,0 +1,314 @@
+#include "src/fleet/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/trace/wire.h"
+
+namespace tempo {
+namespace fleet {
+
+namespace {
+
+using wire::Put16;
+using wire::Put32;
+using wire::Put64;
+using wire::Reader;
+
+void PutF64(double v, std::vector<uint8_t>* out) {
+  Put64(std::bit_cast<uint64_t>(v), out);
+}
+
+void PutString(const std::string& s, std::vector<uint8_t>* out) {
+  Put16(static_cast<uint16_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutSeries(const SeriesSummary& series, std::vector<uint8_t>* out) {
+  PutString(series.label, out);
+  Put64(series.sets, out);
+  Put64(series.expires, out);
+  Put64(series.cancels, out);
+  PutF64(series.mean_rate, out);
+  PutF64(series.last_rate, out);
+  PutF64(series.peak_rate, out);
+  out->push_back(series.burst_active ? 1 : 0);
+  Put64(series.bursts, out);
+  PutF64(series.burst_peak_rate, out);
+}
+
+// Smallest possible encodings, used to validate counts against the bytes
+// actually present before reserving memory for them.
+constexpr size_t kMinSeriesBytes = 2 + 8 * 3 + 8 * 3 + 1 + 8 + 8;
+constexpr size_t kMinPatternBytes = 2 + 8;
+constexpr size_t kMinChannelBytes = 2 + 8 + 8;
+constexpr size_t kMinMetricBytes = 2 + 8;
+
+bool ReadF64(Reader* reader, double* v) {
+  uint64_t bits = 0;
+  if (!reader->Read64(&bits)) {
+    return false;
+  }
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ReadString(Reader* reader, std::string* out) {
+  uint16_t length = 0;
+  return reader->Read16(&length) && reader->ReadString(length, out);
+}
+
+bool ReadSeries(Reader* reader, SeriesSummary* series) {
+  uint8_t active = 0;
+  if (!ReadString(reader, &series->label) || !reader->Read64(&series->sets) ||
+      !reader->Read64(&series->expires) || !reader->Read64(&series->cancels) ||
+      !ReadF64(reader, &series->mean_rate) || !ReadF64(reader, &series->last_rate) ||
+      !ReadF64(reader, &series->peak_rate)) {
+    return false;
+  }
+  const uint8_t* raw = reader->Raw(1);
+  if (raw == nullptr) {
+    return false;
+  }
+  active = *raw;
+  series->burst_active = active != 0;
+  return reader->Read64(&series->bursts) && ReadF64(reader, &series->burst_peak_rate);
+}
+
+// Reads a u32 element count and rejects counts that could not possibly fit
+// in the bytes remaining — an attacker-controlled (or corrupted) count must
+// not drive a giant allocation before the overrun is noticed.
+bool ReadCount(Reader* reader, size_t min_element_bytes, uint32_t* count) {
+  if (!reader->Read32(count)) {
+    return false;
+  }
+  return static_cast<size_t>(*count) * min_element_bytes <= reader->remaining();
+}
+
+// Payload decode; true on success with every byte consumed.
+bool DecodePayload(const uint8_t* data, size_t size, HostSummary* out) {
+  Reader reader(data, size);
+  uint64_t now = 0;
+  uint64_t window = 0;
+  if (!ReadString(&reader, &out->host) || !reader.Read64(&out->sequence) ||
+      !reader.Read64(&now) || !reader.Read64(&window) ||
+      !reader.Read64(&out->records) || !reader.Read64(&out->classifier_tracked) ||
+      !reader.Read64(&out->classifier_evictions) ||
+      !reader.Read64(&out->windows_evicted)) {
+    return false;
+  }
+  out->now = static_cast<SimTime>(now);
+  out->window = static_cast<SimDuration>(window);
+
+  uint32_t count = 0;
+  if (!ReadCount(&reader, kMinSeriesBytes, &count)) {
+    return false;
+  }
+  out->processes.resize(count);
+  for (SeriesSummary& series : out->processes) {
+    if (!ReadSeries(&reader, &series)) {
+      return false;
+    }
+  }
+  if (!ReadCount(&reader, kMinSeriesBytes, &count)) {
+    return false;
+  }
+  out->origins.resize(count);
+  for (SeriesSummary& series : out->origins) {
+    if (!ReadSeries(&reader, &series)) {
+      return false;
+    }
+  }
+  if (!ReadCount(&reader, kMinPatternBytes, &count)) {
+    return false;
+  }
+  out->patterns.resize(count);
+  for (auto& [name, value] : out->patterns) {
+    if (!ReadString(&reader, &name) || !reader.Read64(&value)) {
+      return false;
+    }
+  }
+  if (!ReadCount(&reader, kMinChannelBytes, &count)) {
+    return false;
+  }
+  out->channels.resize(count);
+  for (ChannelSummary& channel : out->channels) {
+    if (!ReadString(&reader, &channel.name) || !reader.Read64(&channel.accepted) ||
+        !reader.Read64(&channel.dropped)) {
+      return false;
+    }
+  }
+  if (!ReadCount(&reader, kMinMetricBytes, &count)) {
+    return false;
+  }
+  out->metrics.resize(count);
+  for (MetricSummary& metric : out->metrics) {
+    uint64_t value = 0;
+    if (!ReadString(&reader, &metric.name) || !reader.Read64(&value)) {
+      return false;
+    }
+    metric.value = static_cast<int64_t>(value);
+  }
+  return reader.remaining() == 0;
+}
+
+}  // namespace
+
+const char* FleetReadErrorName(FleetReadError error) {
+  switch (error) {
+    case FleetReadError::kTruncated:
+      return "truncated frame";
+    case FleetReadError::kMagic:
+      return "bad magic";
+    case FleetReadError::kVersion:
+      return "unknown version";
+    case FleetReadError::kOversized:
+      return "oversized length prefix";
+    case FleetReadError::kChecksum:
+      return "checksum mismatch";
+    case FleetReadError::kCorrupt:
+      return "corrupt payload";
+  }
+  return "unknown error";
+}
+
+uint64_t FleetChecksum(const uint8_t* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeSummaryFrame(const HostSummary& summary) {
+  std::vector<uint8_t> payload;
+  payload.reserve(256 + 80 * (summary.processes.size() + summary.origins.size()));
+  PutString(summary.host, &payload);
+  Put64(summary.sequence, &payload);
+  Put64(static_cast<uint64_t>(summary.now), &payload);
+  Put64(static_cast<uint64_t>(summary.window), &payload);
+  Put64(summary.records, &payload);
+  Put64(summary.classifier_tracked, &payload);
+  Put64(summary.classifier_evictions, &payload);
+  Put64(summary.windows_evicted, &payload);
+  Put32(static_cast<uint32_t>(summary.processes.size()), &payload);
+  for (const SeriesSummary& series : summary.processes) {
+    PutSeries(series, &payload);
+  }
+  Put32(static_cast<uint32_t>(summary.origins.size()), &payload);
+  for (const SeriesSummary& series : summary.origins) {
+    PutSeries(series, &payload);
+  }
+  Put32(static_cast<uint32_t>(summary.patterns.size()), &payload);
+  for (const auto& [name, value] : summary.patterns) {
+    PutString(name, &payload);
+    Put64(value, &payload);
+  }
+  Put32(static_cast<uint32_t>(summary.channels.size()), &payload);
+  for (const ChannelSummary& channel : summary.channels) {
+    PutString(channel.name, &payload);
+    Put64(channel.accepted, &payload);
+    Put64(channel.dropped, &payload);
+  }
+  Put32(static_cast<uint32_t>(summary.metrics.size()), &payload);
+  for (const MetricSummary& metric : summary.metrics) {
+    PutString(metric.name, &payload);
+    Put64(static_cast<uint64_t>(metric.value), &payload);
+  }
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  frame.insert(frame.end(), kFleetMagic, kFleetMagic + sizeof(kFleetMagic));
+  Put32(kFleetWireVersion, &frame);
+  Put32(static_cast<uint32_t>(payload.size()), &frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  Put64(FleetChecksum(payload.data(), payload.size()), &frame);
+  return frame;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  if (poisoned_) {
+    return;  // the stream is already accounted as lost
+  }
+  // Compact the consumed prefix before growing; steady-state the buffer
+  // holds at most one partial frame.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FrameDecoder::Close() { closed_ = true; }
+
+FrameDecoder::Status FrameDecoder::Next(HostSummary* out, FleetReadError* error) {
+  const auto fail = [&](FleetReadError e) {
+    poisoned_ = true;
+    error_ = e;
+    if (error != nullptr) {
+      *error = e;
+    }
+    return Status::kError;
+  };
+  if (poisoned_) {
+    if (error != nullptr) {
+      *error = error_;
+    }
+    return Status::kError;
+  }
+  const uint8_t* data = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available == 0) {
+    return Status::kNeedMore;
+  }
+  if (available < kFrameHeaderBytes) {
+    // Even a partial header can prove the stream is not ours.
+    if (std::memcmp(data, kFleetMagic, std::min(available, sizeof(kFleetMagic))) != 0) {
+      return fail(FleetReadError::kMagic);
+    }
+    return closed_ && available > 0 ? fail(FleetReadError::kTruncated)
+                                    : Status::kNeedMore;
+  }
+  if (std::memcmp(data, kFleetMagic, sizeof(kFleetMagic)) != 0) {
+    return fail(FleetReadError::kMagic);
+  }
+  const uint32_t version = wire::Get32(data + 8);
+  if (version != kFleetWireVersion) {
+    return fail(FleetReadError::kVersion);
+  }
+  const uint32_t payload_bytes = wire::Get32(data + 12);
+  if (payload_bytes == 0 || payload_bytes > kMaxSummaryFrameBytes) {
+    return fail(FleetReadError::kOversized);
+  }
+  const size_t frame_bytes = kFrameHeaderBytes + payload_bytes + kFrameTrailerBytes;
+  if (available < frame_bytes) {
+    return closed_ ? fail(FleetReadError::kTruncated) : Status::kNeedMore;
+  }
+  const uint8_t* payload = data + kFrameHeaderBytes;
+  const uint64_t stored = wire::Get64(payload + payload_bytes);
+  if (stored != FleetChecksum(payload, payload_bytes)) {
+    return fail(FleetReadError::kChecksum);
+  }
+  *out = HostSummary{};
+  if (!DecodePayload(payload, payload_bytes, out)) {
+    return fail(FleetReadError::kCorrupt);
+  }
+  consumed_ += frame_bytes;
+  ++frames_;
+  return Status::kFrame;
+}
+
+FrameDecoder::Status DecodeSummaryFrame(const uint8_t* data, size_t size,
+                                        HostSummary* out, FleetReadError* error) {
+  FrameDecoder decoder;
+  decoder.Feed(data, size);
+  decoder.Close();
+  return decoder.Next(out, error);
+}
+
+}  // namespace fleet
+}  // namespace tempo

@@ -1,0 +1,111 @@
+// Wire format for fleet summaries: length-prefixed, versioned, checksummed.
+//
+// One frame per HostSummary, built from the same little-endian primitives
+// as the trace-file formats (src/trace/wire.h) and guarded the same way
+// chunked v2 traces are — an explicit version, bounds-checked lengths and
+// a typed error taxonomy — plus an FNV-1a checksum over the payload, since
+// frames cross machines rather than filesystems:
+//
+//   "TEMPOFLT" magic (8 bytes)
+//   u32 version            (kFleetWireVersion)
+//   u32 payload length     (1 .. kMaxSummaryFrameBytes)
+//   payload                (encoded HostSummary, see wire.cc)
+//   u64 FNV-1a(payload)
+//
+// Decoding is incremental: a FrameDecoder eats arbitrary byte fragments
+// (TCP reads, pipe chunks) and yields complete summaries. Any damage —
+// truncation, foreign bytes, an unknown version, a length prefix beyond
+// the frame bound, a checksum mismatch, or a payload that contradicts
+// itself — surfaces as a typed FleetReadError, never a silent skip: a
+// poisoned stream stays poisoned (framing cannot be trusted after damage)
+// and the collector accounts the loss against the connection.
+
+#ifndef TEMPO_SRC_FLEET_WIRE_H_
+#define TEMPO_SRC_FLEET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fleet/summary.h"
+
+namespace tempo {
+namespace fleet {
+
+inline constexpr uint8_t kFleetMagic[8] = {'T', 'E', 'M', 'P', 'O', 'F', 'L', 'T'};
+inline constexpr uint32_t kFleetWireVersion = 1;
+
+// Frames carry one summary; even a pathological host (thousands of series)
+// stays far below this, so a bigger length prefix means framing damage.
+inline constexpr uint32_t kMaxSummaryFrameBytes = 4u << 20;
+
+// Bytes before the payload (magic + version + length) and after (checksum).
+inline constexpr size_t kFrameHeaderBytes = 8 + 4 + 4;
+inline constexpr size_t kFrameTrailerBytes = 8;
+
+// Why a summary frame failed to decode. truncated: the stream ended
+// mid-frame; magic: not a fleet frame; version: a fleet frame from an
+// unknown revision; oversized: the length prefix exceeds the frame bound;
+// checksum: payload bytes damaged in flight; corrupt: checksum-valid
+// payload whose content is self-inconsistent (counts that overrun it,
+// trailing bytes).
+enum class FleetReadError : uint8_t {
+  kTruncated = 0,
+  kMagic = 1,
+  kVersion = 2,
+  kOversized = 3,
+  kChecksum = 4,
+  kCorrupt = 5,
+};
+
+// Short mnemonic ("truncated frame", ...) for error messages.
+const char* FleetReadErrorName(FleetReadError error);
+
+// FNV-1a 64 over `size` bytes; the frame checksum.
+uint64_t FleetChecksum(const uint8_t* data, size_t size);
+
+// Encodes one summary as a complete frame (header + payload + checksum).
+std::vector<uint8_t> EncodeSummaryFrame(const HostSummary& summary);
+
+// Incremental decoder over one connection's byte stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     // *out holds the next summary
+    kNeedMore,  // nothing complete buffered (or stream cleanly finished)
+    kError,     // stream poisoned; *error holds the reason
+  };
+
+  // Appends received bytes. Cheap; decoding happens in Next().
+  void Feed(const uint8_t* data, size_t size);
+
+  // Marks end-of-stream: buffered bytes that do not form a complete frame
+  // become a kTruncated error on the next Next() call.
+  void Close();
+
+  // Pops the next complete frame. After the first kError every further
+  // call returns the same error — bytes after damage are untrustworthy.
+  Status Next(HostSummary* out, FleetReadError* error);
+
+  uint64_t frames_decoded() const { return frames_; }
+  bool poisoned() const { return poisoned_; }
+  // Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already decoded
+  uint64_t frames_ = 0;
+  bool closed_ = false;
+  bool poisoned_ = false;
+  FleetReadError error_ = FleetReadError::kTruncated;
+};
+
+// One-shot decode of a complete frame held in memory (tests, tools).
+// Returns kFrame/kError; a partial frame is kTruncated.
+FrameDecoder::Status DecodeSummaryFrame(const uint8_t* data, size_t size,
+                                        HostSummary* out, FleetReadError* error);
+
+}  // namespace fleet
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_FLEET_WIRE_H_

@@ -29,20 +29,27 @@ LiveAnalyzer::LiveAnalyzer(LiveOptions options)
     : options_(std::move(options)),
       window_seconds_(ToSeconds(options_.window > 0 ? options_.window : 1)),
       classifier_(options_.classifier) {
-  obs::Registry& registry = obs::Registry::Global();
-  const obs::Labels labels = {{"analyzer", options_.stats_label}};
-  metric_records_ = registry.GetCounter("live_records", labels,
-                                        "Records ingested by the live analyzer");
-  gauge_window_evictions_ =
-      registry.GetGauge("live_window_evictions", labels,
-                        "Rate-ring windows evicted across all live series");
-  gauge_series_ = registry.GetGauge("live_series", labels,
-                                    "Process + origin series the analyzer tracks");
+  // An empty stats_label disables instrumentation entirely. Fleet host
+  // replicas need this: many analyzers sharing the process-global registry
+  // would alias the same instruments and break the single-writer rule.
+  if (!options_.stats_label.empty()) {
+    obs::Registry& registry = obs::Registry::Global();
+    const obs::Labels labels = {{"analyzer", options_.stats_label}};
+    metric_records_ = registry.GetCounter("live_records", labels,
+                                          "Records ingested by the live analyzer");
+    gauge_window_evictions_ =
+        registry.GetGauge("live_window_evictions", labels,
+                          "Rate-ring windows evicted across all live series");
+    gauge_series_ = registry.GetGauge("live_series", labels,
+                                      "Process + origin series the analyzer tracks");
+  }
 }
 
 void LiveAnalyzer::Ingest(const TraceRecord& record) {
   ++records_;
-  metric_records_->Inc();
+  if (metric_records_ != nullptr) {
+    metric_records_->Inc();
+  }
 
   // Trace-end tracking over ALL records — the offline pass derives its
   // analysis end from the last record's timestamp whether or not that
@@ -115,8 +122,12 @@ void LiveAnalyzer::Ingest(const TraceRecord& record) {
 LiveAnalyzer::Entry& LiveAnalyzer::ProcessEntry(Pid pid, const std::string& label) {
   auto it = processes_.find(label);
   if (it == processes_.end()) {
+    // An uninstrumented analyzer keeps its burst detectors uninstrumented
+    // too — their {series=label} instruments would alias across replicas.
+    const std::string& burst_label =
+        options_.stats_label.empty() ? options_.stats_label : label;
     it = processes_
-             .try_emplace(label, options_.ring_windows, options_.burst, label)
+             .try_emplace(label, options_.ring_windows, options_.burst, burst_label)
              .first;
     it->second.next_eval = current_window_;
   }
@@ -276,6 +287,9 @@ uint64_t LiveAnalyzer::windows_evicted() const {
 }
 
 void LiveAnalyzer::SyncObs() {
+  if (gauge_window_evictions_ == nullptr) {
+    return;
+  }
   gauge_window_evictions_->Set(static_cast<int64_t>(windows_evicted()));
   gauge_series_->Set(static_cast<int64_t>(processes_.size() + origins_.size()));
 }

@@ -63,7 +63,10 @@ struct LiveOptions {
   BurstThresholds burst;
   // Online classifier tuning (LRU capacity, 2 ms variance, dominance).
   OnlineClassifier::Options classifier;
-  // Label on this analyzer's obs instruments.
+  // Label on this analyzer's obs instruments. Empty disables them (and the
+  // per-series burst instruments): required when many analyzers coexist in
+  // one process, e.g. simulated fleet hosts, where shared instruments
+  // would break the registry's single-writer rule.
   std::string stats_label = "live";
 };
 

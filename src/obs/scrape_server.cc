@@ -1,0 +1,232 @@
+#include "src/obs/scrape_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace tempo {
+namespace obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 20;
+// A GET request line plus headers; anything bigger is not a scraper.
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string Response(int status, const char* reason, const std::string& content_type,
+                     const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Reads until the blank line ending the request headers (the server never
+// accepts bodies). False on EOF, error or an oversized request.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[4096];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) {
+      return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(BodyFn body) : ScrapeServer(std::move(body), Options()) {}
+
+ScrapeServer::ScrapeServer(BodyFn body, Options options)
+    : body_(std::move(body)), options_(std::move(options)) {}
+
+ScrapeServer::~ScrapeServer() { Stop(); }
+
+bool ScrapeServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad bind address " + options_.bind_address;
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("bind/listen: ") + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void ScrapeServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ScrapeServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, kPollIntervalMs) <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    Handle(fd);
+    ::close(fd);
+  }
+}
+
+void ScrapeServer::Handle(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    return;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // Request line: METHOD SP target SP version.
+  const size_t method_end = head.find(' ');
+  const size_t target_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : head.find(' ', method_end + 1);
+  if (target_end == std::string::npos) {
+    SendAll(fd, Response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = head.substr(0, method_end);
+  std::string target = head.substr(method_end + 1, target_end - method_end - 1);
+  const size_t query = target.find('?');
+  if (query != std::string::npos) {
+    target.resize(query);
+  }
+  if (method != "GET") {
+    SendAll(fd, Response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n"));
+    return;
+  }
+  if (target != options_.path) {
+    SendAll(fd, Response(404, "Not Found", "text/plain",
+                         "try " + options_.path + "\n"));
+    return;
+  }
+  SendAll(fd, Response(200, "OK", "text/plain; version=0.0.4",
+                       body_ ? body_() : std::string()));
+}
+
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             int* status, std::string* body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + host + ":" + std::to_string(port) + " failed";
+    }
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    if (error != nullptr) {
+      *error = "send failed";
+    }
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos ||
+      response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    if (error != nullptr) {
+      *error = "malformed response";
+    }
+    return false;
+  }
+  if (status != nullptr) {
+    *status = std::atoi(response.c_str() + 9);
+  }
+  if (body != nullptr) {
+    *body = response.substr(head_end + 4);
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace tempo

@@ -1,0 +1,77 @@
+// A real Prometheus scrape endpoint for tempo's metrics.
+//
+// ScrapeServer is the smallest HTTP/1.1 server that a stock Prometheus can
+// scrape: it answers GET <path> (default /metrics) with the text exposition
+// format and Content-Type `text/plain; version=0.0.4`, closes after every
+// response, and rejects anything else with 404/405. The body comes from a
+// caller-supplied callback, which keeps the obs registry's single-writer
+// rule intact: a typical owner renders RenderPrometheus() on its own
+// (quiescent) thread into a string guarded by a mutex, and the callback
+// just copies it — the serving thread never walks the registry.
+//
+// HttpGet is the matching one-shot client, enough for tests and for a
+// curl-equivalent smoke check without shelling out.
+
+#ifndef TEMPO_SRC_OBS_SCRAPE_SERVER_H_
+#define TEMPO_SRC_OBS_SCRAPE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace tempo {
+namespace obs {
+
+class ScrapeServer {
+ public:
+  // Returns the current exposition body. Called on the serving thread,
+  // once per request; must be thread-safe against the owner's updates.
+  using BodyFn = std::function<std::string()>;
+
+  struct Options {
+    uint16_t port = 0;  // 0: ephemeral, read back via port()
+    std::string bind_address = "127.0.0.1";
+    std::string path = "/metrics";
+  };
+
+  explicit ScrapeServer(BodyFn body);
+  ScrapeServer(BodyFn body, Options options);
+  ~ScrapeServer();
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  // Binds, listens and starts the serving thread; false with *error set on
+  // failure.
+  bool Start(std::string* error);
+
+  // Stops serving and joins the thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void Serve();
+  void Handle(int fd);
+
+  BodyFn body_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+// Blocking one-shot HTTP GET against 127.0.0.1-style addresses. Fills
+// *status and *body from the response; false with *error on transport
+// failure. The curl equivalent for tests and smoke checks.
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             int* status, std::string* body, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_OBS_SCRAPE_SERVER_H_

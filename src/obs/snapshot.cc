@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -61,6 +62,9 @@ std::string LabeledName(const SnapshotEntry& e) {
   return out;
 }
 
+// JSON string escaping. Unlike the Prometheus exposition format (three
+// escapes), JSON forbids *every* control character below 0x20 inside a
+// string, so the remaining ones get the \u00XX form.
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -75,8 +79,24 @@ std::string JsonEscape(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Append(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -235,6 +255,126 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
     Append(&out, " %" PRIu64 "\n", e.count);
   }
   return out;
+}
+
+namespace {
+
+bool IsNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+bool Fail(std::string* error, size_t line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+bool ParseSampleLine(const std::string& line, size_t line_no, PromSample* sample,
+                     std::string* error) {
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n && IsNameChar(line[i], i == 0)) {
+    ++i;
+  }
+  if (i == 0) {
+    return Fail(error, line_no, "expected metric name");
+  }
+  sample->name = line.substr(0, i);
+  if (i < n && line[i] == '{') {
+    ++i;
+    while (i < n && line[i] != '}') {
+      size_t key_start = i;
+      while (i < n && IsNameChar(line[i], i == key_start)) {
+        ++i;
+      }
+      if (i == key_start || i + 1 >= n || line[i] != '=' || line[i + 1] != '"') {
+        return Fail(error, line_no, "expected label key=\"");
+      }
+      std::string key = line.substr(key_start, i - key_start);
+      i += 2;
+      std::string value;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= n) {
+            return Fail(error, line_no, "dangling escape");
+          }
+          const char next = line[i + 1];
+          if (next == '\\') {
+            value += '\\';
+          } else if (next == '"') {
+            value += '"';
+          } else if (next == 'n') {
+            value += '\n';
+          } else {
+            return Fail(error, line_no, "unknown escape in label value");
+          }
+          i += 2;
+        } else if (line[i] == '\n') {
+          return Fail(error, line_no, "raw newline in label value");
+        } else {
+          value += line[i++];
+        }
+      }
+      if (i >= n) {
+        return Fail(error, line_no, "unterminated label value");
+      }
+      ++i;  // closing quote
+      sample->labels.emplace_back(std::move(key), std::move(value));
+      if (i < n && line[i] == ',') {
+        ++i;
+      } else if (i >= n || line[i] != '}') {
+        return Fail(error, line_no, "expected , or } after label");
+      }
+    }
+    if (i >= n) {
+      return Fail(error, line_no, "unterminated label set");
+    }
+    ++i;  // closing brace
+  }
+  if (i >= n || line[i] != ' ') {
+    return Fail(error, line_no, "expected space before value");
+  }
+  ++i;
+  const std::string number = line.substr(i);
+  if (number.empty()) {
+    return Fail(error, line_no, "missing value");
+  }
+  char* end = nullptr;
+  sample->value = std::strtod(number.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Fail(error, line_no, "bad value: " + number);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text, std::vector<PromSample>* out,
+                         std::string* error) {
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    PromSample sample;
+    if (!ParseSampleLine(line, line_no, &sample, error)) {
+      return false;
+    }
+    out->push_back(std::move(sample));
+  }
+  return true;
 }
 
 }  // namespace obs

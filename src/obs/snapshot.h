@@ -9,6 +9,7 @@
 #define TEMPO_SRC_OBS_SNAPSHOT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 
@@ -26,6 +27,21 @@ std::string RenderJson(const MetricsSnapshot& snapshot);
 // `_sum` and `_count`, counters emit a `_total`-suffixed series if the
 // name does not already end in `_total`.
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// One sample line of the exposition format, as parsed back.
+struct PromSample {
+  std::string name;
+  Labels labels;  // escapes undone, registration order preserved
+  double value = 0.0;
+};
+
+// Strict parser for the subset of the Prometheus text format that
+// RenderPrometheus emits: comment/HELP/TYPE lines are skipped, every other
+// non-empty line must be `name{k="v",...} value` with the three-escape
+// rule inside quoted values. Proves a scrape is well-formed by round-trip
+// (tests/obs_test.cc); false on the first malformed line.
+bool ParsePrometheusText(const std::string& text, std::vector<PromSample>* out,
+                         std::string* error = nullptr);
 
 }  // namespace obs
 }  // namespace tempo

@@ -1,0 +1,326 @@
+#include "src/trace/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace tempo {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Creates a bound, listening IPv4 socket; -1 with *error set on failure.
+int Listen(const std::string& address, uint16_t port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = Errno("socket");
+    }
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad bind address " + address;
+    }
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = Errno("bind/listen");
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+// --- InProcessPipeHub ---
+
+class InProcessPipeHub::PipeSink : public ByteSink {
+ public:
+  explicit PipeSink(std::shared_ptr<Conn> conn) : conn_(std::move(conn)) {}
+
+  bool Write(const uint8_t* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    if (conn_->closed) {
+      return false;
+    }
+    conn_->buffer.insert(conn_->buffer.end(), data, data + size);
+    return true;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    conn_->closed = true;
+  }
+
+ private:
+  std::shared_ptr<Conn> conn_;
+};
+
+InProcessPipeHub::InProcessPipeHub(ByteStreamHandler handler, size_t deliver_chunk)
+    : handler_(std::move(handler)), deliver_chunk_(deliver_chunk) {}
+
+std::unique_ptr<ByteSink> InProcessPipeHub::Connect(const std::string& source) {
+  auto conn = std::make_shared<Conn>();
+  conn->source = source;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+  }
+  return std::make_unique<PipeSink>(std::move(conn));
+}
+
+size_t InProcessPipeHub::Drain() {
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  size_t delivered = 0;
+  std::vector<uint8_t> bytes;
+  for (const std::shared_ptr<Conn>& conn : conns) {
+    bool deliver_close = false;
+    bytes.clear();
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      bytes.swap(conn->buffer);
+      if (conn->closed && !conn->close_delivered) {
+        conn->close_delivered = true;
+        deliver_close = true;
+      }
+    }
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const size_t n = deliver_chunk_ > 0
+                           ? std::min(deliver_chunk_, bytes.size() - offset)
+                           : bytes.size() - offset;
+      if (handler_.on_bytes) {
+        handler_.on_bytes(conn->source, bytes.data() + offset, n);
+      }
+      offset += n;
+    }
+    delivered += bytes.size();
+    if (deliver_close && handler_.on_close) {
+      handler_.on_close(conn->source, /*clean=*/true);
+    }
+  }
+  return delivered;
+}
+
+// --- TcpStreamServer ---
+
+struct TcpStreamServer::Impl {
+  ByteStreamHandler handler;
+  Options options;
+  int listen_fd = -1;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> accepted{0};
+
+  struct Conn {
+    int fd = -1;
+    std::string source;
+  };
+
+  void CloseConn(Conn* conn, bool clean) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    if (handler.on_close) {
+      handler.on_close(conn->source, clean);
+    }
+  }
+
+  void Serve() {
+    std::vector<Conn> conns;
+    std::vector<pollfd> fds;
+    uint8_t buffer[64 * 1024];
+    uint64_t next_id = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      fds.clear();
+      fds.push_back({listen_fd, POLLIN, 0});
+      for (const Conn& conn : conns) {
+        fds.push_back({conn.fd, POLLIN, 0});
+      }
+      const int ready = ::poll(fds.data(), fds.size(), options.poll_interval_ms);
+      if (ready <= 0) {
+        continue;
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          conns.push_back({fd, "tcp/" + std::to_string(next_id++)});
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Walk backwards so erasing a dead connection is cheap and does not
+      // disturb the fd <-> conn pairing of entries not yet visited.
+      for (size_t i = conns.size(); i-- > 0;) {
+        const short revents = fds[i + 1].revents;
+        if (revents == 0) {
+          continue;
+        }
+        Conn& conn = conns[i];
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+          if (n > 0) {
+            if (handler.on_bytes) {
+              handler.on_bytes(conn.source, buffer, static_cast<size_t>(n));
+            }
+            continue;
+          }
+          // n == 0: orderly shutdown; n < 0: reset or error.
+          const bool clean = n == 0;
+          CloseConn(&conn, clean);
+          conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+        }
+      }
+    }
+    // Drain what the sockets still hold, then report every close.
+    for (Conn& conn : conns) {
+      ssize_t n;
+      while ((n = ::recv(conn.fd, buffer, sizeof(buffer), MSG_DONTWAIT)) > 0) {
+        if (handler.on_bytes) {
+          handler.on_bytes(conn.source, buffer, static_cast<size_t>(n));
+        }
+      }
+      CloseConn(&conn, /*clean=*/n == 0);
+    }
+  }
+};
+
+TcpStreamServer::TcpStreamServer(ByteStreamHandler handler)
+    : TcpStreamServer(std::move(handler), Options()) {}
+
+TcpStreamServer::TcpStreamServer(ByteStreamHandler handler, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->handler = std::move(handler);
+  impl_->options = std::move(options);
+}
+
+TcpStreamServer::~TcpStreamServer() { Stop(); }
+
+bool TcpStreamServer::Start(std::string* error) {
+  impl_->listen_fd = Listen(impl_->options.bind_address, impl_->options.port, error);
+  if (impl_->listen_fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  impl_->thread = std::thread([this] { impl_->Serve(); });
+  return true;
+}
+
+void TcpStreamServer::Stop() {
+  if (impl_->listen_fd < 0) {
+    return;
+  }
+  impl_->stop.store(true, std::memory_order_release);
+  if (impl_->thread.joinable()) {
+    impl_->thread.join();
+  }
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+}
+
+uint64_t TcpStreamServer::connections_accepted() const {
+  return impl_->accepted.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+class TcpSink : public ByteSink {
+ public:
+  explicit TcpSink(int fd) : fd_(fd) {}
+  ~TcpSink() override { Close(); }
+
+  bool Write(const uint8_t* data, size_t size) override {
+    if (fd_ < 0) {
+      return false;
+    }
+    size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        Close();
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSink> ConnectTcpStream(const std::string& host, uint16_t port,
+                                           std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = Errno("socket");
+    }
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad address " + host;
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = Errno("connect");
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpSink>(fd);
+}
+
+}  // namespace tempo

@@ -1,0 +1,139 @@
+// Byte-stream transports for shipping trace-derived data between hosts.
+//
+// The fleet observatory (src/fleet) streams each host's live summaries to
+// an aggregator. The framing and decoding live in src/fleet/wire.h; this
+// module supplies the bytes-in-flight layer underneath, deliberately dumb:
+// a ByteSink is an ordered, reliable, possibly-fragmenting byte pipe, and
+// nothing here knows what a frame is. Two implementations:
+//
+//   * InProcessPipeHub — mutex-guarded byte buffers inside one process.
+//     Producers (any thread) write into their connection's buffer; one
+//     consumer thread calls Drain(), which hands the buffered bytes to a
+//     callback in configurable chunk sizes (deliver_chunk), so consumers
+//     can be exercised against arbitrary fragmentation without a network.
+//   * TcpStreamServer / ConnectTcpStream — real sockets on loopback or a
+//     LAN. The server runs one service thread multiplexing every
+//     connection with poll(2) and hands received bytes to a callback from
+//     that thread; callers own any synchronisation beyond that (the fleet
+//     server wraps the callback in a mutex).
+//
+// Delivery contract shared by both: bytes of one connection arrive in
+// order, with no duplication or loss while the connection lives; a close
+// is reported exactly once, after the connection's final bytes, with a
+// `clean` flag (false when the peer vanished mid-stream, e.g. a TCP reset).
+// Nothing is reported silently: every connection ever accepted produces a
+// close callback by the time the server stops.
+
+#ifndef TEMPO_SRC_TRACE_TRANSPORT_H_
+#define TEMPO_SRC_TRACE_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tempo {
+
+// Ordered, reliable byte pipe from one producer to the transport's
+// consumer. Write/Close may be called from any single thread at a time;
+// Write after Close returns false.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  // Queues `size` bytes; false when the connection is closed or dead
+  // (the bytes are then dropped — callers count, never ignore).
+  virtual bool Write(const uint8_t* data, size_t size) = 0;
+  virtual void Close() = 0;
+};
+
+// Callbacks a transport delivers received bytes through. OnBytes may be
+// called with any fragmentation of the sent stream; OnClose fires exactly
+// once per connection after its last OnBytes.
+struct ByteStreamHandler {
+  std::function<void(const std::string& source, const uint8_t* data, size_t size)>
+      on_bytes;
+  std::function<void(const std::string& source, bool clean)> on_close;
+};
+
+// In-process transport: N named producer connections, one draining
+// consumer. Senders are thread-safe against Drain and against each other.
+class InProcessPipeHub {
+ public:
+  // deliver_chunk > 0 fragments every Drain delivery into chunks of at
+  // most that many bytes, exercising incremental consumers; 0 delivers
+  // whatever is buffered in one call.
+  explicit InProcessPipeHub(ByteStreamHandler handler, size_t deliver_chunk = 0);
+
+  // Opens a producer connection named `source` (names are the consumer's
+  // keys and should be unique). The sink stays valid after the hub drains;
+  // it must not outlive the hub.
+  std::unique_ptr<ByteSink> Connect(const std::string& source);
+
+  // Moves all buffered bytes (and pending closes) into the handler, in
+  // connection registration order. Single consumer thread. Returns bytes
+  // delivered.
+  size_t Drain();
+
+ private:
+  struct Conn {
+    std::mutex mu;
+    std::string source;
+    std::vector<uint8_t> buffer;
+    bool closed = false;
+    bool close_delivered = false;
+  };
+
+  class PipeSink;
+
+  ByteStreamHandler handler_;
+  size_t deliver_chunk_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+// TCP transport, server side: accepts connections on 127.0.0.1 (or any
+// address) and delivers their bytes to the handler from one service
+// thread. Connection sources are named "tcp/<n>" in accept order — the
+// payload protocol identifies the peer (fleet summaries carry the host
+// name in every frame).
+class TcpStreamServer {
+ public:
+  struct Options {
+    uint16_t port = 0;           // 0: ephemeral, read back via port()
+    std::string bind_address = "127.0.0.1";
+    int poll_interval_ms = 20;   // service-loop wakeup for stop checks
+  };
+
+  explicit TcpStreamServer(ByteStreamHandler handler);
+  TcpStreamServer(ByteStreamHandler handler, Options options);
+  ~TcpStreamServer();
+  TcpStreamServer(const TcpStreamServer&) = delete;
+  TcpStreamServer& operator=(const TcpStreamServer&) = delete;
+
+  // Binds, listens and starts the service thread. False with *error set
+  // on socket failure.
+  bool Start(std::string* error = nullptr);
+
+  // Stops accepting, closes every connection (delivering their final
+  // bytes and closes first) and joins the service thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t connections_accepted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+// TCP transport, client side: connects to `host:port` and returns a sink
+// whose Write is a blocking send. Nullptr with *error set on failure.
+std::unique_ptr<ByteSink> ConnectTcpStream(const std::string& host, uint16_t port,
+                                           std::string* error = nullptr);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TRACE_TRANSPORT_H_

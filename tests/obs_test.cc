@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "src/dispatcher/dispatcher.h"
 #include "src/obs/metrics.h"
 #include "src/obs/probe.h"
+#include "src/obs/scrape_server.h"
 #include "src/obs/snapshot.h"
 #include "src/sim/simulator.h"
 #include "src/timer/queue.h"
@@ -358,6 +360,103 @@ TEST_F(ObsTest, SnapshotOrderIsSortedAndStable) {
   EXPECT_EQ(snap.entries[1].labels[0].second, "a");
   EXPECT_EQ(snap.entries[2].labels[0].second, "b");
   EXPECT_EQ(snap.entries[3].name, "zebra");
+}
+
+// --- JSON label escaping ---
+
+TEST_F(ObsTest, JsonLabelValuesAreEscaped) {
+  Registry reg;
+  // Backslashes, quotes, a newline, a tab and a raw control byte: every
+  // class the JSON escaper must neutralise.
+  reg.GetCounter("esc_total", {{"path", "C:\\temp\\\"quoted\"\nline\tcol\x01"}})
+      ->Inc(3);
+  const std::string json = obs::RenderJson(reg.TakeSnapshot());
+  EXPECT_NE(json.find("C:\\\\temp\\\\\\\"quoted\\\"\\nline\\tcol\\u0001"),
+            std::string::npos)
+      << json;
+  // No raw newline or control byte may survive: either would break a
+  // strict JSON consumer.
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  EXPECT_EQ(json.find('\x01'), std::string::npos) << json;
+  EXPECT_EQ(json.find('\t'), std::string::npos) << json;
+}
+
+// --- the Prometheus text parser ---
+
+TEST_F(ObsTest, ParsePrometheusTextReadsSamplesAndDecodesEscapes) {
+  const std::string text =
+      "# HELP ops Operations.\n"
+      "# TYPE ops counter\n"
+      "ops_total{queue=\"heap\",path=\"C:\\\\x\\n\\\"q\\\"\"} 42\n"
+      "depth -3.5\n";
+  std::vector<obs::PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(text, &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "ops_total");
+  ASSERT_EQ(samples[0].labels.size(), 2u);
+  EXPECT_EQ(samples[0].labels[0].second, "heap");
+  EXPECT_EQ(samples[0].labels[1].second, "C:\\x\n\"q\"");
+  EXPECT_EQ(samples[0].value, 42.0);
+  EXPECT_EQ(samples[1].name, "depth");
+  EXPECT_EQ(samples[1].value, -3.5);
+}
+
+TEST_F(ObsTest, ParsePrometheusTextRejectsMalformedLines) {
+  std::vector<obs::PromSample> samples;
+  std::string error;
+  EXPECT_FALSE(obs::ParsePrometheusText("ops{unclosed 3\n", &samples, &error));
+  EXPECT_FALSE(obs::ParsePrometheusText("ops not-a-number\n", &samples, &error));
+  EXPECT_FALSE(obs::ParsePrometheusText("{} 3\n", &samples, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+// --- the scrape endpoint ---
+
+TEST_F(ObsTest, ScrapeServerServesParseableMetricsOverHttp) {
+  Registry reg;
+  reg.GetCounter("scrape_ops", {{"queue", "heap"}})->Inc(9);
+  reg.GetGauge("scrape_depth")->Set(-4);
+  const std::string rendered = obs::RenderPrometheus(reg.TakeSnapshot());
+  obs::ScrapeServer server([&rendered] { return rendered; });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      obs::HttpGet("127.0.0.1", server.port(), "/metrics", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, rendered);
+
+  // The served text must round-trip through a strict exposition parser —
+  // the curl-equivalent proof the endpoint speaks real Prometheus.
+  std::vector<obs::PromSample> samples;
+  ASSERT_TRUE(obs::ParsePrometheusText(body, &samples, &error)) << error;
+  bool found = false;
+  for (const obs::PromSample& s : samples) {
+    if (s.name == "scrape_ops_total" && !s.labels.empty() &&
+        s.labels[0].second == "heap" && s.value == 9.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << body;
+  server.Stop();
+}
+
+TEST_F(ObsTest, ScrapeServerRejectsUnknownPaths) {
+  obs::ScrapeServer server([] { return std::string("x 1\n"); });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      obs::HttpGet("127.0.0.1", server.port(), "/nope", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  server.Stop();
 }
 
 }  // namespace

@@ -210,6 +210,41 @@ bool IsPaperRef(const std::string& path) {
   return path.find("paper") != std::string::npos;
 }
 
+// A gate status field: ".../gate.status" (or any gate object's "status").
+bool IsGateStatus(const std::string& path) {
+  return path.find("gate") != std::string::npos &&
+         (path == "status" ||
+          (path.size() >= 7 && path.compare(path.size() - 7, 7, ".status") == 0));
+}
+
+// Gates report "pass", "fail", or "skipped[: reason]" — a gate whose
+// precondition did not hold on this machine (too few cores, say). Skipped
+// is an explicit third state: not a pass, not a failure, loudly marked so
+// nobody mistakes an unexercised gate for a green one.
+enum class GateState { kPass, kFail, kSkipped };
+
+GateState ClassifyGate(const std::string& status) {
+  if (status == "pass") {
+    return GateState::kPass;
+  }
+  if (status.compare(0, 7, "skipped") == 0) {
+    return GateState::kSkipped;
+  }
+  return GateState::kFail;
+}
+
+const char* GateStateName(GateState state) {
+  switch (state) {
+    case GateState::kPass:
+      return "pass";
+    case GateState::kFail:
+      return "fail";
+    case GateState::kSkipped:
+      return "skipped";
+  }
+  return "fail";
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -276,6 +311,29 @@ int main(int argc, char** argv) {
     benches.push_back(std::move(bench));
   }
 
+  // Every gate across the inputs, with skipped ones warned about on
+  // stderr: skipping is legitimate (exit stays 0) but never silent.
+  struct Gate {
+    std::string file;
+    std::string path;
+    GateState state;
+    std::string status;
+  };
+  std::vector<Gate> gates;
+  for (const Bench& bench : benches) {
+    for (const FlatValue& v : bench.values) {
+      if (v.is_string && IsGateStatus(v.path)) {
+        gates.push_back({bench.file, v.path, ClassifyGate(v.value), v.value});
+      }
+    }
+  }
+  for (const Gate& gate : gates) {
+    if (gate.state == GateState::kSkipped) {
+      std::fprintf(stderr, "warning: %s: gate %s SKIPPED (%s)\n",
+                   gate.file.c_str(), gate.path.c_str(), gate.status.c_str());
+    }
+  }
+
   if (format == tools::OutputFormat::kJson) {
     std::string out = "{\"benches\":[";
     for (size_t i = 0; i < benches.size(); ++i) {
@@ -293,6 +351,16 @@ int main(int argc, char** argv) {
       }
       out += "}}";
     }
+    out += "],\"gates\":[";
+    for (size_t i = 0; i < gates.size(); ++i) {
+      const Gate& gate = gates[i];
+      if (i > 0) {
+        out += ",";
+      }
+      out += "{\"file\":\"" + JsonEscape(gate.file) + "\",\"path\":\"" +
+             JsonEscape(gate.path) + "\",\"state\":\"" + GateStateName(gate.state) +
+             "\",\"status\":\"" + JsonEscape(gate.status) + "\"}";
+    }
     out += "]}";
     std::printf("%s\n", out.c_str());
   } else {
@@ -305,9 +373,19 @@ int main(int argc, char** argv) {
         width = std::max(width, v.path.size());
       }
       for (const FlatValue& v : bench.values) {
-        std::printf("  %-*s = %s%s\n", static_cast<int>(width), v.path.c_str(),
-                    v.value.c_str(), IsPaperRef(v.path) ? "   [paper]" : "");
+        const bool skipped = v.is_string && IsGateStatus(v.path) &&
+                             ClassifyGate(v.value) == GateState::kSkipped;
+        std::printf("  %-*s = %s%s%s\n", static_cast<int>(width), v.path.c_str(),
+                    v.value.c_str(), IsPaperRef(v.path) ? "   [paper]" : "",
+                    skipped ? "   [SKIPPED]" : "");
       }
+    }
+    size_t skipped = 0;
+    for (const Gate& gate : gates) {
+      skipped += gate.state == GateState::kSkipped ? 1 : 0;
+    }
+    if (!gates.empty()) {
+      std::printf("\ngates: %zu total, %zu skipped\n", gates.size(), skipped);
     }
   }
   return rc;

@@ -27,11 +27,16 @@
 #include <string>
 #include <vector>
 
+#include "src/fleet/aggregator.h"
+#include "src/fleet/host_sim.h"
+#include "src/fleet/server.h"
 #include "src/live/live_analyzer.h"
+#include "src/obs/scrape_server.h"
 #include "src/obs/snapshot.h"
 #include "src/sim/simulator.h"
 #include "src/timer/timer_service.h"
 #include "src/trace/relay.h"
+#include "src/trace/transport.h"
 #include "src/workloads/linux_workloads.h"
 #include "src/workloads/vista_workloads.h"
 #include "tools/common.h"
@@ -233,6 +238,306 @@ void DriveService(RelayChannelSet* channels, RelayDrainer* drainer,
   service.PublishStats();
 }
 
+// --- fleet (cluster) mode ---
+
+// Renders the registry once and serves it over a real HTTP /metrics
+// endpoint, then scrapes it back with the built-in client and re-parses
+// the exposition text — the curl-equivalent round trip, as an assertion.
+int SelfScrape() {
+  const std::string rendered =
+      obs::RenderPrometheus(obs::Registry::Global().TakeSnapshot());
+  obs::ScrapeServer server([&rendered] { return rendered; });
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "serve-metrics FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  int status = 0;
+  std::string body;
+  const bool ok = obs::HttpGet("127.0.0.1", server.port(), "/metrics", &status,
+                               &body, &error);
+  server.Stop();
+  if (!ok || status != 200) {
+    std::fprintf(stderr, "serve-metrics FAILED: %s (status %d)\n",
+                 error.c_str(), status);
+    return 1;
+  }
+  std::vector<obs::PromSample> samples;
+  if (!obs::ParsePrometheusText(body, &samples, &error)) {
+    std::fprintf(stderr, "serve-metrics FAILED: scrape did not round-trip: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stdout, "scrape: GET 127.0.0.1:%u/metrics -> %zu bytes, %zu samples\n",
+               server.port(), body.size(), samples.size());
+  return 0;
+}
+
+void PrintFleetSeries(std::FILE* out, const char* title,
+                      const std::vector<fleet::FleetSeries>& series) {
+  if (series.empty()) {
+    return;
+  }
+  std::fprintf(out, "%s\n", title);
+  std::fprintf(out, "  %-20s %6s %12s %12s %10s %9s %7s %10s\n", "label", "hosts",
+               "sets", "rate/s", "peak/s", "bursting", "bursts", "burstpeak");
+  for (const fleet::FleetSeries& s : series) {
+    std::fprintf(out, "  %-20s %6" PRIu64 " %12" PRIu64 " %12.1f %10.1f %9" PRIu64
+                      " %7" PRIu64 " %10.1f\n",
+                 s.label.c_str(), s.hosts, s.sets, s.rate_sum, s.peak_rate,
+                 s.hosts_bursting, s.bursts, s.burst_peak_rate);
+  }
+}
+
+// One glyph per host: '*' bursting, '!' stale, 'x' lossy, '.' quiet.
+char HostGlyph(const fleet::FleetHostStatus& h) {
+  if (!h.clean) {
+    return 'x';
+  }
+  if (h.stale) {
+    return '!';
+  }
+  return h.burst_active ? '*' : '.';
+}
+
+void PrintFleetText(std::FILE* out, const fleet::FleetView& view) {
+  std::fprintf(out,
+               "tempotop --cluster @ %.1fs  hosts %" PRIu64 " (%" PRIu64
+               " live, %" PRIu64 " stale, %" PRIu64 " closed)  frames %" PRIu64
+               "  records %" PRIu64 "\n",
+               ToSeconds(view.fleet_now), view.hosts_total, view.hosts_live,
+               view.hosts_stale, view.hosts_closed, view.frames_total,
+               view.records_total);
+  PrintFleetSeries(out, "processes:", view.processes);
+  PrintFleetSeries(out, "origins:", view.origins);
+  if (!view.patterns.empty()) {
+    std::fprintf(out, "patterns:");
+    for (const auto& [name, count] : view.patterns) {
+      std::fprintf(out, " %s=%" PRIu64, name.c_str(), count);
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out, "burst map (*=burst !=stale x=lossy):\n");
+  for (size_t i = 0; i < view.hosts.size(); i += 64) {
+    std::fprintf(out, "  ");
+    for (size_t j = i; j < std::min(view.hosts.size(), i + 64); ++j) {
+      std::fputc(HostGlyph(view.hosts[j]), out);
+    }
+    std::fputc('\n', out);
+  }
+  // The hosts an operator has to chase: stale, lossy or dirty-closed.
+  size_t shown = 0;
+  for (const fleet::FleetHostStatus& h : view.hosts) {
+    if (h.clean && !h.stale) {
+      continue;
+    }
+    if (shown == 0) {
+      std::fprintf(out, "lagging/lossy hosts:\n");
+    }
+    if (++shown > 10) {
+      std::fprintf(out, "  ...\n");
+      break;
+    }
+    std::fprintf(out,
+                 "  %-16s %s age=%.1fs seq=%" PRIu64 " gaps=%" PRIu64
+                 " dup=%" PRIu64 " relay_dropped=%" PRIu64 "\n",
+                 h.host.c_str(), h.stale ? "STALE" : "LOSSY", ToSeconds(h.age),
+                 h.sequence, h.sequence_gaps, h.duplicates, h.relay_dropped);
+  }
+  for (const fleet::FleetSourceStatus& s : view.sources) {
+    std::fprintf(out, "source %s: frames=%" PRIu64 " decode_errors=%" PRIu64 "%s%s\n",
+                 s.source.c_str(), s.frames, s.decode_errors,
+                 s.last_error.empty() ? "" : " last_error=",
+                 s.last_error.c_str());
+  }
+  std::fprintf(out,
+               "loss: decode_errors=%" PRIu64 " sequence_gaps=%" PRIu64
+               " duplicates=%" PRIu64 " dirty_closes=%" PRIu64
+               " relay_dropped=%" PRIu64 " -> %s\n",
+               view.decode_errors_total, view.sequence_gaps_total,
+               view.duplicates_total, view.dirty_closes_total,
+               view.relay_dropped_total, view.clean() ? "clean" : "LOSSY");
+}
+
+void PrintFleetJson(std::FILE* out, const fleet::FleetView& view) {
+  std::string json = "{";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "\"fleet_now_s\":%.3f,\"hosts_total\":%" PRIu64
+                ",\"hosts_live\":%" PRIu64 ",\"hosts_stale\":%" PRIu64
+                ",\"hosts_closed\":%" PRIu64 ",\"frames\":%" PRIu64
+                ",\"records\":%" PRIu64 ",\"clean\":%s,",
+                ToSeconds(view.fleet_now), view.hosts_total, view.hosts_live,
+                view.hosts_stale, view.hosts_closed, view.frames_total,
+                view.records_total, view.clean() ? "true" : "false");
+  json += buf;
+  auto series_json = [&](const char* key, const std::vector<fleet::FleetSeries>& list) {
+    json += std::string("\"") + key + "\":[";
+    for (size_t i = 0; i < list.size(); ++i) {
+      const fleet::FleetSeries& s = list[i];
+      if (i > 0) {
+        json += ",";
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"label\":\"%s\",\"hosts\":%" PRIu64 ",\"sets\":%" PRIu64
+                    ",\"rate\":%.3f,\"peak_rate\":%.3f,\"hosts_bursting\":%" PRIu64
+                    ",\"bursts\":%" PRIu64 ",\"burst_peak_rate\":%.3f}",
+                    JsonEscape(s.label).c_str(), s.hosts, s.sets, s.rate_sum,
+                    s.peak_rate, s.hosts_bursting, s.bursts, s.burst_peak_rate);
+      json += buf;
+    }
+    json += "]";
+  };
+  series_json("processes", view.processes);
+  json += ",";
+  series_json("origins", view.origins);
+  json += ",\"patterns\":{";
+  for (size_t i = 0; i < view.patterns.size(); ++i) {
+    if (i > 0) {
+      json += ",";
+    }
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
+                  JsonEscape(view.patterns[i].first).c_str(),
+                  view.patterns[i].second);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"loss\":{\"decode_errors\":%" PRIu64 ",\"sequence_gaps\":%" PRIu64
+                ",\"duplicates\":%" PRIu64 ",\"dirty_closes\":%" PRIu64
+                ",\"relay_dropped\":%" PRIu64 "},\"burst_map\":\"",
+                view.decode_errors_total, view.sequence_gaps_total,
+                view.duplicates_total, view.dirty_closes_total,
+                view.relay_dropped_total);
+  json += buf;
+  for (const fleet::FleetHostStatus& h : view.hosts) {
+    json += HostGlyph(h);
+  }
+  json += "\",\"metrics\":";
+  json += obs::RenderJson(obs::Registry::Global().TakeSnapshot());
+  json += "}";
+  std::fprintf(out, "%s\n", json.c_str());
+}
+
+int RunCluster(const tools::ParsedArgs& args, tools::OutputFormat format) {
+  const size_t hosts = static_cast<size_t>(args.UintValue("cluster", 4));
+  if (hosts == 0) {
+    std::fprintf(stderr, "error: --cluster needs at least one host\n");
+    return 2;
+  }
+  const std::string transport = args.Value("transport", 0, "pipe");
+  if (transport != "pipe" && transport != "tcp") {
+    std::fprintf(stderr, "error: unknown transport %s\n", transport.c_str());
+    return 2;
+  }
+  const size_t top_k = static_cast<size_t>(args.UintValue("topk", 10));
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.stale_after = FromSeconds(args.DoubleValue("stale", 3.0));
+
+  fleet::FleetRunOptions run;
+  run.hosts = hosts;
+  run.duration = FromSeconds(args.DoubleValue("fleet-seconds", 8.0));
+  run.publish_period = FromSeconds(args.DoubleValue("publish", 0.5));
+  run.seed = args.UintValue("seed", 2008);
+  run.threads = static_cast<size_t>(args.UintValue("fleet-threads", 0));
+  if (run.duration <= 0 || run.publish_period <= 0) {
+    std::fprintf(stderr, "error: --fleet-seconds and --publish must be positive\n");
+    return 2;
+  }
+
+  // Both transports end in the same aggregator; only the byte path and the
+  // locking differ (the pipe hub drains on this thread, TCP on its own).
+  std::unique_ptr<fleet::FleetAggregator> pipe_aggregator;
+  std::unique_ptr<fleet::FleetCollector> pipe_collector;
+  std::unique_ptr<InProcessPipeHub> hub;
+  std::unique_ptr<fleet::FleetTcpServer> server;
+  if (transport == "pipe") {
+    pipe_aggregator = std::make_unique<fleet::FleetAggregator>(fleet_options);
+    pipe_collector = std::make_unique<fleet::FleetCollector>(pipe_aggregator.get());
+    hub = std::make_unique<InProcessPipeHub>(pipe_collector->Handler());
+    run.connect = [&hub](const std::string& host) { return hub->Connect(host); };
+    run.after_round = [&hub](SimTime) { hub->Drain(); };
+  } else {
+    server = std::make_unique<fleet::FleetTcpServer>(fleet_options);
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "error: fleet server: %s\n", error.c_str());
+      return 1;
+    }
+    const uint16_t port = server->port();
+    run.connect = [port](const std::string& host) {
+      std::string connect_error;
+      auto sink = ConnectTcpStream("127.0.0.1", port, &connect_error);
+      if (sink == nullptr) {
+        std::fprintf(stderr, "error: %s: %s\n", host.c_str(), connect_error.c_str());
+      }
+      return sink;
+    };
+  }
+
+  const fleet::FleetRunResult result = fleet::RunFleet(run);
+  fleet::FleetView view;
+  uint64_t burst_hosts = 0;
+  const std::string burst_label = args.Value("check-fleet-burst", 0);
+  const double burst_rate = args.DoubleValue("check-fleet-burst", 0.0, 1);
+  if (hub != nullptr) {
+    hub->Drain();  // deliver the final frames and closes
+    pipe_aggregator->SyncObs();
+    view = pipe_aggregator->TakeView(top_k);
+    burst_hosts = pipe_aggregator->HostsWithBurst(burst_label, burst_rate);
+  } else {
+    server->Stop();  // drains every socket, reports every close
+    server->SyncObs();
+    view = server->View(top_k);
+    burst_hosts = server->HostsWithBurst(burst_label, burst_rate);
+  }
+
+  if (format == tools::OutputFormat::kJson) {
+    PrintFleetJson(stdout, view);
+  } else {
+    PrintFleetText(stdout, view);
+  }
+
+  int rc = 0;
+  if (args.Has("check-hosts")) {
+    const uint64_t want = args.UintValue("check-hosts", 0);
+    if (view.hosts_total != want || view.hosts_live != want) {
+      std::fprintf(stderr,
+                   "check-hosts FAILED: want %" PRIu64 " live hosts, have %" PRIu64
+                   " total / %" PRIu64 " live\n",
+                   want, view.hosts_total, view.hosts_live);
+      rc = 1;
+    }
+  }
+  if (args.Has("check-fleet-burst")) {
+    const double fraction = args.DoubleValue("check-fleet-burst", 0.0, 2);
+    const double need = fraction * static_cast<double>(view.hosts_total);
+    if (static_cast<double>(burst_hosts) < need) {
+      std::fprintf(stderr,
+                   "check-fleet-burst FAILED: %s >= %.0f sets/s on %" PRIu64
+                   " hosts, need %.1f (%.0f%% of %" PRIu64 ")\n",
+                   burst_label.c_str(), burst_rate, burst_hosts, need,
+                   fraction * 100.0, view.hosts_total);
+      rc = 1;
+    }
+  }
+  if (args.Has("check-clean") && !view.clean()) {
+    std::fprintf(stderr,
+                 "check-clean FAILED: decode_errors=%" PRIu64 " sequence_gaps=%" PRIu64
+                 " duplicates=%" PRIu64 " dirty_closes=%" PRIu64
+                 " relay_dropped=%" PRIu64 "\n",
+                 view.decode_errors_total, view.sequence_gaps_total,
+                 view.duplicates_total, view.dirty_closes_total,
+                 view.relay_dropped_total);
+    rc = 1;
+  }
+  if (args.Has("serve-metrics") && SelfScrape() != 0) {
+    rc = 1;
+  }
+  (void)result;
+  return rc;
+}
+
 }  // namespace
 }  // namespace tempo
 
@@ -250,22 +555,38 @@ int main(int argc, char** argv) {
       {"burst-clear", 1, "RATE", "sets/s that ends a burst (default 2500)"},
       {"check-burst", 2, "LABEL MIN", "exit 1 unless LABEL burst-peaked >= MIN sets/s"},
       {"check-rate", 3, "LABEL LO HI", "exit 1 unless LABEL mean rate is in [LO, HI]"},
+      {"serve-metrics", 0, "", "serve /metrics over HTTP and self-scrape it"},
+      {"cluster", 1, "HOSTS", "fleet mode: simulate HOSTS desktops, aggregate"},
+      {"fleet-seconds", 1, "S", "fleet mode: simulated run length (default 8)"},
+      {"publish", 1, "S", "fleet mode: summary publish period (default 0.5)"},
+      {"stale", 1, "S", "fleet mode: host staleness threshold (default 3)"},
+      {"fleet-threads", 1, "T", "fleet mode: worker threads (0 = auto)"},
+      {"transport", 1, "pipe|tcp", "fleet mode: summary transport (default pipe)"},
+      {"check-hosts", 1, "N", "exit 1 unless the aggregator saw N live hosts"},
+      {"check-fleet-burst", 3, "LABEL RATE FRAC",
+       "exit 1 unless LABEL burst >= RATE on FRAC of hosts"},
+      {"check-clean", 0, "", "exit 1 if any summary/record was lost"},
   };
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
-  if (!args.ok() || args.positionals().size() != 1) {
+  const bool cluster = args.ok() && args.Has("cluster");
+  if (!args.ok() || args.positionals().size() != (cluster ? 0 : 1)) {
     if (!args.ok()) {
       std::fprintf(stderr, "error: %s\n", args.error().c_str());
     }
-    tools::PrintUsage(stderr, argv[0], "<workload>", kFlags, kWorkloadList);
+    tools::PrintUsage(stderr, argv[0], "<workload> | --cluster HOSTS", kFlags,
+                      kWorkloadList);
     return 2;
   }
-  const std::string& which = args.positionals()[0];
   tools::OutputFormat format = tools::OutputFormat::kText;
   if (!tools::ParseFormatName(args.Value("format", 0, "text"), &format)) {
     std::fprintf(stderr, "error: unknown format %s\n",
                  args.Value("format").c_str());
     return 2;
   }
+  if (cluster) {
+    return RunCluster(args, format);
+  }
+  const std::string& which = args.positionals()[0];
   const double minutes = args.DoubleValue("minutes", 2.0);
   const uint64_t seed = args.UintValue("seed", 2008);
   const double window_s = args.DoubleValue("window", 1.0);
@@ -409,6 +730,9 @@ int main(int argc, char** argv) {
                    label.c_str(), s == nullptr ? 0.0 : s->mean_rate, lo, hi);
       rc = 1;
     }
+  }
+  if (args.Has("serve-metrics") && SelfScrape() != 0) {
+    rc = 1;
   }
   return rc;
 }
