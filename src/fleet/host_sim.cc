@@ -179,6 +179,10 @@ FleetRunResult RunFleet(const FleetRunOptions& options) {
     }
     slots[i].host = std::make_unique<SimulatedHost>(std::move(host));
     slots[i].sink = options.connect(slots[i].host->name());
+    // A failed connect is a host that is dead from round one: it still
+    // simulates (the fleet's workload shape must not depend on transport
+    // health) but never publishes, and the aggregator reports it missing.
+    slots[i].alive = slots[i].sink != nullptr;
   }
 
   size_t threads = options.threads;
@@ -211,7 +215,7 @@ FleetRunResult RunFleet(const FleetRunOptions& options) {
           if (slot.alive) {
             slot.alive = slot.host->Publish(slot.sink.get());
           }
-          if (last) {
+          if (last && slot.sink != nullptr) {
             slot.sink->Close();
           }
         }

@@ -1,5 +1,6 @@
 #include "src/fleet/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -20,8 +21,11 @@ void PutF64(double v, std::vector<uint8_t>* out) {
 }
 
 void PutString(const std::string& s, std::vector<uint8_t>* out) {
-  Put16(static_cast<uint16_t>(s.size()), out);
-  out->insert(out->end(), s.begin(), s.end());
+  // Names are human-scale; clamp to the u16 length prefix so the encoder
+  // can never emit a prefix that contradicts the bytes that follow.
+  const size_t n = std::min<size_t>(s.size(), 0xffff);
+  Put16(static_cast<uint16_t>(n), out);
+  out->insert(out->end(), s.begin(), s.begin() + static_cast<ptrdiff_t>(n));
 }
 
 void PutSeries(const SeriesSummary& series, std::vector<uint8_t>* out) {
@@ -152,36 +156,7 @@ bool DecodePayload(const uint8_t* data, size_t size, HostSummary* out) {
   return reader.remaining() == 0;
 }
 
-}  // namespace
-
-const char* FleetReadErrorName(FleetReadError error) {
-  switch (error) {
-    case FleetReadError::kTruncated:
-      return "truncated frame";
-    case FleetReadError::kMagic:
-      return "bad magic";
-    case FleetReadError::kVersion:
-      return "unknown version";
-    case FleetReadError::kOversized:
-      return "oversized length prefix";
-    case FleetReadError::kChecksum:
-      return "checksum mismatch";
-    case FleetReadError::kCorrupt:
-      return "corrupt payload";
-  }
-  return "unknown error";
-}
-
-uint64_t FleetChecksum(const uint8_t* data, size_t size) {
-  uint64_t hash = 14695981039346656037ull;
-  for (size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-std::vector<uint8_t> EncodeSummaryFrame(const HostSummary& summary) {
+std::vector<uint8_t> EncodePayload(const HostSummary& summary) {
   std::vector<uint8_t> payload;
   payload.reserve(256 + 80 * (summary.processes.size() + summary.origins.size()));
   PutString(summary.host, &payload);
@@ -215,6 +190,56 @@ std::vector<uint8_t> EncodeSummaryFrame(const HostSummary& summary) {
   for (const MetricSummary& metric : summary.metrics) {
     PutString(metric.name, &payload);
     Put64(static_cast<uint64_t>(metric.value), &payload);
+  }
+  return payload;
+}
+
+}  // namespace
+
+const char* FleetReadErrorName(FleetReadError error) {
+  switch (error) {
+    case FleetReadError::kTruncated:
+      return "truncated frame";
+    case FleetReadError::kMagic:
+      return "bad magic";
+    case FleetReadError::kVersion:
+      return "unknown version";
+    case FleetReadError::kOversized:
+      return "oversized length prefix";
+    case FleetReadError::kChecksum:
+      return "checksum mismatch";
+    case FleetReadError::kCorrupt:
+      return "corrupt payload";
+  }
+  return "unknown error";
+}
+
+uint64_t FleetChecksum(const uint8_t* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeSummaryFrame(const HostSummary& summary) {
+  std::vector<uint8_t> payload = EncodePayload(summary);
+  if (payload.size() > kMaxSummaryFrameBytes) {
+    // A host must never emit a frame its own decoder rejects as oversized.
+    // Halve every list until the frame fits (the fixed header always does):
+    // the aggregator still sees the host and its counters, just with the
+    // tail of a pathological series population dropped.
+    HostSummary trimmed = summary;
+    const auto halve = [](auto* v) { v->resize(v->size() / 2); };
+    do {
+      halve(&trimmed.processes);
+      halve(&trimmed.origins);
+      halve(&trimmed.patterns);
+      halve(&trimmed.channels);
+      halve(&trimmed.metrics);
+      payload = EncodePayload(trimmed);
+    } while (payload.size() > kMaxSummaryFrameBytes);
   }
 
   std::vector<uint8_t> frame;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -134,6 +135,16 @@ void ScrapeServer::Serve() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       continue;
+    }
+    // One connection is served at a time: bound its reads and writes so an
+    // idle or trickling client cannot wedge the thread (recv fails with
+    // EAGAIN after the timeout, which ReadRequestHead treats as an error).
+    if (options_.io_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.io_timeout_ms / 1000;
+      tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     Handle(fd);
     ::close(fd);

@@ -34,6 +34,10 @@ class ScrapeServer {
     uint16_t port = 0;  // 0: ephemeral, read back via port()
     std::string bind_address = "127.0.0.1";
     std::string path = "/metrics";
+    // Per-socket send/receive timeout. The server handles one connection
+    // at a time, so a client that connects and goes quiet would otherwise
+    // wedge the serving thread (and Stop()) forever.
+    int io_timeout_ms = 2000;
   };
 
   explicit ScrapeServer(BodyFn body);

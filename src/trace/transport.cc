@@ -167,6 +167,9 @@ struct TcpStreamServer::Impl {
       if (ready <= 0) {
         continue;
       }
+      // Only the connections polled this iteration have entries in `fds`;
+      // an accept below appends to `conns` past this bound.
+      const size_t polled = conns.size();
       if ((fds[0].revents & POLLIN) != 0) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd >= 0) {
@@ -178,7 +181,7 @@ struct TcpStreamServer::Impl {
       }
       // Walk backwards so erasing a dead connection is cheap and does not
       // disturb the fd <-> conn pairing of entries not yet visited.
-      for (size_t i = conns.size(); i-- > 0;) {
+      for (size_t i = polled; i-- > 0;) {
         const short revents = fds[i + 1].revents;
         if (revents == 0) {
           continue;
@@ -207,7 +210,11 @@ struct TcpStreamServer::Impl {
           handler.on_bytes(conn.source, buffer, static_cast<size_t>(n));
         }
       }
-      CloseConn(&conn, /*clean=*/n == 0);
+      // n == 0 is a peer-side orderly shutdown; EAGAIN means the peer was
+      // simply idle when we stopped — a server-initiated close, not loss.
+      const bool clean =
+          n == 0 || (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+      CloseConn(&conn, clean);
     }
   }
 };

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/fleet/aggregator.h"
@@ -118,6 +120,42 @@ TEST(FleetWire, SingleByteFragmentsDecodeIdentically) {
   }
   ASSERT_EQ(decoder.Next(&out, &error), FrameDecoder::Status::kFrame);
   EXPECT_EQ(out, original);
+}
+
+TEST(FleetWire, OversizedStringIsClampedToAConsistentFrame) {
+  // A name beyond the u16 length prefix must be clamped at encode time,
+  // not emitted as a self-contradictory frame the decoder calls corrupt.
+  const HostSummary original = RichSummary(std::string(70000, 'h'));
+  const std::vector<uint8_t> frame = EncodeSummaryFrame(original);
+  HostSummary decoded;
+  FleetReadError error;
+  ASSERT_EQ(DecodeSummaryFrame(frame.data(), frame.size(), &decoded, &error),
+            FrameDecoder::Status::kFrame);
+  EXPECT_EQ(decoded.host.size(), 0xffffu);
+  EXPECT_EQ(decoded.host, original.host.substr(0, 0xffff));
+  EXPECT_EQ(decoded.sequence, original.sequence);
+}
+
+TEST(FleetWire, PathologicalSummaryIsTrimmedToTheFrameBound) {
+  // A summary whose encoding would exceed kMaxSummaryFrameBytes must be
+  // trimmed at the source: the host's frame always decodes, with the
+  // header counters intact and only the series tail dropped.
+  HostSummary huge = RichSummary();
+  SeriesSummary series = huge.processes[0];
+  series.label = std::string(1000, 'p');
+  huge.processes.assign(6000, series);  // ~6 MiB of series alone
+  const std::vector<uint8_t> frame = EncodeSummaryFrame(huge);
+  ASSERT_LE(frame.size(),
+            kFrameHeaderBytes + kMaxSummaryFrameBytes + kFrameTrailerBytes);
+  HostSummary decoded;
+  FleetReadError error;
+  ASSERT_EQ(DecodeSummaryFrame(frame.data(), frame.size(), &decoded, &error),
+            FrameDecoder::Status::kFrame)
+      << FleetReadErrorName(error);
+  EXPECT_EQ(decoded.host, huge.host);
+  EXPECT_EQ(decoded.records, huge.records);
+  EXPECT_FALSE(decoded.processes.empty());
+  EXPECT_LT(decoded.processes.size(), huge.processes.size());
 }
 
 // --- the error taxonomy ---
@@ -399,6 +437,57 @@ TEST(FleetEndToEnd, SimulatedFleetOverTcpIsLossless) {
   EXPECT_EQ(view.records_total, result.records);
   EXPECT_TRUE(view.clean());
   EXPECT_EQ(server.HostsWithBurst("outlook.exe", 5000.0), 2u);
+}
+
+TEST(FleetEndToEnd, FailedConnectIsADeadHostNotACrash) {
+  FleetAggregator agg(Quiet());
+  FleetCollector collector(&agg);
+  InProcessPipeHub hub(collector.Handler());
+  FleetRunOptions run;
+  run.hosts = 3;
+  run.duration = 2 * kSecond;
+  run.seed = 7;
+  size_t connects = 0;
+  run.connect = [&](const std::string& host) -> std::unique_ptr<ByteSink> {
+    if (++connects == 2) {
+      return nullptr;  // the second host cannot reach its collector
+    }
+    return hub.Connect(host);
+  };
+  run.after_round = [&hub](SimTime) { hub.Drain(); };
+  const FleetRunResult result = RunFleet(run);
+  hub.Drain();
+  EXPECT_EQ(result.hosts, 3u);  // the dead host still simulated
+  const FleetView view = agg.TakeView();
+  EXPECT_EQ(view.hosts_total, 2u);  // ...but never published
+  EXPECT_EQ(view.frames_total, result.frames);
+  EXPECT_GT(view.frames_total, 0u);
+}
+
+TEST(FleetEndToEnd, StopWithIdleOpenConnectionIsACleanClose) {
+  FleetOptions options = Quiet();
+  FleetTcpServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto sink = ConnectTcpStream("127.0.0.1", server.port(), &error);
+  ASSERT_NE(sink, nullptr) << error;
+  HostSummary summary = RichSummary("idle-host", 1);
+  summary.channels[1].dropped = 0;  // a lossless host, merely idle
+  const std::vector<uint8_t> frame = EncodeSummaryFrame(summary);
+  ASSERT_TRUE(sink->Write(frame.data(), frame.size()));
+  // Wait until the frame has been consumed, so the stop-time drain finds
+  // an idle (EAGAIN), healthy socket rather than pending bytes.
+  for (int i = 0; i < 500 && server.View().frames_total < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.Stop();
+  const FleetView view = server.View();
+  ASSERT_EQ(view.frames_total, 1u);
+  // An idle-but-open peer at shutdown is a server-initiated close, not
+  // loss: it must not surface as a dirty close and flip the fleet lossy.
+  EXPECT_EQ(view.dirty_closes_total, 0u);
+  EXPECT_TRUE(view.clean());
+  sink->Close();
 }
 
 }  // namespace

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <string>
 #include <vector>
 
@@ -443,6 +448,33 @@ TEST_F(ObsTest, ScrapeServerServesParseableMetricsOverHttp) {
     }
   }
   EXPECT_TRUE(found) << body;
+  server.Stop();
+}
+
+TEST_F(ObsTest, ScrapeServerSurvivesAnIdleClient) {
+  obs::ScrapeServer::Options options;
+  options.io_timeout_ms = 100;
+  obs::ScrapeServer server([] { return std::string("x 1\n"); }, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  // Connect and send nothing. Without a receive timeout this parks the
+  // serving thread in recv() forever and starves every later scrape.
+  const int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // A real scrape queued behind the idle client must still be answered.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      obs::HttpGet("127.0.0.1", server.port(), "/metrics", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "x 1\n");
+  ::close(idle);
   server.Stop();
 }
 
