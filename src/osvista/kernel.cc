@@ -11,7 +11,13 @@ VistaKernel::VistaKernel(Simulator* sim, TraceSink* sink)
     : VistaKernel(sim, sink, Options{}) {}
 
 VistaKernel::VistaKernel(Simulator* sim, TraceSink* sink, Options options)
-    : sim_(sim), sink_(sink), options_(options) {}
+    : VistaKernel(&sim->domain(0), sink, options) {}
+
+VistaKernel::VistaKernel(ClockDomain* domain, TraceSink* sink)
+    : VistaKernel(domain, sink, Options{}) {}
+
+VistaKernel::VistaKernel(ClockDomain* domain, TraceSink* sink, Options options)
+    : domain_(domain), sink_(sink), options_(options) {}
 
 void VistaKernel::Boot() {
   assert(!booted_);
@@ -50,7 +56,7 @@ KTimer* VistaKernel::AllocateTimer(const std::string& callsite, Pid pid, Tid tid
 void VistaKernel::Log(TimerOp op, const KTimer& t, SimDuration timeout, SimTime expiry,
                       uint16_t extra_flags) {
   TraceRecord r;
-  r.timestamp = sim_->Now();
+  r.timestamp = domain_->Now();
   r.timer = t.id;
   r.timeout = timeout;
   r.expiry = expiry;
@@ -70,7 +76,7 @@ void VistaKernel::Log(TimerOp op, const KTimer& t, SimDuration timeout, SimTime 
 }
 
 void VistaKernel::KeSetTimer(KTimer* timer, SimDuration timeout) {
-  const SimTime now = sim_->Now();
+  const SimTime now = domain_->Now();
   if (timeout < 0) {
     timeout = 0;
   }
@@ -139,7 +145,7 @@ VistaKernel::Wait* VistaKernel::BlockThread(Pid pid, Tid tid, const std::string&
   wait->pid_ = pid;
   wait->tid_ = tid;
   wait->done_ = false;
-  wait->block_start_ = sim_->Now();
+  wait->block_start_ = domain_->Now();
   wait->timeout_ = timeout;
   wait->callsite_ = callsites_.Intern(callsite);
   wait->on_wake_ = std::move(on_wake);
@@ -204,7 +210,7 @@ bool VistaKernel::Signal(Wait* wait) {
 void VistaKernel::CompleteWait(Wait* wait, bool satisfied) {
   wait->done_ = true;
   TraceRecord r;
-  r.timestamp = sim_->Now();
+  r.timestamp = domain_->Now();
   r.timer = wait->timer_->id;
   r.timeout = wait->has_timeout_ ? wait->timeout_ : 0;
   r.expiry = wait->block_start_;  // unblock records carry the block start so
@@ -238,7 +244,7 @@ void VistaKernel::BeginTimerResolution(SimDuration period) {
   resolution_requests_.insert(period);
   // Take effect immediately: pull the next interrupt onto the finer grid.
   if (booted_ && tick_event_ != kInvalidEventId) {
-    sim_->Cancel(tick_event_);
+    domain_->Cancel(tick_event_);
     tick_event_ = kInvalidEventId;
     ScheduleNextTick();
   }
@@ -252,34 +258,34 @@ void VistaKernel::EndTimerResolution(SimDuration period) {
 }
 
 void VistaKernel::OnClockInterrupt() {
-  const SimTime now = sim_->Now();
-  sim_->cpu().OnInterrupt(now, /*timer=*/true);
+  const SimTime now = domain_->Now();
+  domain_->cpu().OnInterrupt(now, /*timer=*/true);
   ++clock_interrupts_;
   tick_event_ = kInvalidEventId;
   table_.Advance(now);
   ScheduleNextTick();
-  sim_->cpu().EnterIdle(now);
+  domain_->cpu().EnterIdle(now);
 }
 
 void VistaKernel::ScheduleNextTick() {
   const SimDuration tick = effective_tick();
-  SimTime next = sim_->Now() + tick;
+  SimTime next = domain_->Now() + tick;
   if (options_.coalesce_ticks) {
     const SimTime due = table_.NextExpiry();
     if (due == kNeverTime) {
       // Nothing pending: take one tick 16x out to keep the clock alive.
-      next = sim_->Now() + 16 * tick;
+      next = domain_->Now() + 16 * tick;
       ticks_coalesced_ += 15;
     } else if (due > next) {
       // Skip to the tick at or after the next due time.
       const uint64_t skip =
-          static_cast<uint64_t>((due - sim_->Now() + tick - 1) / tick);
+          static_cast<uint64_t>((due - domain_->Now() + tick - 1) / tick);
       ticks_coalesced_ += skip > 0 ? skip - 1 : 0;
-      next = sim_->Now() + static_cast<SimDuration>(skip) * tick;
+      next = domain_->Now() + static_cast<SimDuration>(skip) * tick;
     }
   }
   tick_scheduled_for_ = next;
-  tick_event_ = sim_->ScheduleAt(next, [this] { OnClockInterrupt(); });
+  tick_event_ = domain_->ScheduleAt(next, [this] { OnClockInterrupt(); });
 }
 
 void VistaKernel::MaybeReprogramTick(SimTime due) {
@@ -289,10 +295,10 @@ void VistaKernel::MaybeReprogramTick(SimTime due) {
   if (due >= tick_scheduled_for_) {
     return;
   }
-  sim_->Cancel(tick_event_);
-  const SimTime earliest = sim_->Now() + effective_tick();
+  domain_->Cancel(tick_event_);
+  const SimTime earliest = domain_->Now() + effective_tick();
   tick_scheduled_for_ = std::max(earliest, due);
-  tick_event_ = sim_->ScheduleAt(tick_scheduled_for_, [this] { OnClockInterrupt(); });
+  tick_event_ = domain_->ScheduleAt(tick_scheduled_for_, [this] { OnClockInterrupt(); });
 }
 
 }  // namespace tempo

@@ -67,15 +67,23 @@ class VistaKernel {
     Options() : clock_tick(kVistaClockTick), coalesce_ticks(false) {}
   };
 
+  // The Simulator* overloads pin the kernel to domain 0 (the classic
+  // single-CPU layout); the ClockDomain* overload pins it to one simulated
+  // CPU of a multi-domain simulator — its clock interrupt, timer table and
+  // RNG draws all live on that domain's clock.
   VistaKernel(Simulator* sim, TraceSink* sink);
   VistaKernel(Simulator* sim, TraceSink* sink, Options options);
+  VistaKernel(ClockDomain* domain, TraceSink* sink);
+  VistaKernel(ClockDomain* domain, TraceSink* sink, Options options);
   VistaKernel(const VistaKernel&) = delete;
   VistaKernel& operator=(const VistaKernel&) = delete;
 
   // Starts the clock interrupt.
   void Boot();
 
-  Simulator& sim() { return *sim_; }
+  Simulator& sim() { return domain_->sim(); }
+  // The clock domain (simulated CPU) this kernel instance is pinned to.
+  ClockDomain& domain() { return *domain_; }
   CallsiteRegistry& callsites() { return callsites_; }
 
   // --- KTIMER interface ---
@@ -140,7 +148,7 @@ class VistaKernel {
   // interrupt must pull the interrupt forward.
   void MaybeReprogramTick(SimTime due);
 
-  Simulator* sim_;
+  ClockDomain* domain_;
   TraceSink* sink_;
   Options options_;
   CallsiteRegistry callsites_;

@@ -1,0 +1,138 @@
+// Per-CPU clock domain for the tempo discrete-event simulator.
+//
+// A ClockDomain is one simulated CPU's share of the simulation: its own
+// virtual clock, pending-event queue, CPU accounting model, RNG stream and
+// cross-domain mailbox. Domains advance independently inside a conservative
+// time window (lookahead = the minimum cross-CPU latency, set on the owning
+// Simulator), which is what lets N domains execute on N worker threads with
+// results byte-identical to the serial driver:
+//
+//   * Everything a domain touches while executing a window — queue, clock,
+//     RNG, Cpu, obs instruments — is domain-local. No locks, no atomics.
+//   * The only cross-domain channel is Post(): an IPI-style message whose
+//     delivery latency is clamped to at least the lookahead, so it always
+//     lands beyond the current window and is merged into the receiver's
+//     queue at the next barrier, in a deterministic (time, sender, sequence)
+//     order that does not depend on thread interleaving.
+//
+// Code running inside a domain's events must use the domain's clock and
+// RNG, never another domain's (and not Simulator::Now(), which reads the
+// globally committed window start). The OS personalities take a domain
+// handle for exactly this reason.
+
+#ifndef TEMPO_SRC_SIM_CLOCK_DOMAIN_H_
+#define TEMPO_SRC_SIM_CLOCK_DOMAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace tempo {
+
+class Simulator;
+
+// One simulated CPU's clock, event queue, RNG stream and mailbox.
+class ClockDomain {
+ public:
+  ClockDomain(const ClockDomain&) = delete;
+  ClockDomain& operator=(const ClockDomain&) = delete;
+
+  // This domain's virtual time. Inside an event callback this is the
+  // firing event's timestamp, exactly like the single-CPU simulator.
+  SimTime Now() const { return now_; }
+
+  // CPU index of this domain within the owning simulator.
+  size_t index() const { return index_; }
+
+  Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
+
+  // Schedules `fn` on this domain at absolute time `at` (clamped to the
+  // domain's current time). Must be called from this domain's own events,
+  // or from the driving thread while the simulation is not running.
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (clamped to >= 0) on this domain.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event on this domain; false if it already fired or
+  // was canceled. Same calling rules as ScheduleAt.
+  bool Cancel(EventId id);
+
+  // Keeps `fn` firing on this domain every `period` for as long as the
+  // returned token is held (see Simulator::SchedulePeriodic).
+  using PeriodicToken = std::shared_ptr<void>;
+  [[nodiscard]] PeriodicToken SchedulePeriodic(SimDuration period,
+                                               std::function<void()> fn);
+
+  // Sends `fn` to domain `target` (an IPI, a remote wakeup, a cross-CPU
+  // work item). Delivery happens at the receiver's clock at time
+  // now + max(latency, lookahead): the clamp is what makes the window
+  // barrier conservative, mirroring real inter-processor interrupt cost.
+  // Posts are merged into the receiver's queue at the next window barrier
+  // in (delivery time, sender index, send order) order, so the delivery
+  // schedule is identical however many worker threads drive the run.
+  // Posting to this domain itself is allowed. Returns the delivery time.
+  SimTime Post(size_t target, SimDuration latency, std::function<void()> fn);
+
+  // Number of events this domain has executed.
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Live (scheduled, not yet fired or canceled) events on this domain.
+  size_t PendingEvents() const { return queue_.Size(); }
+
+  Rng& rng() { return rng_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+
+ private:
+  friend class Simulator;
+
+  // One undelivered cross-domain message.
+  struct CrossPost {
+    size_t target = 0;
+    SimTime at = 0;     // delivery time at the receiver
+    uint64_t seq = 0;   // sender-local send order (mailbox tiebreaker)
+    std::function<void()> fn;
+  };
+
+  ClockDomain(Simulator* sim, size_t index, uint64_t rng_seed,
+              obs::Counter* metric_events, obs::Gauge* metric_queue_hwm);
+
+  // Runs one event (requires a non-empty queue) and advances the clock.
+  void StepOne();
+
+  // Executes every local event with timestamp <= `limit` (the current
+  // window's inclusive upper bound). Only touches domain-local state.
+  void ExecuteWindow(SimTime limit);
+
+  Simulator* sim_;
+  size_t index_;
+  SimTime now_ = 0;
+  uint64_t events_executed_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  Cpu cpu_;
+
+  // Outgoing cross-domain posts accumulated during the current window;
+  // drained by the Simulator at the barrier (never concurrently with
+  // ExecuteWindow).
+  std::vector<CrossPost> outbox_;
+  uint64_t post_seq_ = 0;
+
+  // Per-domain obs instruments (nullptr when the owning simulator's
+  // stats_label is empty).
+  obs::Counter* metric_events_ = nullptr;
+  obs::Gauge* metric_queue_hwm_ = nullptr;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_SIM_CLOCK_DOMAIN_H_

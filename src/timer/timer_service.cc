@@ -214,6 +214,24 @@ size_t TimerService::AdvanceAll(SimTime now) {
   return fired;
 }
 
+size_t TimerService::AdvanceShard(size_t shard_index, SimTime now) {
+  SetTraceTime(now);
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  advance_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.next_expiry.load(std::memory_order_acquire) > now) {
+    shards_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  const size_t fired = AdvanceShardLocked(shard, now);
+  shards_advanced_.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+SimTime TimerService::ShardNextExpiry(size_t shard) const {
+  return shards_[shard % shards_.size()]->next_expiry.load(std::memory_order_acquire);
+}
+
 SimTime TimerService::GlobalNextExpiry() const {
   SimTime best = kNeverTime;
   for (const auto& shard : shards_) {

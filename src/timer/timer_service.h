@@ -82,6 +82,17 @@ class TimerService {
   // expiry order across concurrently advanced shards is unspecified.
   size_t AdvanceAll(SimTime now);
 
+  // Advances a single shard (index taken modulo the shard count) to `now`,
+  // skipping the lock when the shard's published deadline is not due.
+  // Returns the number fired. Thread-safe; this is the per-CPU driving
+  // interface — pin shard i to clock domain i and AdvanceAll's work really
+  // does run in parallel, one shard per simulated CPU.
+  size_t AdvanceShard(size_t shard, SimTime now);
+
+  // The published earliest deadline of one shard (modulo the shard count).
+  // Lock-free, same staleness contract as GlobalNextExpiry().
+  SimTime ShardNextExpiry(size_t shard) const;
+
   // Earliest published deadline across all shards, kNeverTime when idle.
   // Lock-free: reads one atomic per shard; the result is exact while the
   // service is quiescent and a safe lower-resolution hint under concurrent

@@ -1,0 +1,390 @@
+// Tests for per-CPU clock domains and the windowed parallel drivers.
+//
+// The load-bearing property is determinism: a threaded run must be
+// byte-identical to the serial run of the same seed, including RNG draws,
+// cross-domain deliveries, per-domain relay traces and TimerService expiry
+// schedules. Everything here is asserted as exact equality of recorded
+// event logs, never "approximately the same".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/clock_domain.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/timer/timer_service.h"
+#include "src/trace/record.h"
+#include "src/trace/relay.h"
+
+namespace tempo {
+namespace {
+
+// One observed event: which domain, when, which RNG draw, local or a
+// cross-domain delivery.
+struct LogEntry {
+  size_t domain = 0;
+  SimTime at = 0;
+  uint64_t draw = 0;
+  int kind = 0;  // 0 = local step, 1 = cross-domain delivery
+
+  bool operator==(const LogEntry& other) const {
+    return domain == other.domain && at == other.at && draw == other.draw &&
+           kind == other.kind;
+  }
+};
+
+using DomainLogs = std::vector<std::vector<LogEntry>>;
+
+// Seeds every domain with a self-rescheduling chain of `hops` events. Each
+// step draws from the domain's RNG (so any divergence in execution order
+// shows up as diverging draws), sometimes posts a cross-domain delivery,
+// and reschedules itself at an RNG-dependent offset. Appends only to the
+// domain's own log, so the workload is safe under the threaded drivers.
+using StepFn = std::function<void(int)>;
+using Keepalive = std::vector<std::shared_ptr<void>>;
+
+// Reschedules `*step` without the lambda owning it (that would be a
+// shared_ptr cycle); the test scope's keepalive owns the chain instead.
+void Reschedule(ClockDomain& dom, SimDuration delay,
+                const std::weak_ptr<StepFn>& weak, int remaining) {
+  dom.ScheduleAfter(delay, [weak, remaining] {
+    if (const std::shared_ptr<StepFn> step = weak.lock()) {
+      (*step)(remaining);
+    }
+  });
+}
+
+void BuildWorkload(Simulator* sim, DomainLogs* logs, Keepalive* keepalive, int hops) {
+  const size_t n = sim->cpu_count();
+  logs->assign(n, {});
+  for (size_t d = 0; d < n; ++d) {
+    auto step = std::make_shared<StepFn>();
+    keepalive->push_back(step);
+    const std::weak_ptr<StepFn> weak = step;
+    *step = [sim, logs, d, weak](int remaining) {
+      ClockDomain& dom = sim->domain(d);
+      const uint64_t draw = dom.rng().NextU64();
+      (*logs)[d].push_back(LogEntry{d, dom.Now(), draw, 0});
+      if (remaining <= 0) {
+        return;
+      }
+      if (draw % 4 == 0 && sim->cpu_count() > 1) {
+        const size_t target =
+            (d + 1 + draw % (sim->cpu_count() - 1)) % sim->cpu_count();
+        dom.Post(target, static_cast<SimDuration>(draw % 5000),
+                 [sim, logs, target, draw] {
+                   (*logs)[target].push_back(
+                       LogEntry{target, sim->domain(target).Now(), draw, 1});
+                 });
+      }
+      Reschedule(dom, static_cast<SimDuration>(1 + draw % 7919), weak, remaining - 1);
+    };
+    Reschedule(sim->domain(d), static_cast<SimDuration>((d + 1) * 10), weak, hops);
+  }
+}
+
+Simulator::Options MultiCpuOptions(uint64_t seed, size_t cpus) {
+  Simulator::Options options;
+  options.seed = seed;
+  options.cpus = cpus;
+  options.stats_label = "";  // keep registry state out of determinism checks
+  return options;
+}
+
+TEST(ClockDomainTest, SingleCpuOptionsMatchLegacySimulator) {
+  Simulator legacy(42);
+  Simulator split(MultiCpuOptions(42, 4));
+  // Domain 0 must keep the master seed verbatim: every pre-existing trace
+  // depends on its exact stream.
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(legacy.rng().NextU64(), split.domain(0).rng().NextU64());
+  }
+  // The other domains get independent streams.
+  EXPECT_NE(split.domain(1).rng().NextU64(), split.domain(2).rng().NextU64());
+}
+
+TEST(ClockDomainTest, PostClampsLatencyToLookahead) {
+  Simulator sim(MultiCpuOptions(1, 2));
+  std::vector<SimTime> delivered;
+  const SimTime at =
+      sim.domain(0).Post(1, 0, [&delivered, &sim] { delivered.push_back(sim.domain(1).Now()); });
+  EXPECT_EQ(at, sim.lookahead());  // latency 0 clamps up to the lookahead
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], sim.lookahead());
+}
+
+TEST(ClockDomainTest, PostTargetWrapsModuloCpuCount) {
+  Simulator sim(MultiCpuOptions(1, 3));
+  size_t fired_on = 99;
+  sim.domain(0).Post(4, kMicrosecond, [&sim, &fired_on] {
+    // 4 % 3 == 1: the delivery runs at domain 1's clock.
+    fired_on = 1;
+    EXPECT_EQ(sim.domain(1).Now(), kMicrosecond);
+  });
+  sim.Run();
+  EXPECT_EQ(fired_on, 1u);
+}
+
+TEST(ClockDomainTest, CrossDomainFifoTiebreakIsSenderThenSendOrder) {
+  // Four posts landing on domain 0 at the same virtual instant: delivery
+  // order must be (sender 1, post 0), (sender 1, post 1), (sender 2,
+  // post 0), (sender 2, post 1) — never thread- or heap-order.
+  Simulator sim(MultiCpuOptions(9, 3));
+  std::vector<std::pair<size_t, int>> order;
+  for (size_t sender : {size_t{2}, size_t{1}}) {  // schedule in reverse on purpose
+    ClockDomain& dom = sim.domain(sender);
+    dom.ScheduleAt(0, [&sim, &order, sender] {
+      ClockDomain& d = sim.domain(sender);
+      d.Post(0, kMicrosecond, [&order, sender] { order.push_back({sender, 0}); });
+      d.Post(0, kMicrosecond, [&order, sender] { order.push_back({sender, 1}); });
+    });
+  }
+  sim.Run();
+  const std::vector<std::pair<size_t, int>> want = {
+      {1, 0}, {1, 1}, {2, 0}, {2, 1}};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ClockDomainTest, RunUntilAdvancesEveryDomainClock) {
+  Simulator sim(MultiCpuOptions(5, 3));
+  sim.domain(1).ScheduleAt(3 * kMicrosecond, [] {});
+  sim.RunUntil(kMillisecond);
+  for (size_t d = 0; d < sim.cpu_count(); ++d) {
+    EXPECT_EQ(sim.domain(d).Now(), kMillisecond) << "domain " << d;
+  }
+  EXPECT_EQ(sim.Now(), kMillisecond);
+}
+
+TEST(ClockDomainTest, PerDomainCpuAccountingIsIndependent) {
+  Simulator sim(MultiCpuOptions(5, 2));
+  sim.domain(1).ScheduleAt(0, [&sim] {
+    sim.domain(1).cpu().EnterIdle(sim.domain(1).Now());
+  });
+  sim.RunUntil(20 * kMicrosecond);
+  // Idle accounting is finalized per domain at its own clock on every exit
+  // path, and domain 0 is untouched by domain 1's idle period.
+  EXPECT_EQ(sim.domain(1).cpu().idle_time(), 20 * kMicrosecond);
+  EXPECT_EQ(sim.domain(0).cpu().idle_time(), 0);
+}
+
+TEST(ClockDomainTest, EventsExecutedAggregatesAcrossDomains) {
+  Simulator sim(MultiCpuOptions(3, 3));
+  for (size_t d = 0; d < 3; ++d) {
+    sim.domain(d).ScheduleAfter(kMicrosecond, [] {});
+    sim.domain(d).ScheduleAfter(2 * kMicrosecond, [] {});
+  }
+  EXPECT_EQ(sim.PendingEvents(), 6u);
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 6u);
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(sim.domain(d).events_executed(), 2u);
+  }
+}
+
+// The tentpole guarantee: serial and threaded drivers produce identical
+// event-by-event histories for the same seed.
+TEST(ParallelIdentityTest, ThreadedRunMatchesSerialByteForByte) {
+  constexpr uint64_t kSeed = 20080419;
+  constexpr size_t kCpus = 4;
+  constexpr int kHops = 400;
+
+  Simulator serial(MultiCpuOptions(kSeed, kCpus));
+  DomainLogs serial_logs;
+  Keepalive serial_keep;
+  BuildWorkload(&serial, &serial_logs, &serial_keep, kHops);
+  serial.Run();
+
+  Simulator threaded(MultiCpuOptions(kSeed, kCpus));
+  DomainLogs threaded_logs;
+  Keepalive threaded_keep;
+  BuildWorkload(&threaded, &threaded_logs, &threaded_keep, kHops);
+  threaded.RunParallel(kCpus);
+
+  EXPECT_EQ(serial.events_executed(), threaded.events_executed());
+  ASSERT_EQ(serial_logs.size(), threaded_logs.size());
+  for (size_t d = 0; d < serial_logs.size(); ++d) {
+    ASSERT_EQ(serial_logs[d].size(), threaded_logs[d].size()) << "domain " << d;
+    for (size_t i = 0; i < serial_logs[d].size(); ++i) {
+      ASSERT_TRUE(serial_logs[d][i] == threaded_logs[d][i])
+          << "domain " << d << " entry " << i;
+    }
+  }
+}
+
+TEST(ParallelIdentityTest, DeadlineRunsMatchAndOversubscriptionIsSafe) {
+  constexpr uint64_t kSeed = 77;
+  constexpr size_t kCpus = 3;
+  constexpr SimTime kDeadline = 40 * kMillisecond;
+
+  Simulator serial(MultiCpuOptions(kSeed, kCpus));
+  DomainLogs serial_logs;
+  Keepalive serial_keep;
+  BuildWorkload(&serial, &serial_logs, &serial_keep, 1 << 20);  // more hops than fit
+  serial.RunUntil(kDeadline);
+
+  // More worker threads than domains: the pool clamps, results unchanged.
+  Simulator threaded(MultiCpuOptions(kSeed, kCpus));
+  DomainLogs threaded_logs;
+  Keepalive threaded_keep;
+  BuildWorkload(&threaded, &threaded_logs, &threaded_keep, 1 << 20);
+  threaded.RunUntilParallel(kDeadline, 8);
+
+  EXPECT_EQ(serial.Now(), threaded.Now());
+  EXPECT_EQ(serial_logs, threaded_logs);
+  for (size_t d = 0; d < kCpus; ++d) {
+    EXPECT_EQ(serial.domain(d).Now(), threaded.domain(d).Now());
+  }
+}
+
+TEST(ParallelIdentityTest, StopAtWindowBarrierIsDeterministic) {
+  const auto run = [](bool threaded) {
+    Simulator sim(MultiCpuOptions(13, 2));
+    DomainLogs logs;
+    Keepalive keep;
+    BuildWorkload(&sim, &logs, &keep, 1 << 20);
+    sim.domain(1).ScheduleAt(5 * kMillisecond, [&sim] { sim.Stop(); });
+    if (threaded) {
+      sim.RunParallel(2);
+    } else {
+      sim.Run();
+    }
+    return std::make_pair(sim.events_executed(), logs);
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_GT(serial.first, 0u);
+}
+
+// Per-domain relay channels: each domain owns one SPSC channel (pinned at
+// this layer, not inside the sim), logs every step to it, and the k-way
+// drainer merge of the threaded run must equal the serial one.
+TEST(ParallelIdentityTest, PerDomainRelayChannelsMergeIdentically) {
+  const auto run = [](bool threaded) {
+    Simulator sim(MultiCpuOptions(4242, 4));
+    RelayChannelSet channels;
+    std::vector<RelayChannel*> lanes;
+    for (size_t d = 0; d < sim.cpu_count(); ++d) {
+      lanes.push_back(channels.Register(
+          "simdom/" + std::to_string(d),
+          RelayChannelConfig::ForCapacity(1 << 16)));
+    }
+    Keepalive keep;
+    for (size_t d = 0; d < sim.cpu_count(); ++d) {
+      auto step = std::make_shared<StepFn>();
+      keep.push_back(step);
+      const std::weak_ptr<StepFn> weak = step;
+      *step = [&sim, lanes, d, weak](int remaining) {
+        ClockDomain& dom = sim.domain(d);
+        TraceRecord r;
+        r.timestamp = dom.Now();
+        r.timer = static_cast<TimerId>(d + 1);
+        r.timeout = static_cast<SimDuration>(dom.rng().NextU64() % kMillisecond);
+        r.op = TimerOp::kExpire;
+        lanes[d]->TryLog(r);
+        if (remaining > 0) {
+          Reschedule(dom, 1 + static_cast<SimDuration>(r.timeout % 997), weak,
+                     remaining - 1);
+        }
+      };
+      Reschedule(sim.domain(d), static_cast<SimDuration>(d + 1), weak, 300);
+    }
+    if (threaded) {
+      sim.RunParallel();
+    } else {
+      sim.Run();
+    }
+    channels.CloseAll();
+    std::vector<TraceRecord> merged;
+    RelayDrainer drainer(&channels,
+                         [&merged](const TraceRecord& r) { merged.push_back(r); });
+    drainer.Finish();
+    return merged;
+  };
+  const std::vector<TraceRecord> serial = run(false);
+  const std::vector<TraceRecord> parallel = run(true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].timestamp, parallel[i].timestamp) << "record " << i;
+    ASSERT_EQ(serial[i].timer, parallel[i].timer) << "record " << i;
+    ASSERT_EQ(serial[i].timeout, parallel[i].timeout) << "record " << i;
+  }
+}
+
+// TimerService shards pinned one-per-domain: each domain drives only its
+// own shard (AdvanceShard), so the sharded service advances truly in
+// parallel, and the expiry schedule stays deterministic.
+TEST(ParallelIdentityTest, TimerServiceShardPerDomainIsDeterministic) {
+  const auto run = [](bool threaded) {
+    Simulator sim(MultiCpuOptions(1234, 4));
+    TimerService::Options service_options;
+    service_options.shards = 4;
+    service_options.stats_label = threaded ? "simpin_threaded" : "simpin_serial";
+    TimerService service(service_options);
+    DomainLogs fired(4);
+    Keepalive keep;
+    for (size_t d = 0; d < sim.cpu_count(); ++d) {
+      auto step = std::make_shared<StepFn>();
+      keep.push_back(step);
+      const std::weak_ptr<StepFn> weak = step;
+      *step = [&sim, &service, &fired, d, weak](int remaining) {
+        ClockDomain& dom = sim.domain(d);
+        const SimDuration delay =
+            1 + static_cast<SimDuration>(dom.rng().NextU64() % (50 * kMicrosecond));
+        service.ScheduleOn(d, dom.Now() + delay, [&sim, &fired, d](TimerHandle) {
+          fired[d].push_back(LogEntry{d, sim.domain(d).Now(), 0, 1});
+        });
+        // Drain this domain's shard at the domain's own clock.
+        const size_t n = service.AdvanceShard(d, dom.Now());
+        fired[d].push_back(LogEntry{d, dom.Now(), n, 0});
+        if (remaining > 0) {
+          Reschedule(dom, delay, weak, remaining - 1);
+        } else {
+          service.AdvanceShard(d, dom.Now() + kSecond);  // flush the tail
+        }
+      };
+      Reschedule(sim.domain(d), static_cast<SimDuration>(d + 1), weak, 200);
+    }
+    sim.RunUntilParallel(2 * kSecond, threaded ? 4 : 1);
+    return std::make_pair(service.expire_count(), fired);
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_GT(serial.first, 0u);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(ParallelIdentityTest, WorkerPoolSurvivesManyWindows) {
+  // Shake out barrier bugs (missed wakeups, generation races): thousands of
+  // tiny windows through the same pool.
+  Simulator sim(MultiCpuOptions(6, 2));
+  uint64_t ticks[2] = {0, 0};  // domain-local: windows may run concurrently
+  Keepalive keep;
+  for (size_t d = 0; d < 2; ++d) {
+    auto step = std::make_shared<StepFn>();
+    keep.push_back(step);
+    const std::weak_ptr<StepFn> weak = step;
+    *step = [&sim, &ticks, d, weak](int remaining) {
+      ++ticks[d];
+      if (remaining > 0) {
+        Reschedule(sim.domain(d), 10 * kMicrosecond, weak, remaining - 1);
+      }
+    };
+    Reschedule(sim.domain(d), static_cast<SimDuration>(d + 1), weak, 2000);
+  }
+  sim.RunParallel(2);
+  EXPECT_EQ(ticks[0], 2001u);
+  EXPECT_EQ(ticks[1], 2001u);
+}
+
+}  // namespace
+}  // namespace tempo

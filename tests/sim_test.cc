@@ -8,6 +8,8 @@
 #include <numeric>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/probe.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/process.h"
@@ -409,6 +411,171 @@ TEST(ProcessTableTest, ThreadsBelongToProcesses) {
   EXPECT_NE(t1, t2);
   EXPECT_EQ(table.ThreadProcess(t1), p);
   EXPECT_EQ(table.ThreadProcess(t2), p);
+}
+
+// --- event_queue.h lazy-deletion edges ---
+
+TEST(EventQueueTest, CancelThenPopSameTimestampKeepsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(5, [&order] { order.push_back(1); });
+  const EventId middle = q.Schedule(5, [&order] { order.push_back(2); });
+  q.Schedule(5, [&order] { order.push_back(3); });
+  EXPECT_TRUE(q.Cancel(middle));
+  // The canceled entry still holds a heap slot at the same timestamp; Pop
+  // must skip it without disturbing the FIFO order of its neighbours.
+  while (!q.Empty()) {
+    EventQueue::Fired fired = q.Pop();
+    fired.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeOnAllCanceledHeapIsNever) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.Schedule(10 + i, [] {}));
+  }
+  for (const EventId id : ids) {
+    EXPECT_TRUE(q.Cancel(id));
+  }
+  // Every heap entry is a tombstone: NextTime must drain them all and
+  // report empty rather than a canceled entry's timestamp.
+  EXPECT_EQ(q.NextTime(), kNeverTime);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  // Draining also reset the id index; the queue is fully reusable.
+  const EventId fresh = q.Schedule(42, [] {});
+  EXPECT_EQ(q.NextTime(), 42);
+  EXPECT_TRUE(q.Cancel(fresh));
+  EXPECT_EQ(q.NextTime(), kNeverTime);
+}
+
+TEST(EventQueueTest, IndexCompactionThresholdCrossing) {
+  // The id index compacts its dead prefix once it exceeds 4096 entries and
+  // outweighs the live remainder. Drive well past that threshold and check
+  // Cancel still resolves ids correctly on both sides of the compaction.
+  EventQueue q;
+  constexpr int kCount = 10000;
+  std::vector<EventId> ids;
+  ids.reserve(kCount);
+  int fired = 0;
+  for (int i = 0; i < kCount; ++i) {
+    ids.push_back(q.Schedule(i, [&fired] { ++fired; }));
+  }
+  int canceled = 0;
+  for (int i = 0; i < kCount; i += 3) {
+    ASSERT_TRUE(q.Cancel(ids[i]));
+    ++canceled;
+  }
+  SimTime last = -1;
+  while (q.Size() > 100) {
+    EventQueue::Fired f = q.Pop();
+    EXPECT_GE(f.at, last);
+    last = f.at;
+    f.fn();
+  }
+  // Ids consumed before the compaction point are gone for good.
+  EXPECT_FALSE(q.Cancel(ids[1]));
+  EXPECT_FALSE(q.Cancel(ids[3]));  // canceled earlier, not cancelable twice
+  // A still-live tail id resolves through the compacted index.
+  ASSERT_NE(0, (kCount - 2) % 3);
+  EXPECT_TRUE(q.Cancel(ids[kCount - 2]));
+  while (!q.Empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(fired, kCount - canceled - 1);
+}
+
+// --- simulator accounting regressions ---
+
+TEST(SimulatorTest, RunFinalizesIdleAccountingLikeRunUntil) {
+  const auto build = [](Simulator& sim) {
+    sim.ScheduleAt(0, [&sim] { sim.cpu().EnterIdle(sim.Now()); });
+    sim.ScheduleAt(10 * kMicrosecond, [] {});
+  };
+  Simulator a(1);
+  build(a);
+  a.Run();
+  Simulator b(1);
+  build(b);
+  b.RunUntil(10 * kMicrosecond);
+  // Run() used to exit without Cpu::Finish, silently dropping the open
+  // idle period that RunUntil() accounted for.
+  EXPECT_EQ(a.cpu().idle_time(), 10 * kMicrosecond);
+  EXPECT_EQ(a.cpu().idle_time(), b.cpu().idle_time());
+}
+
+TEST(SimulatorTest, ProbeClockAutoUninstallsOnDestruction) {
+  {
+    Simulator sim(7);
+    InstallSimProbeClock(&sim);
+    sim.ScheduleAfter(5, [] {});
+    sim.Run();
+    EXPECT_EQ(obs::ProbeClockNow(), 5u);
+  }
+  // The destructor must restore the default clock; before the fix the
+  // probe clock kept reading the destroyed simulator (a use-after-free
+  // under ASan).
+  EXPECT_EQ(obs::internal::g_probe_clock, &obs::WallCycleClock);
+  (void)obs::ProbeClockNow();
+}
+
+TEST(SimulatorObsTest, QueueDepthHwmIsPerInstance) {
+  Simulator::Options a;
+  a.stats_label = "hwm_test_a";
+  Simulator sa(a);
+  sa.ScheduleAfter(1, [] {});
+  sa.ScheduleAfter(2, [] {});
+  sa.ScheduleAfter(3, [] {});
+  Simulator::Options b;
+  b.stats_label = "hwm_test_b";
+  Simulator sb(b);
+  sb.ScheduleAfter(1, [] {});
+  const obs::MetricsSnapshot snap = obs::Registry::Global().TakeSnapshot();
+  const obs::SnapshotEntry* ga =
+      snap.Find("sim_event_queue_depth_hwm", {{"cpu", "0"}, {"sim", "hwm_test_a"}});
+  const obs::SnapshotEntry* gb =
+      snap.Find("sim_event_queue_depth_hwm", {{"cpu", "0"}, {"sim", "hwm_test_b"}});
+  ASSERT_NE(ga, nullptr);
+  ASSERT_NE(gb, nullptr);
+  // One process-global high-water mark would report max(3, 1) for both.
+  EXPECT_EQ(ga->value, 3);
+  EXPECT_EQ(gb->value, 1);
+}
+
+TEST(SimulatorObsTest, QueueDepthHwmRebaselinesAcrossInstances) {
+  Simulator::Options options;
+  options.stats_label = "hwm_test_rebase";
+  {
+    Simulator deep(options);
+    for (int i = 1; i <= 5; ++i) {
+      deep.ScheduleAfter(i, [] {});
+    }
+    deep.Run();
+  }
+  Simulator shallow(options);
+  shallow.ScheduleAfter(1, [] {});
+  shallow.ScheduleAfter(2, [] {});
+  const obs::MetricsSnapshot snap = obs::Registry::Global().TakeSnapshot();
+  const obs::SnapshotEntry* gauge = snap.Find(
+      "sim_event_queue_depth_hwm", {{"cpu", "0"}, {"sim", "hwm_test_rebase"}});
+  ASSERT_NE(gauge, nullptr);
+  // A Max-only process gauge would still read the first simulator's 5.
+  EXPECT_EQ(gauge->value, 2);
+}
+
+TEST(SimulatorObsTest, EmptyStatsLabelSuppressesInstruments) {
+  Simulator::Options options;
+  options.seed = 3;
+  options.stats_label = "";
+  Simulator sim(options);
+  sim.ScheduleAfter(1, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 1u);
+  const obs::MetricsSnapshot snap = obs::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.Find("sim_events_executed", {{"cpu", "0"}, {"sim", ""}}), nullptr);
 }
 
 }  // namespace
