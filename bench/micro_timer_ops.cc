@@ -13,7 +13,9 @@ namespace tempo {
 namespace {
 
 std::unique_ptr<TimerQueue> MakeByIndex(int index) {
-  return MakeTimerQueue(TimerQueueNames()[static_cast<size_t>(index)]);
+  TimerQueueOptions options;
+  options.name = TimerQueueNames()[static_cast<size_t>(index)];
+  return MakeTimerQueue(options);
 }
 
 // Schedule/cancel churn at a given live population — the webserver pattern

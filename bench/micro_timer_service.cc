@@ -29,6 +29,7 @@
 #include "src/timer/hierarchical_wheel.h"
 #include "src/timer/queue.h"
 #include "src/timer/timer_service.h"
+#include "tools/common.h"
 
 namespace tempo {
 namespace {
@@ -141,8 +142,23 @@ ThroughputResult MeasureThroughput(const std::string& queue, int threads, size_t
 }  // namespace
 }  // namespace tempo
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tempo;
+  const tempo::tools::FlagSpec kFlags[] = {tools::QueueFlag()};
+  const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    tools::PrintUsage(stderr, argv[0], "", kFlags);
+    return 2;
+  }
+  std::vector<std::string> queues = TimerQueueNames();
+  if (args.Has("queue")) {
+    const std::string selected = tools::ResolveQueueName(args, "");
+    if (selected.empty()) {
+      return 2;
+    }
+    queues = {selected};
+  }
   const char* quick_env = std::getenv("TEMPO_QUICK");
   const bool quick = quick_env != nullptr && quick_env[0] == '1';
   const int population = 10000;
@@ -178,7 +194,7 @@ int main() {
               "Mops/s", "contended", "hit-rate", "seconds");
   std::vector<ThroughputResult> throughput;
   int run_id = 0;
-  for (const std::string& queue : TimerQueueNames()) {
+  for (const std::string& queue : queues) {
     for (const int threads : {1, 2, 4, 8}) {
       std::vector<size_t> shard_configs = {1};
       if (threads > 1) {

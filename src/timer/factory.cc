@@ -1,36 +1,90 @@
+// Factory and TimerQueue base-class behaviour: the options constructor,
+// the batch-entry-point defaults, and the monotonic-Advance boundary check.
+
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/timer/hashed_wheel.h"
 #include "src/timer/heap_queue.h"
 #include "src/timer/hierarchical_wheel.h"
+#include "src/timer/lawn.h"
 #include "src/timer/queue.h"
 #include "src/timer/tree_queue.h"
 
 namespace tempo {
 
-std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name) {
-  return MakeTimerQueue(name, name);
+size_t TimerQueue::Advance(SimTime now) {
+  if (now < advance_watermark_) {
+    // The contract says `now` must not go backwards; catch the violation
+    // here so no implementation's hand/cascade state can be corrupted.
+    ++backwards_advances_;
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "TimerQueue::Advance: clock went backwards (%lld < %lld) on %s\n",
+                 static_cast<long long>(now),
+                 static_cast<long long>(advance_watermark_), Name().c_str());
+    std::abort();
+#endif
+    now = advance_watermark_;  // release: clamp to the high-water mark
+  }
+  advance_watermark_ = now;
+  return AdvanceTo(now);
 }
 
-std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name,
-                                           const std::string& stats_label) {
-  if (name == "heap") {
-    return std::make_unique<HeapTimerQueue>(stats_label);
+void TimerQueue::ScheduleBatch(std::span<TimerBatchEntry> entries,
+                               const TimerQueueCallback& cb) {
+  for (TimerBatchEntry& entry : entries) {
+    entry.handle = Schedule(entry.expiry, cb);
   }
-  if (name == "tree") {
-    return std::make_unique<TreeTimerQueue>(stats_label);
+}
+
+size_t TimerQueue::CancelBatch(std::span<const TimerHandle> handles) {
+  size_t canceled = 0;
+  for (const TimerHandle handle : handles) {
+    canceled += Cancel(handle) ? 1 : 0;
   }
-  if (name == "hashed_wheel") {
-    return std::make_unique<HashedWheelTimerQueue>(kMillisecond, 256, stats_label);
+  return canceled;
+}
+
+std::unique_ptr<TimerQueue> MakeTimerQueue(const TimerQueueOptions& options) {
+  const std::string& label =
+      options.stats_label.empty() ? options.name : options.stats_label;
+  if (options.name == "heap") {
+    return std::make_unique<HeapTimerQueue>(label);
   }
-  if (name == "hierarchical_wheel") {
-    return std::make_unique<HierarchicalWheelTimerQueue>(kMillisecond, stats_label);
+  if (options.name == "tree") {
+    return std::make_unique<TreeTimerQueue>(label);
+  }
+  if (options.name == "hashed_wheel") {
+    return std::make_unique<HashedWheelTimerQueue>(options.granularity,
+                                                   options.wheel_slots, label);
+  }
+  if (options.name == "hierarchical_wheel") {
+    return std::make_unique<HierarchicalWheelTimerQueue>(options.granularity, label);
+  }
+  if (options.name == "lawn") {
+    return std::make_unique<LawnTimerQueue>(options.granularity, label);
   }
   return nullptr;
 }
 
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name) {
+  TimerQueueOptions options;
+  options.name = name;
+  return MakeTimerQueue(options);
+}
+
+std::unique_ptr<TimerQueue> MakeTimerQueue(const std::string& name,
+                                           const std::string& stats_label) {
+  TimerQueueOptions options;
+  options.name = name;
+  options.stats_label = stats_label;
+  return MakeTimerQueue(options);
+}
+
 std::vector<std::string> TimerQueueNames() {
-  return {"heap", "tree", "hashed_wheel", "hierarchical_wheel"};
+  return {"heap", "tree", "hashed_wheel", "hierarchical_wheel", "lawn"};
 }
 
 TimerQueueStats TimerQueueStats::For(const std::string& queue) {
@@ -43,6 +97,8 @@ TimerQueueStats TimerQueueStats::For(const std::string& queue) {
       reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "cancel"}}, ops_help);
   stats.expire_ops =
       reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "expire"}}, ops_help);
+  stats.resched_ops =
+      reg.GetCounter("timer_ops", {{"queue", queue}, {"op", "reschedule"}}, ops_help);
   stats.set_cycles =
       reg.GetHistogram("timer_op_cycles", {{"queue", queue}, {"op", "set"}}, lat_help);
   stats.cancel_cycles =

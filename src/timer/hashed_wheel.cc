@@ -61,7 +61,44 @@ bool HashedWheelTimerQueue::Cancel(TimerHandle handle) {
   return true;
 }
 
-size_t HashedWheelTimerQueue::Advance(SimTime now) {
+TimerHandle HashedWheelTimerQueue::Reschedule(TimerHandle handle, SimTime new_expiry) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return kInvalidTimerHandle;
+  }
+  stats_.resched_ops->Inc();
+  const uint64_t old_tick = it->second.second->tick;
+  const uint64_t tick = TickFor(new_expiry);
+  if (tick != old_tick) {
+    // Splice the node into its new slot without touching the callback.
+    Slot& from = slots_[it->second.first];
+    const size_t to_slot = static_cast<size_t>(tick % slots_.size());
+    slots_[to_slot].splice(slots_[to_slot].end(), from, it->second.second);
+    it->second.first = to_slot;
+    it->second.second->tick = tick;
+    // Removal side of the move: taking away a node at the cached minimum
+    // leaves the true minimum unknown until the next lazy rescan.
+    if (cache_valid_ && old_tick <= cached_next_tick_) {
+      cache_valid_ = false;
+    }
+    // Insertion side: an earlier tick can only lower a still-valid cache.
+    if (cache_valid_ && tick < cached_next_tick_) {
+      cached_next_tick_ = tick;
+    }
+  }
+  return handle;
+}
+
+size_t HashedWheelTimerQueue::MemoryBytes() const {
+  size_t bytes = slots_.capacity() * sizeof(Slot);
+  for (const Slot& slot : slots_) {
+    bytes += timer_internal::ListBytes(slot);
+  }
+  return bytes + timer_internal::NodeMapBytes(index_);
+}
+
+size_t HashedWheelTimerQueue::AdvanceTo(SimTime now) {
   obs::ScopedProbe probe(stats_.advance_cycles);
   const uint64_t target_tick =
       static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);

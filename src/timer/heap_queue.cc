@@ -8,7 +8,7 @@ TimerHandle HeapTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
   obs::ScopedProbe probe(stats_.set_cycles);
   stats_.set_ops->Inc();
   const TimerHandle handle = next_handle_++;
-  callbacks_.emplace(handle, std::move(cb));
+  live_.emplace(handle, Live{expiry, std::move(cb)});
   heap_.push(Entry{expiry, handle});
   return handle;
 }
@@ -16,16 +16,35 @@ TimerHandle HeapTimerQueue::Schedule(SimTime expiry, TimerQueueCallback cb) {
 bool HeapTimerQueue::Cancel(TimerHandle handle) {
   obs::ScopedProbe probe(stats_.cancel_cycles);
   stats_.cancel_ops->Inc();
-  return callbacks_.erase(handle) > 0;
+  return live_.erase(handle) > 0;
+}
+
+TimerHandle HeapTimerQueue::Reschedule(TimerHandle handle, SimTime new_expiry) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  auto it = live_.find(handle);
+  if (it == live_.end()) {
+    return kInvalidTimerHandle;
+  }
+  stats_.resched_ops->Inc();
+  if (it->second.expiry == new_expiry) {
+    return handle;  // already there; no stale entry needed
+  }
+  it->second.expiry = new_expiry;
+  heap_.push(Entry{new_expiry, handle});  // the old entry goes stale
+  return handle;
 }
 
 void HeapTimerQueue::DropDeadHead() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().handle) == callbacks_.end()) {
-    heap_.pop();
+  while (!heap_.empty()) {
+    auto it = live_.find(heap_.top().handle);
+    if (it != live_.end() && it->second.expiry == heap_.top().expiry) {
+      return;  // the head is a live, current entry
+    }
+    heap_.pop();  // canceled, fired, or superseded by a Reschedule
   }
 }
 
-size_t HeapTimerQueue::Advance(SimTime now) {
+size_t HeapTimerQueue::AdvanceTo(SimTime now) {
   obs::ScopedProbe probe(stats_.advance_cycles);
   size_t fired = 0;
   for (;;) {
@@ -35,9 +54,9 @@ size_t HeapTimerQueue::Advance(SimTime now) {
     }
     const Entry top = heap_.top();
     heap_.pop();
-    auto it = callbacks_.find(top.handle);
-    TimerQueueCallback cb = std::move(it->second);
-    callbacks_.erase(it);
+    auto it = live_.find(top.handle);
+    TimerQueueCallback cb = std::move(it->second.cb);
+    live_.erase(it);
     cb(top.handle);
     ++fired;
   }
@@ -48,6 +67,12 @@ size_t HeapTimerQueue::Advance(SimTime now) {
 SimTime HeapTimerQueue::NextExpiry() const {
   DropDeadHead();
   return heap_.empty() ? kNeverTime : heap_.top().expiry;
+}
+
+size_t HeapTimerQueue::MemoryBytes() const {
+  // heap_.size() includes stale entries — the memory cost of lazy
+  // cancel/reschedule is real and should show up in bytes/timer.
+  return heap_.size() * sizeof(Entry) + timer_internal::NodeMapBytes(live_);
 }
 
 }  // namespace tempo

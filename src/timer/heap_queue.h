@@ -13,7 +13,9 @@ namespace tempo {
 
 // O(log n) schedule/advance, O(1) cancel (lazy: canceled entries stay in the
 // heap until they surface). The classic pre-timing-wheel design the wheels
-// are benchmarked against.
+// are benchmarked against. Reschedule is lazy too: it records the new expiry
+// and pushes a fresh heap entry; the superseded entry is recognised (its
+// expiry no longer matches the live record) and dropped when it surfaces.
 class HeapTimerQueue : public TimerQueue {
  public:
   // `stats_label` selects the obs instrument set; sharded wrappers pass a
@@ -23,10 +25,14 @@ class HeapTimerQueue : public TimerQueue {
 
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
-  size_t Advance(SimTime now) override;
-  size_t Size() const override { return callbacks_.size(); }
+  TimerHandle Reschedule(TimerHandle handle, SimTime new_expiry) override;
+  size_t Size() const override { return live_.size(); }
   SimTime NextExpiry() const override;
+  size_t MemoryBytes() const override;
   std::string Name() const override { return "heap"; }
+
+ protected:
+  size_t AdvanceTo(SimTime now) override;
 
  private:
   struct Entry {
@@ -40,11 +46,16 @@ class HeapTimerQueue : public TimerQueue {
     }
   };
 
+  struct Live {
+    SimTime expiry;  // current expiry; heap entries that disagree are stale
+    TimerQueueCallback cb;
+  };
+
   void DropDeadHead() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   // Live entries only; cancellation erases from this map.
-  std::unordered_map<TimerHandle, TimerQueueCallback> callbacks_;
+  std::unordered_map<TimerHandle, Live> live_;
   TimerHandle next_handle_ = 1;
   TimerQueueStats stats_;
 };

@@ -152,7 +152,45 @@ void HierarchicalWheelTimerQueue::RunTick() {
   }
 }
 
-size_t HierarchicalWheelTimerQueue::Advance(SimTime now) {
+TimerHandle HierarchicalWheelTimerQueue::Reschedule(TimerHandle handle,
+                                                    SimTime new_expiry) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return kInvalidTimerHandle;
+  }
+  stats_.resched_ops->Inc();
+  const Location loc = it->second;
+  Node node = std::move(*loc.it);
+  levels_[loc.level][loc.slot].erase(loc.it);
+  // Removal side of the move: the old tick may have been the cached
+  // minimum; the true minimum is unknown until the next lazy rescan.
+  if (cache_valid_ && node.tick <= cached_next_tick_) {
+    cache_valid_ = false;
+  }
+  if (new_expiry < 0) {
+    new_expiry = 0;
+  }
+  uint64_t tick = (static_cast<uint64_t>(new_expiry) +
+                   static_cast<uint64_t>(granularity_) - 1) /
+                  static_cast<uint64_t>(granularity_);
+  node.tick = std::max(tick, current_tick_ + 1);
+  Place(std::move(node));  // re-indexes the handle and lowers a valid cache
+  return handle;
+}
+
+size_t HierarchicalWheelTimerQueue::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_) {
+    bytes += level.capacity() * sizeof(Slot);
+    for (const Slot& slot : level) {
+      bytes += timer_internal::ListBytes(slot);
+    }
+  }
+  return bytes + timer_internal::NodeMapBytes(index_);
+}
+
+size_t HierarchicalWheelTimerQueue::AdvanceTo(SimTime now) {
   obs::ScopedProbe probe(stats_.advance_cycles);
   const uint64_t target_tick =
       static_cast<uint64_t>(std::max<SimTime>(now, 0)) / static_cast<uint64_t>(granularity_);

@@ -27,11 +27,12 @@ class HierarchicalWheelTimerQueue : public TimerQueue {
 
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
-  size_t Advance(SimTime now) override;
+  TimerHandle Reschedule(TimerHandle handle, SimTime new_expiry) override;
   size_t Size() const override { return size_; }
   // O(1): returns the cached minimum, rescanning only after an operation
   // that removed the earliest entry (cancel-of-min or a tick that fired it).
   SimTime NextExpiry() const override;
+  size_t MemoryBytes() const override;
   std::string Name() const override { return "hierarchical_wheel"; }
 
   // Reference O(slots x nodes) implementation of NextExpiry() — the seed
@@ -45,6 +46,9 @@ class HierarchicalWheelTimerQueue : public TimerQueue {
   // Full rescans NextExpiry() had to perform because the cached minimum was
   // invalidated; the cache-effectiveness metric.
   uint64_t next_expiry_scans() const { return next_expiry_scans_; }
+
+ protected:
+  size_t AdvanceTo(SimTime now) override;
 
  private:
   static constexpr int kLevels = 4;

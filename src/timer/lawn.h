@@ -1,0 +1,125 @@
+// "Timer Lawn" queue (Lev-Libfeld, arXiv:1906.10860): an unbound,
+// low-latency timer structure for large-scale, high-throughput systems.
+//
+// The lawn's bet is the same one this paper's traces justify empirically:
+// real systems arm timers from a *small set of distinct timeout durations*
+// (the 0.204 s TCP RTO, the 0.04 s delayed ACK, the 3 s SYN-ACK, the
+// 7200 s keepalive, the eponymous 30 s...). Instead of one priority
+// structure ordered by absolute expiry, the lawn keeps one FIFO per
+// distinct TTL. Because simulated time only moves forward, arrivals
+// appending to a per-TTL FIFO are automatically expiry-sorted — so:
+//
+//   * Schedule  = append to the tail of the TTL's FIFO       O(1)
+//   * Cancel    = unlink a doubly-linked node                 O(1)
+//   * Reschedule= unlink + append under the new TTL           O(1)
+//   * Advance   = pop due heads off each active FIFO          O(k + fired)
+//   * NextExpiry= cached min over k FIFO heads                O(1) amortised
+//
+// where k is the number of distinct TTLs — bounded by the workload, not by
+// the number of pending timers ("unbound" capacity at flat per-op cost).
+// TTLs are quantised to `granularity` ticks so adversarial continuous
+// timeouts degrade gracefully into a bounded set of buckets; like the
+// wheels, the lawn may fire up to one tick late and never fires early.
+//
+// Nodes live in a slab (index-linked, freelist-recycled) so a steady-state
+// million-timer population allocates nothing on the hot path.
+
+#ifndef TEMPO_SRC_TIMER_LAWN_H_
+#define TEMPO_SRC_TIMER_LAWN_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/queue.h"
+
+namespace tempo {
+
+class LawnTimerQueue : public TimerQueue {
+ public:
+  // `granularity` is the TTL quantum; `stats_label` selects the obs
+  // instrument set (sharded wrappers pass a per-shard label so concurrent
+  // instances never share an instrument).
+  explicit LawnTimerQueue(SimDuration granularity = kMillisecond,
+                          const std::string& stats_label = "lawn");
+
+  TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
+  bool Cancel(TimerHandle handle) override;
+  TimerHandle Reschedule(TimerHandle handle, SimTime new_expiry) override;
+  size_t Size() const override { return size_; }
+  SimTime NextExpiry() const override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "lawn"; }
+
+  // Distinct TTL buckets ever observed — the lawn's "k". The structure is
+  // O(1) per op only while this stays small; the C10M bench reports it.
+  size_t ttl_buckets() const { return queues_.size(); }
+
+  // Head rescans NextExpiry() had to perform because the cached minimum
+  // was invalidated (each costs O(active buckets)).
+  uint64_t head_scans() const { return head_scans_; }
+
+ protected:
+  size_t AdvanceTo(SimTime now) override;
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Node {
+    SimTime expiry = 0;  // quantised effective expiry
+    TimerHandle handle = kInvalidTimerHandle;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    uint32_t queue = kNil;  // owning TTL FIFO, index into queues_
+    TimerQueueCallback cb;
+  };
+
+  // One per-TTL FIFO. `active_pos` is its slot in active_ (kNil when
+  // empty), so activation state updates in O(1).
+  struct TtlQueue {
+    uint64_t ttl_ticks = 0;
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    uint32_t live = 0;
+    uint32_t active_pos = kNil;
+  };
+
+  uint32_t QueueForTtl(uint64_t ttl_ticks);
+  uint32_t AllocNode();
+  void FreeNode(uint32_t node);
+  void Append(uint32_t queue_index, uint32_t node);
+  // Unlinks a node from its FIFO, deactivating the FIFO if it empties.
+  // Callers pair this with NoteRemovalAt to keep the cached minimum honest.
+  void Unlink(uint32_t node);
+  // Effective (quantised) expiry for a request at absolute `expiry`, given
+  // the watermark `now`; also yields the TTL bucket it belongs to.
+  SimTime Quantise(SimTime expiry, SimTime now, uint64_t* ttl_ticks) const;
+  void NoteRemovalAt(SimTime expiry);
+
+  SimDuration granularity_;
+  std::deque<Node> pool_;
+  std::vector<uint32_t> free_nodes_;
+  std::vector<TtlQueue> queues_;
+  std::unordered_map<uint64_t, uint32_t> queue_for_ttl_;
+  std::vector<uint32_t> active_;  // indices of non-empty queues
+  std::unordered_map<TimerHandle, uint32_t> index_;
+  // Scratch for Advance: detached due nodes, sorted before firing.
+  std::vector<uint32_t> due_scratch_;
+  size_t size_ = 0;
+  TimerHandle next_handle_ = 1;
+  SimTime now_ = 0;  // last Advance watermark (for TTL computation)
+  mutable uint64_t head_scans_ = 0;
+
+  // Cached earliest pending effective expiry, maintained with the same
+  // discipline as the wheels: Schedule can only lower it, removal at the
+  // minimum invalidates it, NextExpiry() lazily rescans the active heads.
+  mutable SimTime cached_min_ = kNeverTime;
+  mutable bool cache_valid_ = true;
+
+  TimerQueueStats stats_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_TIMER_LAWN_H_

@@ -44,11 +44,16 @@ TimerService::TimerService(Options options)
     if (options.trace != nullptr) {
       shard->trace = options.trace->Register("timer_service/" + shard_label);
     }
-    shard->queue = MakeTimerQueue(options.queue, shard_label);
+    TimerQueueOptions queue_options;
+    queue_options.name = options.queue;
+    queue_options.stats_label = shard_label;
+    queue_options.granularity = options.granularity;
+    shard->queue = MakeTimerQueue(queue_options);
     if (shard->queue == nullptr) {
       // Unknown implementation: fall back rather than crash, matching the
       // factory's nullptr contract while keeping the service usable.
-      shard->queue = MakeTimerQueue("hierarchical_wheel", shard_label);
+      queue_options.name = "hierarchical_wheel";
+      shard->queue = MakeTimerQueue(queue_options);
       queue_name_ = "hierarchical_wheel";
     }
     const obs::Labels base = {{"service", label}, {"shard", std::to_string(i)}};
@@ -60,6 +65,8 @@ TimerService::TimerService(Options options)
     shard->set_ops = reg.GetCounter("timer_service_ops", with("op", "set"), ops_help);
     shard->cancel_ops = reg.GetCounter("timer_service_ops", with("op", "cancel"), ops_help);
     shard->expire_ops = reg.GetCounter("timer_service_ops", with("op", "expire"), ops_help);
+    shard->resched_ops =
+        reg.GetCounter("timer_service_ops", with("op", "reschedule"), ops_help);
     shard->contended = reg.GetCounter("timer_service_lock_contended", base, lock_help);
     shard->cache_hits =
         reg.GetCounter("timer_service_deadline_cache", with("result", "hit"), cache_help);
@@ -160,6 +167,29 @@ TimerHandle TimerService::ScheduleOn(size_t shard_index, SimTime expiry, TimerQu
   return ScheduleLocked(index, shard, expiry, std::move(cb));
 }
 
+void TimerService::ScheduleBatchOn(size_t shard_index, std::span<TimerBatchEntry> entries,
+                                   const TimerQueueCallback& cb) {
+  const size_t index = shard_index % shards_.size();
+  Shard& shard = *shards_[index];
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  if (shard.trace != nullptr) {
+    // Tracing wraps each callback with its own expiry, so the batch
+    // degenerates to the per-entry path (still under one lock).
+    for (TimerBatchEntry& entry : entries) {
+      entry.handle = ScheduleLocked(index, shard, entry.expiry, cb);
+    }
+    return;
+  }
+  shard.queue->ScheduleBatch(entries, cb);
+  shard.set_ops->Inc(entries.size());
+  shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
+  RepublishDeadline(shard);
+  for (TimerBatchEntry& entry : entries) {
+    entry.handle =
+        (static_cast<uint64_t>(index + 1) << kShardShift) | (entry.handle & kLocalMask);
+  }
+}
+
 bool TimerService::Cancel(TimerHandle handle) {
   const uint64_t shard_bits = handle >> kShardShift;
   if (shard_bits == 0 || shard_bits > shards_.size()) {
@@ -177,6 +207,68 @@ bool TimerService::Cancel(TimerHandle handle) {
     TraceOp(shard, TimerOp::kCancel, handle, 0);
   }
   return true;
+}
+
+size_t TimerService::CancelBatch(std::span<const TimerHandle> handles) {
+  // Group handles by owning shard so each shard lock is taken at most once
+  // no matter how the batch interleaves shards (teardown hands us every
+  // connection's handles in connection order, i.e. round-robin by shard).
+  std::vector<std::vector<TimerHandle>> by_shard(shards_.size());
+  for (const TimerHandle handle : handles) {
+    const uint64_t shard_bits = handle >> kShardShift;
+    if (shard_bits == 0 || shard_bits > shards_.size()) {
+      continue;  // invalid handles are skipped, not errors
+    }
+    by_shard[static_cast<size_t>(shard_bits - 1)].push_back(handle);
+  }
+  size_t canceled = 0;
+  for (size_t index = 0; index < by_shard.size(); ++index) {
+    const std::vector<TimerHandle>& group = by_shard[index];
+    if (group.empty()) {
+      continue;
+    }
+    Shard& shard = *shards_[index];
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    size_t live_canceled = 0;
+    for (const TimerHandle handle : group) {
+      if (shard.queue->Cancel(handle & kLocalMask)) {
+        ++live_canceled;
+        if (shard.trace != nullptr) {
+          TraceOp(shard, TimerOp::kCancel, handle, 0);
+        }
+      }
+    }
+    if (live_canceled > 0) {
+      shard.cancel_ops->Inc(live_canceled);
+      shard.live.store(shard.queue->Size(), std::memory_order_relaxed);
+      RepublishDeadline(shard);
+    }
+    canceled += live_canceled;
+  }
+  return canceled;
+}
+
+TimerHandle TimerService::Reschedule(TimerHandle handle, SimTime new_expiry) {
+  const uint64_t shard_bits = handle >> kShardShift;
+  if (shard_bits == 0 || shard_bits > shards_.size()) {
+    return kInvalidTimerHandle;
+  }
+  Shard& shard = *shards_[static_cast<size_t>(shard_bits - 1)];
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  if (shard.queue->Reschedule(handle & kLocalMask, new_expiry) == kInvalidTimerHandle) {
+    return kInvalidTimerHandle;
+  }
+  shard.resched_ops->Inc();
+  // The move may have raised the old minimum or lowered the new one;
+  // either way the published deadline must be requeried.
+  RepublishDeadline(shard);
+  if (shard.trace != nullptr) {
+    // A reschedule is a re-arm: record it as a set at the new expiry. The
+    // expiry stamped on the eventual expire record is the original one the
+    // scheduled wrapper captured — a known approximation.
+    TraceOp(shard, TimerOp::kSet, handle, new_expiry);
+  }
+  return handle;
 }
 
 size_t TimerService::AdvanceShardLocked(Shard& shard, SimTime now) {
@@ -248,6 +340,15 @@ size_t TimerService::Size() const {
   return total;
 }
 
+size_t TimerService::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->queue->MemoryBytes();
+  }
+  return total;
+}
+
 uint64_t TimerService::set_count() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
@@ -268,6 +369,14 @@ uint64_t TimerService::expire_count() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->expire_ops->value();
+  }
+  return total;
+}
+
+uint64_t TimerService::reschedule_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->resched_ops->value();
   }
   return total;
 }

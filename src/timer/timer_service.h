@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,9 @@ class TimerService {
     size_t shards = 0;
     // Underlying TimerQueue implementation, by factory name.
     std::string queue = "hierarchical_wheel";
+    // Tick width passed through to the quantising backends (both wheels
+    // and the lawn); ignored by heap and tree.
+    SimDuration granularity = kMillisecond;
     // Instrument label prefix; defaults to the queue name. Two services
     // alive at once must use distinct labels (instruments are shared by
     // label and are not thread-safe across services).
@@ -73,9 +77,27 @@ class TimerService {
   // deterministic single-threaded driver's interface. Thread-safe.
   TimerHandle ScheduleOn(size_t shard, SimTime expiry, TimerQueueCallback cb);
 
+  // Schedules a batch on one shard under a single lock acquisition,
+  // rewriting each entry's handle with the shard encoding. Same shared-
+  // callback contract as TimerQueue::ScheduleBatch. Thread-safe; the bulk
+  // arm path for connection setup storms.
+  void ScheduleBatchOn(size_t shard, std::span<TimerBatchEntry> entries,
+                       const TimerQueueCallback& cb);
+
   // Routes to the owning shard via the handle encoding. False for invalid,
   // unknown, fired or already-canceled handles. Thread-safe.
   bool Cancel(TimerHandle handle);
+
+  // Cancels a batch of handles, grouping by owning shard so each shard's
+  // lock is taken at most once. Returns how many were live. Thread-safe;
+  // the bulk disarm path for connection teardown storms.
+  size_t CancelBatch(std::span<const TimerHandle> handles);
+
+  // Moves a pending timer to a new expiry, keeping handle and callback —
+  // the RTO-backoff / keepalive re-arm fast path, one shard lock and no
+  // handle churn. Returns the handle, or kInvalidTimerHandle when the
+  // timer is unknown, fired, or canceled. Thread-safe.
+  TimerHandle Reschedule(TimerHandle handle, SimTime new_expiry);
 
   // Fires everything due at `now`, locking only shards whose published
   // deadline is <= now. Returns the number fired. Thread-safe, though
@@ -102,6 +124,10 @@ class TimerService {
   // Total live timers (sum of per-shard atomic sizes). Lock-free.
   size_t Size() const;
 
+  // Approximate bytes held by the underlying queues for the pending set
+  // (sum of per-shard TimerQueue::MemoryBytes; locks each shard briefly).
+  size_t MemoryBytes() const;
+
   size_t shard_count() const { return shards_.size(); }
   const std::string& queue_name() const { return queue_name_; }
 
@@ -113,6 +139,7 @@ class TimerService {
   uint64_t set_count() const;
   uint64_t cancel_count() const;
   uint64_t expire_count() const;
+  uint64_t reschedule_count() const;
   uint64_t contended_locks() const;
   uint64_t deadline_cache_hits() const;
   uint64_t deadline_cache_misses() const;
@@ -128,11 +155,15 @@ class TimerService {
   // No-op when tracing is off. Thread-safe.
   void SetTraceTime(SimTime now);
 
- private:
-  // Shard index lives in the handle's top bits (biased by one so a service
-  // handle is never 0 and never collides with a bare queue handle).
+  // Handle encoding, public for clients that observe queue-local handles
+  // (a timer callback receives the local handle; comparing it against a
+  // stored service handle's low bits detects stale fires): the shard index
+  // lives in the top bits, biased by one so a service handle is never 0
+  // and never collides with a bare queue handle.
   static constexpr int kShardShift = 48;
   static constexpr uint64_t kLocalMask = (uint64_t{1} << kShardShift) - 1;
+
+ private:
 
   struct alignas(64) Shard {
     std::mutex mu;
@@ -150,6 +181,7 @@ class TimerService {
     obs::Counter* set_ops = nullptr;
     obs::Counter* cancel_ops = nullptr;
     obs::Counter* expire_ops = nullptr;
+    obs::Counter* resched_ops = nullptr;
     obs::Counter* contended = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;

@@ -25,7 +25,26 @@ bool TreeTimerQueue::Cancel(TimerHandle handle) {
   return true;
 }
 
-size_t TreeTimerQueue::Advance(SimTime now) {
+TimerHandle TreeTimerQueue::Reschedule(TimerHandle handle, SimTime new_expiry) {
+  obs::ScopedProbe probe(stats_.set_cycles);
+  auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return kInvalidTimerHandle;
+  }
+  stats_.resched_ops->Inc();
+  // Extract the multimap node, rekey it, and put it back: the callback is
+  // moved zero times and no allocation happens.
+  auto node = tree_.extract(it->second);
+  node.key() = new_expiry;
+  it->second = tree_.insert(std::move(node));
+  return handle;
+}
+
+size_t TreeTimerQueue::MemoryBytes() const {
+  return timer_internal::TreeBytes(tree_) + timer_internal::NodeMapBytes(index_);
+}
+
+size_t TreeTimerQueue::AdvanceTo(SimTime now) {
   obs::ScopedProbe probe(stats_.advance_cycles);
   size_t fired = 0;
   while (!tree_.empty() && tree_.begin()->first <= now) {

@@ -22,12 +22,16 @@ class TreeTimerQueue : public TimerQueue {
 
   TimerHandle Schedule(SimTime expiry, TimerQueueCallback cb) override;
   bool Cancel(TimerHandle handle) override;
-  size_t Advance(SimTime now) override;
+  TimerHandle Reschedule(TimerHandle handle, SimTime new_expiry) override;
   size_t Size() const override { return tree_.size(); }
   SimTime NextExpiry() const override {
     return tree_.empty() ? kNeverTime : tree_.begin()->first;
   }
+  size_t MemoryBytes() const override;
   std::string Name() const override { return "tree"; }
+
+ protected:
+  size_t AdvanceTo(SimTime now) override;
 
  private:
   using Tree = std::multimap<SimTime, std::pair<TimerHandle, TimerQueueCallback>>;

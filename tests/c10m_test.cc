@@ -1,0 +1,107 @@
+// Tests for the C10M million-connection server scenario (src/net/server.h):
+// determinism in the seed, the serial/threaded lane identity, zero timer
+// leaks through teardown, and the scenario running against every TimerQueue
+// backend. Suite names start with C10M so the TSan CI job picks them up.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/server.h"
+#include "src/timer/queue.h"
+#include "src/timer/timer_service.h"
+
+namespace tempo {
+namespace {
+
+C10MOptions SmallOptions() {
+  C10MOptions options;
+  options.connections = 4000;
+  options.lanes = 4;
+  options.seed = 42;
+  options.duration = 400 * kMillisecond;
+  options.tick = 10 * kMillisecond;
+  options.keepalive_interval = 200 * kMillisecond;
+  options.idle_timeout = kSecond;
+  options.event_rate = 0.05;
+  return options;
+}
+
+TEST(C10MServerTest, SameSeedSameReport) {
+  const C10MReport a = C10MServer(SmallOptions()).Run();
+  const C10MReport b = C10MServer(SmallOptions()).Run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+
+  C10MOptions other = SmallOptions();
+  other.seed = 43;
+  const C10MReport c = C10MServer(other).Run();
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(C10MServerTest, SerialAndThreadedReportsAreIdentical) {
+  const C10MReport serial = C10MServer(SmallOptions()).Run();
+  const C10MReport threaded = C10MServer(SmallOptions()).RunThreaded();
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(C10MServerTest, TeardownLeavesNoTimers) {
+  const C10MReport report = C10MServer(SmallOptions()).Run();
+  EXPECT_EQ(report.final_live_timers, 0u);
+  EXPECT_EQ(report.teardown_canceled, report.teardown_collected);
+  // Every connection keeps keepalive + idle armed for its whole life, so
+  // teardown must find at least two timers per connection.
+  EXPECT_GE(report.teardown_collected, 2 * report.connections);
+}
+
+TEST(C10MServerTest, EveryConnectionHoldsStandingTimers) {
+  const C10MReport report = C10MServer(SmallOptions()).Run();
+  EXPECT_EQ(report.connections, 4000u);
+  EXPECT_GE(report.peak_live_timers, 2 * report.connections);
+  EXPECT_GT(report.keepalive_probes, 0u);
+  EXPECT_GT(report.delayed_acks_fired + report.delayed_acks_coalesced, 0u);
+  EXPECT_GT(report.timers_rescheduled, 0u);
+  EXPECT_GT(report.segments_sent, 0u);
+}
+
+TEST(C10MServerTest, RunsOnEveryBackend) {
+  for (const std::string& name : TimerQueueNames()) {
+    C10MOptions options = SmallOptions();
+    options.connections = 1000;
+    options.queue = name;
+    const C10MReport serial = C10MServer(options).Run();
+    const C10MReport threaded = C10MServer(options).RunThreaded();
+    EXPECT_EQ(serial, threaded) << name;
+    EXPECT_EQ(serial.final_live_timers, 0u) << name;
+    EXPECT_GE(serial.peak_live_timers, 2 * serial.connections) << name;
+  }
+}
+
+TEST(C10MServerTest, LaneCountDoesNotChangeTotals) {
+  // Different lane counts change the partition (and thus per-lane RNG
+  // streams), but the structural invariants must hold for any of them,
+  // including lanes that do not divide the connection count.
+  for (const size_t lanes : {1u, 3u, 8u}) {
+    C10MOptions options = SmallOptions();
+    options.connections = 1000;
+    options.lanes = lanes;
+    const C10MReport serial = C10MServer(options).Run();
+    const C10MReport threaded = C10MServer(options).RunThreaded();
+    EXPECT_EQ(serial, threaded) << lanes << " lanes";
+    EXPECT_EQ(serial.lanes, lanes);
+    EXPECT_EQ(serial.final_live_timers, 0u) << lanes << " lanes";
+    EXPECT_GE(serial.peak_live_timers, 2 * serial.connections);
+  }
+}
+
+TEST(C10MServerTest, ServiceVisibleBetweenConstructionAndRun) {
+  C10MServer server(SmallOptions());
+  EXPECT_EQ(server.service().Size(), 0u);  // lanes arm their timers in Run
+  EXPECT_EQ(server.service().shard_count(), SmallOptions().lanes);
+  const C10MReport report = server.Run();
+  EXPECT_EQ(server.service().Size(), 0u);
+  EXPECT_EQ(report.final_live_timers, 0u);
+}
+
+}  // namespace
+}  // namespace tempo

@@ -228,7 +228,9 @@ std::string RunScenarioAndSnapshot() {
   Registry::Global().Reset();
   Simulator sim(42);
   InstallSimProbeClock(&sim);  // virtual time only: no wall-clock reads
-  auto queue = MakeTimerQueue("tree");
+  TimerQueueOptions queue_options;
+  queue_options.name = "tree";
+  auto queue = MakeTimerQueue(queue_options);
   for (int i = 0; i < 100; ++i) {
     const TimerHandle h = queue->Schedule(i * kMillisecond, [](TimerHandle) {});
     if (i % 3 == 0) {
@@ -260,7 +262,9 @@ TEST_F(ObsTest, SnapshotIsDeterministicUnderSimClock) {
 TEST_F(ObsTest, TimerQueueOpsAreCounted) {
   for (const std::string& name : TimerQueueNames()) {
     Registry::Global().Reset();
-    auto queue = MakeTimerQueue(name);
+    TimerQueueOptions queue_options;
+    queue_options.name = name;
+    auto queue = MakeTimerQueue(queue_options);
     const TimerHandle a = queue->Schedule(kMillisecond, [](TimerHandle) {});
     queue->Schedule(2 * kMillisecond, [](TimerHandle) {});
     queue->Cancel(a);

@@ -31,12 +31,14 @@ class TimerServiceTest : public ::testing::TestWithParam<std::string> {
   std::unique_ptr<TimerService> Make(size_t shards, const std::string& label) {
     return std::make_unique<TimerService>(MakeOptions(GetParam(), shards, label));
   }
+  // The quantising structures (both wheels and the lawn) run at the default
+  // 1 ms tick; the exact structures have none.
   SimDuration Granularity() const {
     const std::string& name = GetParam();
-    if (name == "hashed_wheel" || name == "hierarchical_wheel") {
-      return kMillisecond;
+    if (name == "heap" || name == "tree") {
+      return 0;
     }
-    return 0;
+    return kMillisecond;
   }
 };
 
@@ -179,9 +181,87 @@ TEST_P(TimerServiceTest, ConcurrentScheduleCancelAdvanceStaysConsistent) {
   EXPECT_EQ(service->cancel_count(), canceled.load());
 }
 
+TEST_P(TimerServiceTest, RescheduleRoutesToOwningShard) {
+  auto service = Make(4, GetParam() + "-resched");
+  std::atomic<int> fired{0};
+  std::vector<TimerHandle> handles;
+  for (size_t i = 0; i < 8; ++i) {
+    handles.push_back(service->ScheduleOn(i % 4, 10 * kMillisecond,
+                                          [&fired](TimerHandle) { fired.fetch_add(1); }));
+  }
+  // Push everything out past the first sweep; handles stay stable.
+  for (TimerHandle h : handles) {
+    EXPECT_EQ(service->Reschedule(h, 500 * kMillisecond), h);
+  }
+  EXPECT_EQ(service->AdvanceAll(100 * kMillisecond), 0u);
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(service->AdvanceAll(kSecond), 8u);
+  EXPECT_EQ(fired.load(), 8);
+  EXPECT_EQ(service->reschedule_count(), 8u);
+  // Dead and foreign handles are rejected.
+  EXPECT_EQ(service->Reschedule(handles[0], 2 * kSecond), kInvalidTimerHandle);
+  EXPECT_EQ(service->Reschedule(kInvalidTimerHandle, kSecond), kInvalidTimerHandle);
+  EXPECT_EQ(service->Reschedule(uint64_t{9} << 48, kSecond), kInvalidTimerHandle);
+}
+
+TEST_P(TimerServiceTest, RescheduleEarlierRepublishesDeadline) {
+  auto service = Make(2, GetParam() + "-resched-deadline");
+  const TimerHandle h = service->ScheduleOn(0, kSecond, [](TimerHandle) {});
+  ASSERT_EQ(service->Reschedule(h, 50 * kMillisecond), h);
+  const SimTime next = service->GlobalNextExpiry();
+  EXPECT_GE(next, 50 * kMillisecond - Granularity());
+  EXPECT_LE(next, 50 * kMillisecond + Granularity());
+}
+
+TEST_P(TimerServiceTest, ScheduleBatchOnMintsRoutableHandles) {
+  auto service = Make(4, GetParam() + "-batch");
+  std::atomic<int> fired{0};
+  std::vector<TimerBatchEntry> entries(64);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].expiry = (10 + static_cast<SimTime>(i)) * kMillisecond;
+  }
+  service->ScheduleBatchOn(2, entries, [&fired](TimerHandle) { fired.fetch_add(1); });
+  EXPECT_EQ(service->Size(), entries.size());
+  EXPECT_EQ(service->set_count(), entries.size());
+  // Every minted handle must route back to its shard for cancel/reschedule.
+  EXPECT_TRUE(service->Cancel(entries[0].handle));
+  EXPECT_EQ(service->Reschedule(entries[1].handle, 2 * kSecond), entries[1].handle);
+  service->AdvanceAll(3 * kSecond);
+  EXPECT_EQ(fired.load(), static_cast<int>(entries.size()) - 1);
+  EXPECT_EQ(service->Size(), 0u);
+}
+
+TEST_P(TimerServiceTest, CancelBatchGroupsByShard) {
+  auto service = Make(4, GetParam() + "-cancelbatch");
+  bool fired = false;
+  std::vector<TimerHandle> handles;
+  for (size_t i = 0; i < 32; ++i) {
+    handles.push_back(service->ScheduleOn(i % 4, kSecond,
+                                          [&fired](TimerHandle) { fired = true; }));
+  }
+  handles.push_back(kInvalidTimerHandle);   // skipped
+  handles.push_back(uint64_t{9} << 48);     // foreign shard: skipped
+  handles.push_back(handles[0]);            // duplicate: dead on second visit
+  EXPECT_EQ(service->CancelBatch(handles), 32u);
+  EXPECT_EQ(service->Size(), 0u);
+  EXPECT_EQ(service->AdvanceAll(kMinute), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(service->CancelBatch(handles), 0u);
+}
+
+TEST_P(TimerServiceTest, MemoryBytesSumsShards) {
+  auto service = Make(4, GetParam() + "-membytes");
+  const size_t empty_bytes = service->MemoryBytes();
+  for (size_t i = 0; i < 400; ++i) {
+    service->ScheduleOn(i % 4, kSecond + static_cast<SimTime>(i) * kMillisecond,
+                        [](TimerHandle) {});
+  }
+  EXPECT_GT(service->MemoryBytes(), empty_bytes);
+  service->AdvanceAll(kMinute);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllImpls, TimerServiceTest,
-                         ::testing::Values("heap", "tree", "hashed_wheel",
-                                           "hierarchical_wheel"));
+                         ::testing::ValuesIn(TimerQueueNames()));
 
 TEST(TimerServiceDefaultsTest, DefaultShardCountIsHardwareConcurrency) {
   TimerService service;

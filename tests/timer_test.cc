@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -13,23 +14,30 @@
 #include "src/timer/hashed_wheel.h"
 #include "src/timer/heap_queue.h"
 #include "src/timer/hierarchical_wheel.h"
+#include "src/timer/lawn.h"
 #include "src/timer/queue.h"
 #include "src/timer/tree_queue.h"
 
 namespace tempo {
 namespace {
 
-class TimerQueueTest : public ::testing::TestWithParam<std::string> {
- protected:
-  std::unique_ptr<TimerQueue> Make() { return MakeTimerQueue(GetParam()); }
-  // All provided wheels use 1 ms granularity; exact structures have none.
-  SimDuration Granularity() const {
-    const std::string& name = GetParam();
-    if (name == "hashed_wheel" || name == "hierarchical_wheel") {
-      return kMillisecond;
-    }
+// Default 1 ms granularity for the quantising structures (both wheels and
+// the lawn); the exact structures (heap, tree) have none.
+SimDuration GranularityOf(const std::string& name) {
+  if (name == "heap" || name == "tree") {
     return 0;
   }
+  return kMillisecond;
+}
+
+class TimerQueueTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TimerQueue> Make() {
+    TimerQueueOptions options;
+    options.name = GetParam();
+    return MakeTimerQueue(options);
+  }
+  SimDuration Granularity() const { return GranularityOf(GetParam()); }
 };
 
 TEST_P(TimerQueueTest, FactoryProducesCorrectName) {
@@ -129,6 +137,10 @@ TEST_P(TimerQueueTest, CallbackMaySchedule) {
     q->Schedule(2 * kMillisecond, [&fired](TimerHandle) { ++fired; });
   });
   queue->Advance(10 * kMillisecond);
+  // The nested expiry is already past; the contract guarantees it fires on
+  // the next Advance (quantising backends may push it one tick ahead of
+  // the advance that scheduled it).
+  queue->Advance(10 * kMillisecond + Granularity());
   EXPECT_EQ(fired, 2);
 }
 
@@ -170,17 +182,19 @@ TEST_P(TimerQueueTest, ManyTimersSameExpiryAllFire) {
   EXPECT_EQ(fired, 1000);
 }
 
-// Property test: randomized schedule/cancel/advance against a reference
-// model. Every implementation must fire exactly the timers the model fires,
-// within its granularity window of the requested expiry.
+// Property test: randomized schedule/reschedule/cancel/advance against a
+// reference model, seeded through the batch entry point. Every
+// implementation must fire exactly the timers the model fires, within its
+// granularity window of the requested expiry.
 class TimerQueueFuzzTest
     : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
 
 TEST_P(TimerQueueFuzzTest, MatchesReferenceModel) {
   const auto& [name, seed] = GetParam();
-  auto queue = MakeTimerQueue(name);
-  const SimDuration granularity =
-      (name == "hashed_wheel" || name == "hierarchical_wheel") ? kMillisecond : 0;
+  TimerQueueOptions options;
+  options.name = name;
+  auto queue = MakeTimerQueue(options);
+  const SimDuration granularity = GranularityOf(name);
   Rng rng(seed);
 
   struct ModelEntry {
@@ -191,25 +205,62 @@ TEST_P(TimerQueueFuzzTest, MatchesReferenceModel) {
   std::map<TimerHandle, ModelEntry> model;
   std::map<TimerHandle, SimTime> fired_at;
   SimTime now = 0;
+  const auto record = [&fired_at, &now](TimerHandle handle) {
+    fired_at[handle] = now;
+  };
+
+  // Seed the population through ScheduleBatch: the batch path must mint
+  // handles indistinguishable from per-call Schedule.
+  std::vector<TimerBatchEntry> batch(64);
+  for (auto& entry : batch) {
+    entry.expiry = now + rng.UniformInt(0, 200 * kMillisecond);
+  }
+  queue->ScheduleBatch(batch, record);
+  for (const auto& entry : batch) {
+    ASSERT_NE(entry.handle, kInvalidTimerHandle);
+    model.emplace(entry.handle, ModelEntry{entry.expiry});
+  }
+  ASSERT_EQ(queue->Size(), batch.size());
 
   for (int step = 0; step < 4000; ++step) {
     const double roll = rng.NextDouble();
-    if (roll < 0.55) {
+    if (roll < 0.40) {
       const SimTime expiry = now + rng.UniformInt(0, 200 * kMillisecond);
-      const TimerHandle h =
-          queue->Schedule(expiry, [&fired_at, &now](TimerHandle handle) {
-            fired_at[handle] = now;
-          });
+      const TimerHandle h = queue->Schedule(expiry, record);
       model.emplace(h, ModelEntry{expiry});
-    } else if (roll < 0.75 && !model.empty()) {
-      // Cancel a random live entry.
+    } else if (roll < 0.60 && !model.empty()) {
+      // Reschedule a random entry; succeeds iff it is still pending, and
+      // the handle must stay stable. Within the quantisation window
+      // (expiry <= now < expiry + granularity) the queue may already have
+      // fired an entry the model still counts live — either outcome is
+      // legal there.
       auto it = model.begin();
       std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
-      const bool want = !it->second.fired && !it->second.canceled;
+      const bool live = !it->second.fired && !it->second.canceled;
+      const bool grey = live && it->second.expiry <= now;
+      const SimTime expiry = now + rng.UniformInt(0, 200 * kMillisecond);
+      const TimerHandle got = queue->Reschedule(it->first, expiry);
+      if (got != kInvalidTimerHandle) {
+        EXPECT_TRUE(live) << "rescheduled a dead handle " << it->first;
+        EXPECT_EQ(got, it->first) << "reschedule minted a new handle";
+        it->second.expiry = expiry;
+      } else if (live) {
+        EXPECT_TRUE(grey) << "reschedule lost a live handle " << it->first;
+        it->second.fired = true;
+      }
+    } else if (roll < 0.75 && !model.empty()) {
+      // Cancel a random entry, with the same quantisation-window tolerance.
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      const bool live = !it->second.fired && !it->second.canceled;
+      const bool grey = live && it->second.expiry <= now;
       const bool got = queue->Cancel(it->first);
-      EXPECT_EQ(got, want) << "cancel mismatch for handle " << it->first;
       if (got) {
+        EXPECT_TRUE(live) << "canceled a dead handle " << it->first;
         it->second.canceled = true;
+      } else if (live) {
+        EXPECT_TRUE(grey) << "cancel lost a live handle " << it->first;
+        it->second.fired = true;
       }
     } else {
       now += rng.UniformInt(0, 50 * kMillisecond);
@@ -247,22 +298,215 @@ TEST_P(TimerQueueFuzzTest, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllImplsManySeeds, TimerQueueFuzzTest,
-    ::testing::Combine(::testing::Values("heap", "tree", "hashed_wheel",
-                                         "hierarchical_wheel"),
+    ::testing::Combine(::testing::ValuesIn(TimerQueueNames()),
                        ::testing::Values(1u, 2u, 3u, 5u, 8u)));
 
 INSTANTIATE_TEST_SUITE_P(AllImpls, TimerQueueTest,
-                         ::testing::Values("heap", "tree", "hashed_wheel",
-                                           "hierarchical_wheel"));
+                         ::testing::ValuesIn(TimerQueueNames()));
 
 TEST(TimerQueueFactoryTest, UnknownNameReturnsNull) {
-  EXPECT_EQ(MakeTimerQueue("no_such_queue"), nullptr);
+  TimerQueueOptions options;
+  options.name = "no_such_queue";
+  EXPECT_EQ(MakeTimerQueue(options), nullptr);
 }
 
 TEST(TimerQueueFactoryTest, NamesListMatchesFactory) {
   for (const std::string& name : TimerQueueNames()) {
-    EXPECT_NE(MakeTimerQueue(name), nullptr) << name;
+    TimerQueueOptions options;
+    options.name = name;
+    auto queue = MakeTimerQueue(options);
+    ASSERT_NE(queue, nullptr) << name;
+    EXPECT_EQ(queue->Name(), name);
   }
+}
+
+// The deprecated v1 overloads must keep forwarding until out-of-tree
+// callers migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(TimerQueueFactoryTest, DeprecatedOverloadsStillForward) {
+  EXPECT_EQ(MakeTimerQueue("no_such_queue"), nullptr);
+  auto by_name = MakeTimerQueue("lawn");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(by_name->Name(), "lawn");
+  auto by_label = MakeTimerQueue("heap", "heap-compat-label");
+  ASSERT_NE(by_label, nullptr);
+  EXPECT_EQ(by_label->Name(), "heap");
+}
+#pragma GCC diagnostic pop
+
+// --- v2 API surface, every backend ---
+
+TEST_P(TimerQueueTest, ReschedulePushesExpiryOut) {
+  auto queue = Make();
+  SimTime fired_at = -1;
+  SimTime now = 0;
+  const TimerHandle h =
+      queue->Schedule(10 * kMillisecond, [&](TimerHandle) { fired_at = now; });
+  EXPECT_EQ(queue->Reschedule(h, 50 * kMillisecond), h);
+  now = 20 * kMillisecond;
+  queue->Advance(now);
+  EXPECT_EQ(fired_at, -1) << "fired at the old expiry after reschedule";
+  now = 60 * kMillisecond;
+  queue->Advance(now);
+  EXPECT_EQ(fired_at, 60 * kMillisecond);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+TEST_P(TimerQueueTest, ReschedulePullsExpiryIn) {
+  auto queue = Make();
+  bool fired = false;
+  const TimerHandle h =
+      queue->Schedule(kSecond, [&](TimerHandle) { fired = true; });
+  EXPECT_EQ(queue->Reschedule(h, 5 * kMillisecond), h);
+  queue->Advance(10 * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST_P(TimerQueueTest, RescheduleDeadHandleFails) {
+  auto queue = Make();
+  const TimerHandle h = queue->Schedule(kMillisecond, [](TimerHandle) {});
+  queue->Advance(kSecond);
+  EXPECT_EQ(queue->Reschedule(h, 2 * kSecond), kInvalidTimerHandle);
+  const TimerHandle h2 = queue->Schedule(kMillisecond, [](TimerHandle) {});
+  ASSERT_TRUE(queue->Cancel(h2));
+  EXPECT_EQ(queue->Reschedule(h2, 2 * kSecond), kInvalidTimerHandle);
+  EXPECT_EQ(queue->Reschedule(kInvalidTimerHandle, kSecond), kInvalidTimerHandle);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+TEST_P(TimerQueueTest, RescheduleKeepsCallback) {
+  auto queue = Make();
+  int fired = 0;
+  const TimerHandle h =
+      queue->Schedule(5 * kMillisecond, [&](TimerHandle) { ++fired; });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue->Reschedule(h, (10 + i) * kMillisecond), h);
+  }
+  queue->Advance(kSecond);
+  EXPECT_EQ(fired, 1) << "callback lost or duplicated across reschedules";
+}
+
+TEST_P(TimerQueueTest, ScheduleBatchMintsLiveHandles) {
+  auto queue = Make();
+  int fired = 0;
+  std::vector<TimerBatchEntry> entries(100);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].expiry = static_cast<SimTime>(i + 1) * kMillisecond;
+  }
+  queue->ScheduleBatch(entries, [&](TimerHandle) { ++fired; });
+  EXPECT_EQ(queue->Size(), entries.size());
+  std::set<TimerHandle> unique;
+  for (const auto& entry : entries) {
+    EXPECT_NE(entry.handle, kInvalidTimerHandle);
+    unique.insert(entry.handle);
+  }
+  EXPECT_EQ(unique.size(), entries.size()) << "batch minted duplicate handles";
+  // Batch-minted handles cancel and reschedule like any other.
+  EXPECT_TRUE(queue->Cancel(entries[0].handle));
+  EXPECT_EQ(queue->Reschedule(entries[1].handle, kSecond), entries[1].handle);
+  queue->Advance(2 * kSecond);
+  EXPECT_EQ(fired, static_cast<int>(entries.size()) - 1);
+  EXPECT_EQ(queue->Size(), 0u);
+}
+
+TEST_P(TimerQueueTest, CancelBatchCountsOnlyLive) {
+  auto queue = Make();
+  std::vector<TimerBatchEntry> entries(10);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].expiry = kSecond + static_cast<SimTime>(i) * kMillisecond;
+  }
+  queue->ScheduleBatch(entries, [](TimerHandle) {});
+  std::vector<TimerHandle> handles;
+  for (const auto& entry : entries) {
+    handles.push_back(entry.handle);
+  }
+  handles.push_back(kInvalidTimerHandle);  // skipped, not an error
+  handles.push_back(entries[0].handle);    // duplicate: dead on second visit
+  EXPECT_EQ(queue->CancelBatch(handles), entries.size());
+  EXPECT_EQ(queue->Size(), 0u);
+  EXPECT_EQ(queue->CancelBatch(handles), 0u);
+}
+
+TEST_P(TimerQueueTest, MemoryBytesTracksPopulation) {
+  auto queue = Make();
+  const size_t empty_bytes = queue->MemoryBytes();
+  std::vector<TimerBatchEntry> entries(1000);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].expiry = static_cast<SimTime>(i + 1) * kMillisecond;
+  }
+  queue->ScheduleBatch(entries, [](TimerHandle) {});
+  const size_t loaded_bytes = queue->MemoryBytes();
+  EXPECT_GT(loaded_bytes, empty_bytes);
+  // At least a node's worth per pending timer, and not wildly more than a
+  // few cache lines each.
+  EXPECT_GE(loaded_bytes - empty_bytes, entries.size() * sizeof(SimTime));
+  EXPECT_LE(loaded_bytes / entries.size(), 4096u);
+}
+
+// --- the monotonic Advance contract ---
+
+TEST_P(TimerQueueTest, BackwardsAdvanceIsHandled) {
+  auto queue = Make();
+  bool fired = false;
+  queue->Schedule(30 * kMillisecond, [&](TimerHandle) { fired = true; });
+  EXPECT_EQ(queue->Advance(20 * kMillisecond), 0u);
+  EXPECT_EQ(queue->advance_watermark(), 20 * kMillisecond);
+  EXPECT_EQ(queue->backwards_advances(), 0u);
+#ifndef NDEBUG
+  // Debug builds abort: a backwards clock is a caller bug.
+  EXPECT_DEATH(queue->Advance(10 * kMillisecond), "backwards");
+#else
+  // Release builds clamp to the high-water mark and count the violation;
+  // the wheel state must stay intact and the timer must still fire on time.
+  EXPECT_EQ(queue->Advance(10 * kMillisecond), 0u);
+  EXPECT_EQ(queue->backwards_advances(), 1u);
+  EXPECT_EQ(queue->advance_watermark(), 20 * kMillisecond);
+  EXPECT_FALSE(fired);
+  queue->Advance(40 * kMillisecond);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(queue->backwards_advances(), 1u);
+#endif
+}
+
+// --- lawn-specific behaviour ---
+
+TEST(LawnTest, BucketsPerDistinctTtl) {
+  LawnTimerQueue lawn;
+  EXPECT_EQ(lawn.ttl_buckets(), 0u);
+  // The paper's observation: many timers, few distinct timeout values.
+  for (int i = 0; i < 100; ++i) {
+    lawn.Schedule(30 * kSecond, [](TimerHandle) {});
+    lawn.Schedule(75 * kSecond, [](TimerHandle) {});
+    lawn.Schedule(200 * kMillisecond, [](TimerHandle) {});
+  }
+  EXPECT_EQ(lawn.Size(), 300u);
+  EXPECT_EQ(lawn.ttl_buckets(), 3u);
+}
+
+TEST(LawnTest, QuantisesToAtLeastOneTick) {
+  LawnTimerQueue lawn(kMillisecond);
+  bool fired = false;
+  // Zero (and past) TTLs round up to one tick: never fire within this
+  // Advance, always on the next tick boundary.
+  lawn.Schedule(0, [&](TimerHandle) { fired = true; });
+  EXPECT_EQ(lawn.NextExpiry(), kMillisecond);
+  lawn.Advance(kMillisecond - 1);
+  EXPECT_FALSE(fired);
+  lawn.Advance(kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST(LawnTest, FifoWithinTtlFiresInScheduleOrder) {
+  LawnTimerQueue lawn;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    lawn.Schedule(kSecond, [&order, i](TimerHandle) { order.push_back(i); });
+  }
+  lawn.Advance(2 * kSecond);
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()))
+      << "same-TTL timers must fire in schedule (FIFO) order";
 }
 
 // Implementation-specific behaviour.

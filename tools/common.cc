@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/timer/queue.h"
+
 namespace tempo {
 namespace tools {
 
@@ -117,6 +119,29 @@ bool ParseFormatName(const std::string& name, OutputFormat* format) {
     return true;
   }
   return false;
+}
+
+FlagSpec QueueFlag() {
+  return FlagSpec{"queue", 1, "<name>",
+                  "TimerQueue backend (heap, tree, hashed_wheel, "
+                  "hierarchical_wheel, lawn)"};
+}
+
+std::string ResolveQueueName(const ParsedArgs& args, const std::string& fallback) {
+  const std::string name = args.Value("queue", 0, fallback);
+  std::string valid;
+  for (const std::string& candidate : TimerQueueNames()) {
+    if (name == candidate) {
+      return name;
+    }
+    if (!valid.empty()) {
+      valid += ", ";
+    }
+    valid += candidate;
+  }
+  std::fprintf(stderr, "error: unknown timer queue '%s' (valid: %s)\n", name.c_str(),
+               valid.c_str());
+  return std::string();
 }
 
 void PrintTraceReadError(const std::string& path, TraceReadError error) {

@@ -73,6 +73,16 @@ enum class OutputFormat {
 // Maps "text"/"json" to OutputFormat; false for anything else.
 bool ParseFormatName(const std::string& name, OutputFormat* format);
 
+// The common `--queue <name>` convention for selecting a TimerQueue
+// backend: one spec and one validator, so every tool and bench accepts the
+// same names and rejects unknown ones identically.
+FlagSpec QueueFlag();
+
+// Resolves the --queue flag against TimerQueueNames(). Returns `fallback`
+// when the flag is absent; empty string (after printing an error naming
+// the valid backends) for an unknown name.
+std::string ResolveQueueName(const ParsedArgs& args, const std::string& fallback);
+
 // "error: cannot read trace file <path>: <reason>\n" on stderr, with the
 // reason from TraceReadErrorName.
 void PrintTraceReadError(const std::string& path, TraceReadError error);

@@ -51,7 +51,9 @@ uint64_t VirtualCycleClock() { return ++g_virtual_cycles; }
 // Exercises one timer-queue implementation with a set/cancel/expire mix
 // echoing the paper's headline shape: most timers are canceled, not fired.
 void DriveQueue(const std::string& name, uint64_t seed) {
-  std::unique_ptr<TimerQueue> queue = MakeTimerQueue(name);
+  TimerQueueOptions queue_options;
+  queue_options.name = name;
+  std::unique_ptr<TimerQueue> queue = MakeTimerQueue(queue_options);
   uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
   auto next = [&state] {
     state ^= state << 13;
@@ -81,8 +83,9 @@ void DriveQueue(const std::string& name, uint64_t seed) {
 // published-deadline cache and the due-shard filter in AdvanceAll.
 // Single-threaded by design — the virtual probe clock is a plain global —
 // so shards are addressed explicitly with ScheduleOn.
-void DriveTimerService(uint64_t seed) {
+void DriveTimerService(const std::string& queue, uint64_t seed) {
   TimerService::Options options;
+  options.queue = queue;
   options.shards = 4;
   options.stats_label = "micromix";
   TimerService service(options);
@@ -148,6 +151,7 @@ int main(int argc, char** argv) {
       {"format", 1, "text|json|prom|all", "snapshot format (default text)"},
       {"jobs", 1, "N", "trace-pipeline workers (0 = one per core; default 1)"},
       {"wall", 0, "", "measure real TSC cycles instead of the virtual clock"},
+      tools::QueueFlag(),
   };
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
   if (!args.ok() || args.positionals().size() != 1) {
@@ -168,6 +172,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string queue = tools::ResolveQueueName(args, "hierarchical_wheel");
+  if (queue.empty()) {
+    return 2;
+  }
+
   if (!args.Has("wall")) {
     obs::SetProbeClock(&VirtualCycleClock);
   }
@@ -180,10 +189,16 @@ int main(int argc, char** argv) {
   // Keeps the workload's simulator/kernel alive until the snapshot is taken.
   TraceRun run;
   if (which == "micromix") {
-    for (const std::string& name : TimerQueueNames()) {
-      DriveQueue(name, seed);
+    // --queue narrows the sweep to one backend; the default drives all of
+    // them (the cross-implementation comparison the snapshot is for).
+    if (args.Has("queue")) {
+      DriveQueue(queue, seed);
+    } else {
+      for (const std::string& name : TimerQueueNames()) {
+        DriveQueue(name, seed);
+      }
     }
-    DriveTimerService(seed);
+    DriveTimerService(queue, seed);
     DriveDispatcher(seed);
     // A short traced webserver run covers the kernel wheel, the trace
     // sinks and the TCP stack in one go.

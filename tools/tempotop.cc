@@ -204,8 +204,9 @@ void PrintJson(std::FILE* out, const std::string& workload,
 // channels, drained live — no simulated OS involved. Deterministic
 // single-threaded driver (the TSan tests cover the concurrent case).
 void DriveService(RelayChannelSet* channels, RelayDrainer* drainer,
-                  SimDuration duration, uint64_t seed) {
+                  SimDuration duration, uint64_t seed, const std::string& queue) {
   TimerService::Options options;
+  options.queue = queue;
   options.shards = 4;
   options.stats_label = "tempotop";
   options.trace = channels;
@@ -566,6 +567,7 @@ int main(int argc, char** argv) {
       {"check-fleet-burst", 3, "LABEL RATE FRAC",
        "exit 1 unless LABEL burst >= RATE on FRAC of hosts"},
       {"check-clean", 0, "", "exit 1 if any summary/record was lost"},
+      tools::QueueFlag(),
   };
   const tools::ParsedArgs args = tools::ParseArgs(argc, argv, kFlags);
   const bool cluster = args.ok() && args.Has("cluster");
@@ -587,6 +589,10 @@ int main(int argc, char** argv) {
     return RunCluster(args, format);
   }
   const std::string& which = args.positionals()[0];
+  const std::string queue = tools::ResolveQueueName(args, "hierarchical_wheel");
+  if (queue.empty()) {
+    return 2;
+  }
   const double minutes = args.DoubleValue("minutes", 2.0);
   const uint64_t seed = args.UintValue("seed", 2008);
   const double window_s = args.DoubleValue("window", 1.0);
@@ -648,7 +654,7 @@ int main(int argc, char** argv) {
   TraceRun run;  // keeps the sim/kernel alive until the final snapshot
   if (which == "service") {
     ensure_analyzer(RateGrouping{}, nullptr);
-    DriveService(&channels, drainer.get(), options.duration, seed);
+    DriveService(&channels, drainer.get(), options.duration, seed, queue);
   } else if (which == "linux-idle") {
     run = RunLinuxIdle(options);
   } else if (which == "linux-skype") {
