@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/trace/codec.h"
+#include "src/trace/predicate.h"
 #include "src/trace/record.h"
 
 namespace tempo {
@@ -132,6 +134,23 @@ class AnalysisPass {
 
   // Renders the final report section(s). Call once, after all merges.
   virtual void Render(RenderSink& sink) = 0;
+
+  // The records this pass actually needs, or nullptr for all of them
+  // (the default — a null predicate pins every chunk). A pass returning a
+  // predicate promises its result ignores non-matching records, which
+  // lets the pipeline skip whole chunks whose zone map cannot match
+  // (predicate pushdown on v3 traces). The pointer must stay valid for
+  // the pass's lifetime and describe Fork()ed copies too.
+  virtual const Predicate* predicate() const { return nullptr; }
+
+  // The record fields this pass reads (kField* bits from codec.h), or
+  // kAllTraceFields (the default) for all of them. A pass returning a
+  // narrower mask promises its result ignores the other fields, which
+  // lets the columnar reader decode only the declared stripes (projection
+  // pushdown on v3 traces) and hand the pass records whose remaining
+  // fields are default-initialised. Like predicate(), the mask must also
+  // describe Fork()ed copies.
+  virtual uint16_t fields() const { return kAllTraceFields; }
 };
 
 }  // namespace tempo

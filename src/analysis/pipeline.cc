@@ -19,9 +19,52 @@ struct WorkerState {
   std::vector<std::unique_ptr<AnalysisPass>> passes;
   uint64_t chunks = 0;
   uint64_t records = 0;
+  uint64_t chunks_skipped = 0;
+  uint64_t encoded_bytes = 0;
   bool failed = false;
   TraceReadError error = TraceReadError::kIo;
 };
+
+// Predicates of every pass, or empty when any pass needs the full trace
+// (a null predicate) — in which case no chunk may ever be skipped.
+std::vector<const Predicate*> PushdownPredicates(
+    const std::vector<std::unique_ptr<AnalysisPass>>& passes) {
+  std::vector<const Predicate*> predicates;
+  predicates.reserve(passes.size());
+  for (const auto& pass : passes) {
+    const Predicate* predicate = pass->predicate();
+    if (predicate == nullptr) {
+      return {};
+    }
+    predicates.push_back(predicate);
+  }
+  return predicates;
+}
+
+// True when the zone map proves no predicate-carrying pass can match any
+// record of the chunk. Callers only consult this when every pass
+// declared a predicate.
+bool SkipChunk(const std::vector<const Predicate*>& predicates, const ChunkZone& zone) {
+  if (predicates.empty() || !zone.valid) {
+    return false;
+  }
+  for (const Predicate* predicate : predicates) {
+    if (predicate->MayMatch(zone)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Union of every pass's declared field mask: a chunk is decoded once for
+// all passes, so the cursor must materialize any field any of them reads.
+uint16_t UnionFields(const std::vector<std::unique_ptr<AnalysisPass>>& passes) {
+  uint16_t mask = 0;
+  for (const auto& pass : passes) {
+    mask |= pass->fields();
+  }
+  return passes.empty() ? kAllTraceFields : mask;
+}
 
 // Contiguous [begin, end) chunk ranges, one per worker, in trace order.
 // The remainder of an uneven split lands on the earliest workers so
@@ -66,7 +109,8 @@ std::vector<std::unique_ptr<AnalysisPass>> ForkAll(
 // then publishes run counters to the global registry. Main thread only.
 PipelineStats MergeAndPublish(std::vector<WorkerState>& workers,
                               const std::vector<std::unique_ptr<AnalysisPass>>& passes,
-                              uint64_t started, const std::string& label) {
+                              uint64_t started, const std::string& label,
+                              bool columnar) {
   std::vector<uint64_t> merge_cycles(passes.size(), 0);
   for (WorkerState& w : workers) {
     for (size_t p = 0; p < passes.size(); ++p) {
@@ -81,6 +125,8 @@ PipelineStats MergeAndPublish(std::vector<WorkerState>& workers,
   for (const WorkerState& w : workers) {
     stats.chunks += w.chunks;
     stats.records += w.records;
+    stats.chunks_skipped += w.chunks_skipped;
+    stats.encoded_bytes += w.encoded_bytes;
   }
   stats.bytes = stats.records * kEncodedRecordSize;
   stats.cycles = obs::ProbeClockNow() - started;
@@ -109,6 +155,20 @@ PipelineStats MergeAndPublish(std::vector<WorkerState>& workers,
       ->Inc(stats.cycles);
   registry.GetGauge("trace_pipeline_jobs", labels, "worker threads used by the last run")
       ->Set(static_cast<int64_t>(stats.jobs));
+  if (columnar) {
+    registry
+        .GetCounter("trace_v3_chunks_decoded_total", labels,
+                    "columnar chunks decoded by pipeline runs")
+        ->Inc(stats.chunks);
+    registry
+        .GetCounter("trace_v3_chunks_skipped_total", labels,
+                    "columnar chunks skipped via zone-map predicate pushdown")
+        ->Inc(stats.chunks_skipped);
+    registry
+        .GetCounter("trace_v3_bytes_decoded_total", labels,
+                    "on-disk bytes of the columnar chunks pipeline runs decoded")
+        ->Inc(stats.encoded_bytes);
+  }
   for (size_t p = 0; p < passes.size(); ++p) {
     obs::Labels pass_labels = labels;
     pass_labels.emplace_back("pass", passes[p]->name());
@@ -136,7 +196,16 @@ bool PipelineRunner::Run(const TraceChunkReader& reader,
 
   const uint64_t started = obs::ProbeClockNow();
 
-  auto drain = [&reader](const std::pair<size_t, size_t>& range, WorkerState* state) {
+  // Empty when any pass needs the full trace; otherwise one predicate per
+  // pass, consulted against each chunk's zone map before decoding.
+  const std::vector<const Predicate*> predicates =
+      passes.empty() ? std::vector<const Predicate*>{} : PushdownPredicates(passes);
+  // Projection pushdown: on v3 traces the cursor decodes only the stripes
+  // some pass declared it reads (v1/v2 cursors ignore the mask).
+  const uint16_t field_mask = UnionFields(passes);
+
+  auto drain = [&reader, &predicates, field_mask](const std::pair<size_t, size_t>& range,
+                                                  WorkerState* state) {
     TraceChunkReader::Cursor cursor = reader.MakeCursor();
     if (!cursor.ok()) {
       state->failed = true;
@@ -144,7 +213,12 @@ bool PipelineRunner::Run(const TraceChunkReader& reader,
       return;
     }
     for (size_t i = range.first; i < range.second; ++i) {
-      const std::span<const TraceRecord> chunk = cursor.Read(i);
+      const TraceChunkReader::ChunkRef& ref = reader.chunk(i);
+      if (SkipChunk(predicates, ref.zone)) {
+        ++state->chunks_skipped;
+        continue;
+      }
+      const std::span<const TraceRecord> chunk = cursor.Read(i, field_mask);
       if (!cursor.ok()) {
         state->failed = true;
         state->error = cursor.error();
@@ -152,6 +226,7 @@ bool PipelineRunner::Run(const TraceChunkReader& reader,
       }
       ++state->chunks;
       state->records += chunk.size();
+      state->encoded_bytes += ref.stored_bytes;
       for (auto& pass : state->passes) {
         pass->Accumulate(chunk);
       }
@@ -180,7 +255,8 @@ bool PipelineRunner::Run(const TraceChunkReader& reader,
     }
   }
 
-  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label);
+  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label,
+                           reader.version() == kTraceFileVersionColumnar);
   return true;
 }
 
@@ -209,6 +285,7 @@ void PipelineRunner::Run(std::span<const TraceRecord> records,
       const std::span<const TraceRecord> chunk = records.subspan(first, count);
       ++state->chunks;
       state->records += chunk.size();
+      state->encoded_bytes += chunk.size() * kEncodedRecordSize;
       for (auto& pass : state->passes) {
         pass->Accumulate(chunk);
       }
@@ -228,7 +305,8 @@ void PipelineRunner::Run(std::span<const TraceRecord> records,
     }
   }
 
-  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label);
+  stats_ = MergeAndPublish(workers, passes, started, options_.stats_label,
+                           /*columnar=*/false);
 }
 
 }  // namespace tempo

@@ -11,6 +11,13 @@
 // and an in-memory record span (for traces already in memory, e.g. fresh
 // workload runs), which is partitioned into synthetic chunks.
 //
+// Predicate pushdown: when EVERY pass declares a Predicate (pass.h) and
+// the trace is v3, a chunk whose zone map no pass may match is skipped
+// without being decoded — the passes never see its records, which is
+// sound because a declared predicate promises the result ignores them.
+// One pass with a null predicate pins every chunk, and v1/v2 chunks have
+// no zones, so pushdown silently degrades to full streaming.
+//
 // Observability: the runner publishes per-run counters to the global
 // obs registry (records/bytes/chunks fanned through the pipeline, worker
 // count, total cycles, and per-pass merge cycles). The probe clock is
@@ -44,10 +51,15 @@ struct PipelineOptions {
 // What one Run actually did.
 struct PipelineStats {
   size_t jobs = 0;        // workers used
-  uint64_t chunks = 0;    // chunks streamed
+  uint64_t chunks = 0;    // chunks decoded and streamed
   uint64_t records = 0;   // records streamed
-  uint64_t bytes = 0;     // encoded payload bytes those records represent
+  uint64_t bytes = 0;     // fixed-width bytes those records represent
   uint64_t cycles = 0;    // probe-clock cycles for the whole run
+  // Predicate pushdown (v3 traces only; zero elsewhere): chunks whose
+  // zone map proved no pass needed them, and the on-disk bytes of the
+  // chunks that were decoded.
+  uint64_t chunks_skipped = 0;
+  uint64_t encoded_bytes = 0;
 };
 
 class PipelineRunner {

@@ -1,0 +1,103 @@
+// QueryPass: filtered, grouped record counting with predicate pushdown.
+//
+// The study answered questions like "which call sites set timers during
+// the boot window?" by grepping the converted text trace. QueryPass is
+// the pipeline-native version: it declares its filter as a Predicate
+// (pass.h), so on v3 traces the runner skips whole chunks whose zone map
+// cannot match — the selective-query half of the columnar format — and
+// then counts the matching records, optionally grouped by call site, pid
+// or op.
+//
+// Like every AnalysisPass, results are exact and deterministic for any
+// chunking and worker count: group counts merge by addition and rendering
+// sorts by count (ties toward the smaller key), so parallel and serial
+// runs emit byte-identical reports.
+
+#ifndef TEMPO_SRC_ANALYSIS_QUERY_H_
+#define TEMPO_SRC_ANALYSIS_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/analysis/pass.h"
+#include "src/trace/callsite.h"
+#include "src/trace/predicate.h"
+#include "src/trace/record.h"
+
+namespace tempo {
+
+enum class QueryGroupBy : uint8_t {
+  kNone = 0,      // one total row
+  kCallsite = 1,
+  kPid = 2,
+  kOp = 3,
+};
+
+struct QueryOptions {
+  Predicate predicate;
+  QueryGroupBy group_by = QueryGroupBy::kNone;
+  // Rows rendered (by descending count); 0 means all.
+  size_t top_k = 0;
+};
+
+// Aggregates of one group (or of the whole selection for kNone).
+struct QueryGroup {
+  uint64_t records = 0;        // matching records
+  uint64_t sets = 0;           // of which kSet
+  uint64_t timeout_sum = 0;    // summed timeout of the kSet records (ns)
+  SimTime first = 0;           // earliest matching timestamp
+  SimTime last = 0;            // latest matching timestamp
+};
+
+class QueryPass : public AnalysisPass {
+ public:
+  // `callsites` is only needed to render kCallsite group names; it must
+  // outlive the pass and may be nullptr for other groupings.
+  explicit QueryPass(QueryOptions options, const CallsiteRegistry* callsites = nullptr)
+      : options_(std::move(options)), callsites_(callsites) {}
+
+  const char* name() const override { return "query"; }
+  std::unique_ptr<AnalysisPass> Fork() const override;
+  void Accumulate(std::span<const TraceRecord> records) override;
+  void Merge(AnalysisPass&& other) override;
+  void Render(RenderSink& sink) override;
+  const Predicate* predicate() const override { return &options_.predicate; }
+
+  // The pass filters on timestamp/pid/op, sums timeouts, and tracks
+  // first/last timestamps; call-site ids are only read when grouping by
+  // call site. Declaring exactly that set lets the v3 cursor skip the
+  // remaining stripes (projection pushdown).
+  uint16_t fields() const override {
+    uint16_t mask = kFieldTimestamp | kFieldTimeout | kFieldPid | kFieldOp;
+    if (options_.group_by == QueryGroupBy::kCallsite) {
+      mask |= kFieldCallsite;
+    }
+    return mask;
+  }
+
+  // Renders the same rows as Render, as one JSON object. Call after all
+  // merges.
+  std::string RenderJson() const;
+
+  // The grouped aggregates; call after all merges. Keys are callsite ids,
+  // pids, or op values depending on group_by (0 for kNone).
+  const std::map<uint64_t, QueryGroup>& groups() const { return groups_; }
+  uint64_t matched() const { return matched_; }
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  uint64_t KeyFor(const TraceRecord& r) const;
+  std::string KeyName(uint64_t key) const;
+
+  QueryOptions options_;
+  const CallsiteRegistry* callsites_;
+  std::map<uint64_t, QueryGroup> groups_;
+  uint64_t matched_ = 0;
+  uint64_t scanned_ = 0;  // records the pass actually saw (post-pushdown)
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_ANALYSIS_QUERY_H_

@@ -3,8 +3,15 @@
 #include <cstring>
 #include <utility>
 
-#include "src/trace/codec.h"
 #include "src/trace/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TEMPO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace tempo {
 
@@ -13,8 +20,14 @@ namespace {
 constexpr size_t kMagicSize = sizeof(wire::kTraceMagic);
 // u64 footer offset + trailer magic.
 constexpr size_t kTrailerSize = 8 + kMagicSize;
-// Per index entry: u64 chunk offset + u32 record count.
+// Per v2 index entry: u64 chunk offset + u32 record count.
 constexpr size_t kIndexEntrySize = 12;
+// Per v3 index entry: u64 offset, u32 stored bytes, u32 records, then the
+// zone map (u64 min/max timestamp, u64 pid digest, u8 op mask).
+constexpr size_t kV3IndexEntrySize = 8 + 4 + 4 + 8 + 8 + 8 + 1;
+// Smallest possible v3 chunk: 9-byte chunk header + 10 stripes of at
+// least [u8 codec][u32 length] each.
+constexpr uint64_t kV3MinChunkBytes = 9 + 10 * 5;
 
 std::nullopt_t Fail(TraceReadError reason, TraceReadError* error) {
   if (error != nullptr) {
@@ -31,7 +44,29 @@ bool ReadAt(std::FILE* file, uint64_t offset, size_t length, uint8_t* out) {
   return std::fread(out, 1, length, file) == length;
 }
 
+TraceReadError ChunkParseError(ChunkParse parse) {
+  switch (parse) {
+    case ChunkParse::kOk:
+      break;
+    case ChunkParse::kTruncated:
+      return TraceReadError::kTruncated;
+    case ChunkParse::kCorrupt:
+      return TraceReadError::kCorrupt;
+    case ChunkParse::kCodec:
+      return TraceReadError::kCodec;
+  }
+  return TraceReadError::kCorrupt;
+}
+
 }  // namespace
+
+TraceChunkReader::MappedFile::~MappedFile() {
+#if TEMPO_HAVE_MMAP
+  if (data != nullptr && size > 0) {
+    ::munmap(const_cast<uint8_t*>(data), size);
+  }
+#endif
+}
 
 std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
                                                        TraceReadError* error) {
@@ -76,7 +111,8 @@ std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
       return Fail(TraceReadError::kTruncated, error);
     }
     if (reader.version_ != kTraceFileVersion &&
-        reader.version_ != kTraceFileVersionChunked) {
+        reader.version_ != kTraceFileVersionChunked &&
+        reader.version_ != kTraceFileVersionColumnar) {
       return Fail(TraceReadError::kVersion, error);
     }
     reader.callsites_ = CallsiteRegistry();
@@ -88,7 +124,7 @@ std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
     bool fixed_fields_ok = false;
     if (table == wire::TableParse::kOk) {
       fixed_fields_ok = parse.Read64(&reader.record_count_);
-      if (fixed_fields_ok && reader.version_ == kTraceFileVersionChunked) {
+      if (fixed_fields_ok && reader.version_ != kTraceFileVersion) {
         fixed_fields_ok = parse.Read32(&chunk_capacity);
       }
     }
@@ -101,10 +137,88 @@ std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
     }
     payload_start = parse.offset();
 
+    if (reader.version_ == kTraceFileVersionColumnar) {
+      // v3: the payload is variable-sized, so everything comes from the
+      // index footer; validate it for contiguity and record coverage.
+      if (chunk_capacity == 0) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+      const uint64_t chunk_count =
+          (reader.record_count_ + chunk_capacity - 1) / chunk_capacity;
+      if (chunk_count > file_size / kV3MinChunkBytes + 1) {
+        return Fail(TraceReadError::kTruncated, error);
+      }
+      const uint64_t tail_size = 4 + chunk_count * kV3IndexEntrySize + kTrailerSize;
+      if (file_size < payload_start + tail_size) {
+        return Fail(TraceReadError::kTruncated, error);
+      }
+      const uint64_t index_offset = file_size - tail_size;
+
+      uint8_t trailer[kTrailerSize];
+      if (!ReadAt(file, file_size - kTrailerSize, kTrailerSize, trailer)) {
+        return Fail(TraceReadError::kIo, error);
+      }
+      if (std::memcmp(trailer + 8, wire::kTraceIndexMagic, kMagicSize) != 0) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+      if (wire::Get64(trailer) != index_offset) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+
+      std::vector<uint8_t> index_bytes(4 + chunk_count * kV3IndexEntrySize);
+      if (!ReadAt(file, index_offset, index_bytes.size(), index_bytes.data())) {
+        return Fail(TraceReadError::kIo, error);
+      }
+      wire::Reader index(index_bytes.data(), index_bytes.size());
+      uint32_t indexed_chunks = 0;
+      index.Read32(&indexed_chunks);
+      if (indexed_chunks != chunk_count) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+      reader.chunks_.reserve(chunk_count);
+      uint64_t next_offset = payload_start;
+      for (uint64_t c = 0; c < chunk_count; ++c) {
+        ChunkRef chunk;
+        uint64_t min_ts = 0;
+        uint64_t max_ts = 0;
+        uint32_t stored = 0;
+        index.Read64(&chunk.offset);
+        index.Read32(&stored);
+        index.Read32(&chunk.records);
+        index.Read64(&min_ts);
+        index.Read64(&max_ts);
+        index.Read64(&chunk.zone.pid_digest);
+        const uint8_t* op_mask = index.Raw(1);
+        chunk.stored_bytes = stored;
+        chunk.zone.valid = true;
+        chunk.zone.min_timestamp = static_cast<SimTime>(min_ts);
+        chunk.zone.max_timestamp = static_cast<SimTime>(max_ts);
+        chunk.zone.op_mask = *op_mask;
+        const uint32_t expected_count =
+            c + 1 < chunk_count || reader.record_count_ % chunk_capacity == 0
+                ? chunk_capacity
+                : static_cast<uint32_t>(reader.record_count_ % chunk_capacity);
+        // Chunks must tile [payload_start, index_offset) exactly.
+        if (chunk.offset != next_offset || chunk.records != expected_count ||
+            chunk.stored_bytes < kV3MinChunkBytes ||
+            chunk.offset + chunk.stored_bytes > index_offset) {
+          return Fail(TraceReadError::kCorrupt, error);
+        }
+        next_offset = chunk.offset + chunk.stored_bytes;
+        reader.payload_bytes_ += chunk.stored_bytes;
+        reader.chunks_.push_back(chunk);
+      }
+      if (next_offset != index_offset) {
+        return Fail(TraceReadError::kCorrupt, error);
+      }
+      break;
+    }
+
     if (reader.record_count_ > file_size / kEncodedRecordSize) {
       return Fail(TraceReadError::kTruncated, error);
     }
     const uint64_t payload_bytes = reader.record_count_ * kEncodedRecordSize;
+    reader.payload_bytes_ = payload_bytes;
 
     if (reader.version_ == kTraceFileVersion) {
       // v1 has no index: records are contiguous and fixed width, so chunk
@@ -118,9 +232,10 @@ std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
             std::min<uint64_t>(kDefaultChunkRecords, reader.record_count_ - first);
         reader.chunks_.push_back(
             ChunkRef{payload_start + first * kEncodedRecordSize,
-                     static_cast<uint32_t>(take)});
+                     static_cast<uint32_t>(take), take * kEncodedRecordSize,
+                     ChunkZone{}});
       }
-      return reader;
+      break;
     }
 
     // v2: validate the index footer against the header-derived layout.
@@ -172,17 +287,40 @@ std::optional<TraceChunkReader> TraceChunkReader::Open(const std::string& path,
           count != expected_count) {
         return Fail(TraceReadError::kCorrupt, error);
       }
-      reader.chunks_.push_back(ChunkRef{offset, count});
+      reader.chunks_.push_back(ChunkRef{offset, count,
+                                        uint64_t{count} * kEncodedRecordSize,
+                                        ChunkZone{}});
     }
-    return reader;
+    break;
   }
+
+#if TEMPO_HAVE_MMAP
+  // Map the validated file read-only so cursors decode straight from the
+  // page cache. Failure is not an error — cursors fall back to stdio.
+  if (file_size > 0) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
+      ::close(fd);
+      if (base != MAP_FAILED) {
+        auto map = std::make_shared<MappedFile>();
+        map->data = static_cast<const uint8_t*>(base);
+        map->size = file_size;
+        reader.map_ = std::move(map);
+      }
+    }
+  }
+#endif
+  return reader;
 }
 
-TraceChunkReader::Cursor::Cursor(const TraceChunkReader* reader)
-    : reader_(reader), file_(std::fopen(reader->path_.c_str(), "rb")) {
-  if (file_ == nullptr) {
-    failed_ = true;
-    error_ = TraceReadError::kIo;
+TraceChunkReader::Cursor::Cursor(const TraceChunkReader* reader) : reader_(reader) {
+  if (reader->map_ == nullptr) {
+    file_ = std::fopen(reader->path_.c_str(), "rb");
+    if (file_ == nullptr) {
+      failed_ = true;
+      error_ = TraceReadError::kIo;
+    }
   }
 }
 
@@ -197,6 +335,8 @@ TraceChunkReader::Cursor::Cursor(Cursor&& other) noexcept
       file_(std::exchange(other.file_, nullptr)),
       raw_(std::move(other.raw_)),
       decoded_(std::move(other.decoded_)),
+      scratch_(std::move(other.scratch_)),
+      last_mask_(other.last_mask_),
       failed_(other.failed_),
       error_(other.error_) {}
 
@@ -209,28 +349,74 @@ TraceChunkReader::Cursor& TraceChunkReader::Cursor::operator=(Cursor&& other) no
     file_ = std::exchange(other.file_, nullptr);
     raw_ = std::move(other.raw_);
     decoded_ = std::move(other.decoded_);
+    scratch_ = std::move(other.scratch_);
+    last_mask_ = other.last_mask_;
     failed_ = other.failed_;
     error_ = other.error_;
   }
   return *this;
 }
 
-std::span<const TraceRecord> TraceChunkReader::Cursor::Read(size_t index) {
+const uint8_t* TraceChunkReader::Cursor::ChunkBytes(const ChunkRef& chunk) {
+  if (reader_->map_ != nullptr) {
+    // Open validated that every chunk lies inside the file.
+    return reader_->map_->data + chunk.offset;
+  }
+  raw_.resize(static_cast<size_t>(chunk.stored_bytes));
+  if (!ReadAt(file_, chunk.offset, raw_.size(), raw_.data())) {
+    return nullptr;
+  }
+  return raw_.data();
+}
+
+std::span<const TraceRecord> TraceChunkReader::Cursor::Read(size_t index,
+                                                            uint16_t field_mask) {
   if (failed_ || index >= reader_->chunks_.size()) {
     failed_ = true;
     return {};
   }
   const ChunkRef& chunk = reader_->chunks_[index];
-  raw_.resize(static_cast<size_t>(chunk.records) * kEncodedRecordSize);
-  if (!ReadAt(file_, chunk.offset, raw_.size(), raw_.data())) {
+  const uint8_t* bytes = ChunkBytes(chunk);
+  if (bytes == nullptr) {
     failed_ = true;
     error_ = TraceReadError::kIo;
     return {};
   }
+  if (reader_->version_ == kTraceFileVersionColumnar) {
+    // Recycle the row buffer when the previous decode left every field
+    // outside this mask at its default (same record count, and the
+    // previous mask wrote no field this mask won't overwrite) — skips a
+    // full re-initialisation pass per chunk.
+    const bool recycle = decoded_.size() == chunk.records &&
+                         (last_mask_ & ~field_mask) == 0;
+    if (!recycle) {
+      decoded_.clear();
+    }
+    const ChunkParse parse = DecodeV3Chunk(bytes, static_cast<size_t>(chunk.stored_bytes),
+                                           chunk.records, &scratch_, &decoded_, field_mask,
+                                           recycle);
+    if (parse != ChunkParse::kOk) {
+      failed_ = true;
+      error_ = ChunkParseError(parse);
+      last_mask_ = kAllTraceFields + 1;
+      return {};
+    }
+    last_mask_ = field_mask;
+    // Stacks are not persisted, so decoded records must surface the
+    // in-memory "no stack" id. An unprojected stack field is already
+    // default-initialised to it — skipping the pass over the records
+    // matters when projection made decoding this chunk cheap.
+    if ((field_mask & kFieldStack) != 0) {
+      for (TraceRecord& record : decoded_) {
+        record.stack = kEmptyStack;
+      }
+    }
+    return std::span<const TraceRecord>(decoded_.data(), decoded_.size());
+  }
   decoded_.clear();
   decoded_.reserve(chunk.records);
   for (uint32_t i = 0; i < chunk.records; ++i) {
-    auto record = DecodeRecord(raw_.data() + static_cast<size_t>(i) * kEncodedRecordSize);
+    auto record = DecodeRecord(bytes + static_cast<size_t>(i) * kEncodedRecordSize);
     if (!record.has_value()) {
       failed_ = true;
       error_ = TraceReadError::kCorrupt;

@@ -3,37 +3,52 @@
 // TraceChunkReader opens a trace file, parses only the header (call-site
 // table) and the chunk index, and then hands out fixed-size batches of
 // decoded records on demand — the whole trace is never materialized. For
-// chunked v2 files the index comes from the footer; v1 files have no
-// index, but their records are contiguous and fixed width, so the reader
-// synthesizes chunk boundaries arithmetically and serves them the same
-// way. Consumers therefore never care which version is on disk.
+// chunked v2 and columnar v3 files the index comes from the footer; v1
+// files have no index, but their records are contiguous and fixed width,
+// so the reader synthesizes chunk boundaries arithmetically and serves
+// them the same way. Consumers therefore never care which version is on
+// disk. v3 index entries additionally carry each chunk's zone map
+// (ChunkRef::zone), which predicate-carrying consumers use to skip
+// chunks without decoding them.
+//
+// Read path: Open memory-maps the file read-only when the platform
+// allows it, so cursors decode straight out of the page cache with no
+// read syscalls or staging copies; when mapping fails (or on platforms
+// without mmap) each cursor falls back to a private stdio handle.
 //
 // Concurrency model: the reader itself is immutable after Open and safe
 // to share across threads. Each worker thread creates its own Cursor,
-// which owns a private file handle and decode buffer; Cursor::Read seeks
-// to any chunk in any order, so N workers can stream disjoint chunk
-// ranges in parallel (this is what analysis/pipeline.h does).
+// which owns a private decode buffer (and file handle in the fallback
+// path); Cursor::Read seeks to any chunk in any order, so N workers can
+// stream disjoint chunk ranges in parallel (this is what
+// analysis/pipeline.h does).
 
 #ifndef TEMPO_SRC_TRACE_CHUNKED_H_
 #define TEMPO_SRC_TRACE_CHUNKED_H_
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/trace/callsite.h"
+#include "src/trace/codec.h"
 #include "src/trace/file.h"
 
 namespace tempo {
 
 class TraceChunkReader {
  public:
-  // One chunk's location on disk.
+  // One chunk's location on disk. `stored_bytes` is the chunk's on-disk
+  // footprint (fixed records * 48 for v1/v2, the compressed size for v3);
+  // `zone` is valid only for v3 chunks.
   struct ChunkRef {
-    uint64_t offset = 0;  // absolute file offset of the first record
+    uint64_t offset = 0;  // absolute file offset of the chunk
     uint32_t records = 0;
+    uint64_t stored_bytes = 0;
+    ChunkZone zone;
   };
 
   // Parses the header and chunk index of `path`. On failure returns
@@ -47,10 +62,15 @@ class TraceChunkReader {
   const ChunkRef& chunk(size_t index) const { return chunks_[index]; }
   const CallsiteRegistry& callsites() const { return callsites_; }
   const std::string& path() const { return path_; }
+  // Total on-disk bytes of all record chunks (excludes header and index).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  // True when reads go through a shared memory map instead of stdio.
+  bool mapped() const { return map_ != nullptr; }
 
-  // A per-thread read position: private file handle + decode buffer.
-  // Spans returned by Read are valid until the next Read on the same
-  // cursor (or its destruction).
+  // A per-thread read position: private decode buffer, plus a private
+  // file handle when the file is not memory-mapped. Spans returned by
+  // Read are valid until the next Read on the same cursor (or its
+  // destruction).
   class Cursor {
    public:
     explicit Cursor(const TraceChunkReader* reader);
@@ -63,31 +83,57 @@ class TraceChunkReader {
     // Decodes chunk `index`. Returns an empty span and sets error() on
     // I/O failure or a corrupt record; an empty trace has no chunks, so
     // an empty result always means failure.
-    std::span<const TraceRecord> Read(size_t index);
+    std::span<const TraceRecord> Read(size_t index) { return Read(index, kAllTraceFields); }
+
+    // As Read(index), but decodes only the fields in `field_mask`
+    // (projection pushdown). On v3 files the unselected stripes are
+    // skipped, not decoded, and the corresponding record fields come
+    // back default-initialised; v1/v2 rows are fixed width, so the mask
+    // is ignored and every field is populated — consumers must treat
+    // extra populated fields as allowed, not guaranteed.
+    std::span<const TraceRecord> Read(size_t index, uint16_t field_mask);
 
     bool ok() const { return !failed_; }
     TraceReadError error() const { return error_; }
 
    private:
+    // The chunk's stored bytes, from the map or read via file_ into raw_.
+    const uint8_t* ChunkBytes(const ChunkRef& chunk);
+
     const TraceChunkReader* reader_;
     std::FILE* file_ = nullptr;
     std::vector<uint8_t> raw_;
     std::vector<TraceRecord> decoded_;
+    V3DecodeScratch scratch_;
+    // Field mask of the last successful v3 decode, or kAllTraceFields+1
+    // (an impossible mask) when decoded_ is not reusable. When the next
+    // Read wants the same chunk size and a superset of these fields, the
+    // row buffer is recycled instead of re-initialised.
+    uint16_t last_mask_ = kAllTraceFields + 1;
     bool failed_ = false;
     TraceReadError error_ = TraceReadError::kIo;
   };
 
-  // Opens a new private file handle for one consumer thread.
+  // Opens a new private cursor for one consumer thread.
   Cursor MakeCursor() const { return Cursor(this); }
 
  private:
+  // A read-only memory map of the whole file, shared by all cursors.
+  struct MappedFile {
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+    ~MappedFile();
+  };
+
   TraceChunkReader() = default;
 
   std::string path_;
   uint32_t version_ = 0;
   uint64_t record_count_ = 0;
+  uint64_t payload_bytes_ = 0;
   std::vector<ChunkRef> chunks_;
   CallsiteRegistry callsites_;
+  std::shared_ptr<const MappedFile> map_;
 };
 
 }  // namespace tempo

@@ -14,7 +14,7 @@
 //         u16 name length, name bytes
 //     u64 record count, then the codec.h fixed-width records.
 //
-//   v2 (chunked, the default since the streaming pipeline):
+//   v2 (chunked):
 //     "TEMPOTRC" magic, u32 version = 2
 //     call-site table as in v1
 //     u64 record count, u32 chunk capacity (records per full chunk)
@@ -23,9 +23,20 @@
 //     index footer: u32 chunk count, then per chunk u64 file offset +
 //         u32 record count; u64 footer offset; "TEMPOIDX" trailer magic.
 //
+//   v3 (columnar, compressed):
+//     header as in v2 but version = 3
+//     self-describing columnar chunks (codec.h EncodeV3Chunk): one stripe
+//         per record field, per-stripe codec ids, optional block
+//         compression — chunks are variable-sized on disk
+//     index footer: u32 chunk count, then per chunk u64 file offset,
+//         u32 stored bytes, u32 record count, and a zone map (u64 min/max
+//         timestamp, u64 pid digest, u8 op mask); u64 footer offset;
+//         "TEMPOIDX" trailer magic.
+//
 // The index footer lets TraceChunkReader (chunked.h) hand out chunks to
-// parallel workers without materializing the whole trace. ReadTraceFile
-// keeps reading v1 files unchanged.
+// parallel workers without materializing the whole trace; the v3 zone maps
+// additionally let predicate-carrying consumers skip chunks without
+// decoding them. ReadTraceFile keeps reading v1 and v2 files unchanged.
 
 #ifndef TEMPO_SRC_TRACE_FILE_H_
 #define TEMPO_SRC_TRACE_FILE_H_
@@ -41,6 +52,7 @@ namespace tempo {
 
 inline constexpr uint32_t kTraceFileVersion = 1;
 inline constexpr uint32_t kTraceFileVersionChunked = 2;
+inline constexpr uint32_t kTraceFileVersionColumnar = 3;
 
 // Records per full chunk in a v2 file. 64Ki records x 48 bytes = 3 MiB of
 // payload per chunk: large enough that per-chunk overheads vanish, small
@@ -51,13 +63,16 @@ inline constexpr uint32_t kDefaultChunkRecords = 64 * 1024;
 // magic: not a tempo trace; version: a tempo trace from an unknown format
 // revision; truncated: the payload ends before the declared content does;
 // corrupt: the content is self-inconsistent (bad record op, out-of-order
-// call-site table, index that contradicts the header).
+// call-site table, index that contradicts the header); codec: a v3 chunk
+// uses a stripe or block codec this build does not know (a newer writer's
+// file — distinct from corruption so tools can say so).
 enum class TraceReadError : uint8_t {
   kIo = 0,
   kMagic = 1,
   kVersion = 2,
   kTruncated = 3,
   kCorrupt = 4,
+  kCodec = 5,
 };
 
 // Short mnemonic ("truncated file", ...) for error messages.
@@ -72,7 +87,14 @@ struct LoadedTrace {
 // Output-format knobs for WriteTraceFile / SerializeTrace.
 struct TraceWriteOptions {
   uint32_t version = kTraceFileVersionChunked;
-  uint32_t chunk_records = kDefaultChunkRecords;  // v2 only
+  uint32_t chunk_records = kDefaultChunkRecords;  // v2/v3
+  // v3 only: block codec applied per chunk (falls back to uncompressed
+  // automatically on chunks the codec cannot shrink). Off by default:
+  // the columnar stripes alone are ~0.3x of v2 and decode faster than
+  // the row format, while TempoLz buys another ~25% of disk at roughly
+  // half the scan speed — worth it for cold archives, not for traces
+  // that are still being queried.
+  BlockCodecId block_codec = BlockCodecId::kNone;
 };
 
 // Writes records + call-site table to `path` (chunked v2 by default).

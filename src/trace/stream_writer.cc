@@ -17,8 +17,10 @@ TraceStreamWriter::TraceStreamWriter(std::string path,
     : path_(std::move(path)),
       spill_path_(path_ + ".spill"),
       callsites_(callsites),
-      capacity_(options.chunk_records > 0 ? options.chunk_records : 1) {
-  if (options.version != kTraceFileVersionChunked) {
+      version_(options.version),
+      capacity_(options.chunk_records > 0 ? options.chunk_records : 1),
+      block_codec_(options.block_codec) {
+  if (version_ != kTraceFileVersionChunked && version_ != kTraceFileVersionColumnar) {
     ok_ = false;
     return;
   }
@@ -27,7 +29,11 @@ TraceStreamWriter::TraceStreamWriter(std::string path,
     ok_ = false;
     return;
   }
-  chunk_.reserve(static_cast<size_t>(capacity_) * kEncodedRecordSize);
+  if (version_ == kTraceFileVersionColumnar) {
+    pending_.reserve(capacity_);
+  } else {
+    chunk_.reserve(static_cast<size_t>(capacity_) * kEncodedRecordSize);
+  }
 }
 
 TraceStreamWriter::~TraceStreamWriter() { Close(); }
@@ -36,7 +42,11 @@ bool TraceStreamWriter::Append(const TraceRecord& record) {
   if (!ok_ || closed_) {
     return false;
   }
-  EncodeRecord(record, &chunk_);
+  if (version_ == kTraceFileVersionColumnar) {
+    pending_.push_back(record);
+  } else {
+    EncodeRecord(record, &chunk_);
+  }
   ++chunk_records_;
   ++records_;
   if (chunk_records_ == capacity_) {
@@ -49,7 +59,17 @@ void TraceStreamWriter::FlushChunk() {
   if (chunk_records_ == 0) {
     return;
   }
-  index_.emplace_back(spill_bytes_, chunk_records_);
+  IndexEntry entry;
+  entry.offset = spill_bytes_;
+  entry.records = chunk_records_;
+  if (version_ == kTraceFileVersionColumnar) {
+    chunk_.clear();
+    EncodeV3Chunk(std::span<const TraceRecord>(pending_.data(), pending_.size()),
+                  block_codec_, &chunk_, &entry.zone);
+    pending_.clear();
+  }
+  entry.stored = chunk_.size();
+  index_.push_back(entry);
   if (std::fwrite(chunk_.data(), 1, chunk_.size(), spill_) != chunk_.size()) {
     FailAndCleanup();
     return;
@@ -73,10 +93,10 @@ bool TraceStreamWriter::Close() {
     return false;
   }
 
-  // Everything that precedes the chunks in the v2 layout is now known.
+  // Everything that precedes the chunks in the chunked layouts is now known.
   std::vector<uint8_t> header(kMagicSize);
   std::memcpy(header.data(), wire::kTraceMagic, kMagicSize);
-  wire::Put32(kTraceFileVersionChunked, &header);
+  wire::Put32(version_, &header);
   wire::PutCallsiteTable(*callsites_, &header);
   wire::Put64(records_, &header);
   wire::Put32(capacity_, &header);
@@ -86,9 +106,18 @@ bool TraceStreamWriter::Close() {
   // this is what makes the result byte-identical to SerializeTrace.
   std::vector<uint8_t> footer;
   wire::Put32(static_cast<uint32_t>(index_.size()), &footer);
-  for (const auto& [offset, count] : index_) {
-    wire::Put64(header_size + offset, &footer);
-    wire::Put32(count, &footer);
+  for (const IndexEntry& entry : index_) {
+    wire::Put64(header_size + entry.offset, &footer);
+    if (version_ == kTraceFileVersionColumnar) {
+      wire::Put32(static_cast<uint32_t>(entry.stored), &footer);
+    }
+    wire::Put32(entry.records, &footer);
+    if (version_ == kTraceFileVersionColumnar) {
+      wire::Put64(static_cast<uint64_t>(entry.zone.min_timestamp), &footer);
+      wire::Put64(static_cast<uint64_t>(entry.zone.max_timestamp), &footer);
+      wire::Put64(entry.zone.pid_digest, &footer);
+      footer.push_back(entry.zone.op_mask);
+    }
   }
   wire::Put64(header_size + spill_bytes_, &footer);
   footer.insert(footer.end(), wire::kTraceIndexMagic,

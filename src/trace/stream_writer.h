@@ -1,4 +1,4 @@
-// Streaming v2 trace writer.
+// Streaming v2/v3 trace writer.
 //
 // The study's instrumented kernels never held a whole trace in memory:
 // relayfs sub-buffers went to disk as they filled, and analysis ran on the
@@ -6,16 +6,18 @@
 // that pipeline for tempo: records are appended one at a time (typically by
 // a RelayDrainer's emit callback), encoded chunks go to disk as they fill,
 // and Close() produces a file byte-identical to what
-// SerializeTrace(records, callsites, {version = 2}) would have built from
-// the same record sequence — so tracestat, TraceChunkReader and
+// SerializeTrace(records, callsites, {version = 2 or 3}) would have built
+// from the same record sequence — so tracestat, TraceChunkReader and
 // PipelineRunner consume streamed and buffered traces interchangeably.
 //
-// The v2 layout puts the call-site table and the record count *before* the
+// Both layouts put the call-site table and the record count *before* the
 // chunks, and both are only known once recording ends. The writer therefore
 // streams chunks to a spill file (`path` + ".spill") and assembles the
 // final file at Close(): header, spill contents copied through a small
 // buffer, then the index footer with offsets rebased past the header. Peak
-// memory is one open chunk regardless of trace length.
+// memory is one open chunk regardless of trace length — for v3, the open
+// chunk's records stay unencoded until the chunk fills, because the
+// columnar codec needs the whole column to pick stripe encodings.
 //
 // Single-threaded: all calls must come from one thread (the drainer).
 
@@ -35,10 +37,10 @@ namespace tempo {
 
 class TraceStreamWriter {
  public:
-  // Starts a streamed v2 trace at `path`. The registry is read at Close(),
-  // so call sites may still be interned while recording; it must outlive
-  // the writer. `options.version` must be the chunked version (v1 has no
-  // index and gains nothing from streaming).
+  // Starts a streamed v2 or v3 trace at `path`. The registry is read at
+  // Close(), so call sites may still be interned while recording; it must
+  // outlive the writer. `options.version` must be a chunked version (v1
+  // has no index and gains nothing from streaming).
   TraceStreamWriter(std::string path, const CallsiteRegistry* callsites,
                     const TraceWriteOptions& options = {});
   ~TraceStreamWriter();
@@ -61,16 +63,28 @@ class TraceStreamWriter {
   void FlushChunk();
   void FailAndCleanup();
 
+  // One flushed chunk's index-footer entry (offsets spill-relative until
+  // Close rebases them past the header).
+  struct IndexEntry {
+    uint64_t offset = 0;
+    uint64_t stored = 0;
+    uint32_t records = 0;
+    ChunkZone zone;
+  };
+
   std::string path_;
   std::string spill_path_;
   const CallsiteRegistry* callsites_;
+  uint32_t version_;
   uint32_t capacity_;
+  BlockCodecId block_codec_;
 
   std::FILE* spill_ = nullptr;
-  std::vector<uint8_t> chunk_;       // encoded records of the open chunk
-  uint32_t chunk_records_ = 0;       // records in the open chunk
-  uint64_t spill_bytes_ = 0;         // bytes already flushed to the spill
-  std::vector<std::pair<uint64_t, uint32_t>> index_;  // (spill offset, count)
+  std::vector<uint8_t> chunk_;           // encoded bytes of the open chunk (v2)
+  std::vector<TraceRecord> pending_;     // unencoded records of the open chunk (v3)
+  uint32_t chunk_records_ = 0;           // records in the open chunk
+  uint64_t spill_bytes_ = 0;             // bytes already flushed to the spill
+  std::vector<IndexEntry> index_;
   uint64_t records_ = 0;
   bool ok_ = true;
   bool closed_ = false;

@@ -60,6 +60,44 @@ inline uint64_t Get64(const uint8_t* p) {
   return v;
 }
 
+// LEB128 varints and zig-zag folding, the primitives of the v3 columnar
+// stripes (codec.h). A u64 takes 1..10 bytes; small values take one.
+inline void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+// Decodes one varint from [p, end). Returns the byte after the varint, or
+// nullptr when the input ends mid-varint or the encoding exceeds 10 bytes.
+inline const uint8_t* GetVarint(const uint8_t* p, const uint8_t* end, uint64_t* v) {
+  uint64_t value = 0;
+  unsigned shift = 0;
+  while (p < end && shift < 70) {
+    const uint8_t byte = *p++;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;  // shift <= 63 here
+    if ((byte & 0x80) == 0) {
+      *v = value;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+// Zig-zag: signed deltas fold to small unsigned values so varints stay
+// short for negative as well as positive movement.
+inline uint64_t ZigZag(uint64_t v) {
+  const int64_t s = static_cast<int64_t>(v);
+  return (static_cast<uint64_t>(s) << 1) ^ static_cast<uint64_t>(s >> 63);
+}
+
+inline uint64_t UnZigZag(uint64_t v) {
+  return (v >> 1) ^ (~(v & 1) + 1);
+}
+
 // Bounds-checked reader over a byte range.
 class Reader {
  public:

@@ -1,25 +1,34 @@
-# Runs tracestat over TRACE_FILE with --jobs 1 and --jobs 4 and fails
-# unless the reports are byte-identical — the ordered-merge guarantee,
-# checked end to end through the real tool. Invoked by ctest via
-# cmake -DTRACESTAT=... -DTRACE_FILE=... -DOUT_DIR=... -DCASE=... -P.
+# Runs TOOL over TRACE_FILE with --jobs 1 and --jobs 4 and fails unless
+# the reports are byte-identical — the ordered-merge guarantee, checked
+# end to end through the real tool. Invoked by ctest via
+#   cmake -DTOOL=... -DTRACE_FILE=... -DOUT_DIR=... -DCASE=...
+#         [-DTOOL_ARGS=arg1;arg2;...] -P compare_jobs.cmake
+# TOOL_ARGS are extra tool arguments (a CMake ;-list); TRACESTAT is
+# accepted as a legacy alias for TOOL.
 
-set(serial "${OUT_DIR}/tracestat_${CASE}_jobs1.txt")
-set(parallel "${OUT_DIR}/tracestat_${CASE}_jobs4.txt")
+if(NOT DEFINED TOOL)
+  set(TOOL ${TRACESTAT})
+  set(TOOL_ARGS "--blame" "5" "30")
+endif()
+get_filename_component(tool_name ${TOOL} NAME_WE)
+
+set(serial "${OUT_DIR}/${tool_name}_${CASE}_jobs1.txt")
+set(parallel "${OUT_DIR}/${tool_name}_${CASE}_jobs4.txt")
 
 execute_process(
-  COMMAND ${TRACESTAT} ${TRACE_FILE} --jobs 1 --blame 5 30
+  COMMAND ${TOOL} ${TRACE_FILE} --jobs 1 ${TOOL_ARGS}
   OUTPUT_FILE ${serial}
   RESULT_VARIABLE serial_status)
 if(NOT serial_status EQUAL 0)
-  message(FATAL_ERROR "tracestat --jobs 1 failed with status ${serial_status}")
+  message(FATAL_ERROR "${tool_name} --jobs 1 failed with status ${serial_status}")
 endif()
 
 execute_process(
-  COMMAND ${TRACESTAT} ${TRACE_FILE} --jobs 4 --blame 5 30
+  COMMAND ${TOOL} ${TRACE_FILE} --jobs 4 ${TOOL_ARGS}
   OUTPUT_FILE ${parallel}
   RESULT_VARIABLE parallel_status)
 if(NOT parallel_status EQUAL 0)
-  message(FATAL_ERROR "tracestat --jobs 4 failed with status ${parallel_status}")
+  message(FATAL_ERROR "${tool_name} --jobs 4 failed with status ${parallel_status}")
 endif()
 
 execute_process(
@@ -27,5 +36,5 @@ execute_process(
   RESULT_VARIABLE diff_status)
 if(NOT diff_status EQUAL 0)
   message(FATAL_ERROR
-          "tracestat output differs between --jobs 1 and --jobs 4 for ${TRACE_FILE}")
+          "${tool_name} output differs between --jobs 1 and --jobs 4 for ${TRACE_FILE}")
 endif()

@@ -90,6 +90,30 @@ int main(int argc, char** argv) {
     for (const auto& pass : passes) {
       pass->Render(sink);
     }
+    // Storage-side stats (JSON only, so the text report stays stable for
+    // the byte-compare tests): what the pipeline actually read from disk.
+    const PipelineStats& stats = runner.stats();
+    const double per_record =
+        stats.records == 0 ? 0.0
+                           : static_cast<double>(stats.encoded_bytes) /
+                                 static_cast<double>(stats.records);
+    const double ratio =
+        stats.bytes == 0 ? 0.0
+                         : static_cast<double>(stats.encoded_bytes) /
+                               static_cast<double>(stats.bytes);
+    char storage[512];
+    std::snprintf(storage, sizeof(storage),
+                  "version %u\nrecords %llu\nchunks_decoded %llu\n"
+                  "chunks_skipped %llu\nencoded_bytes %llu\n"
+                  "encoded_bytes_per_record %.3f\ncompression_ratio %.4f\n"
+                  "mapped %d\n",
+                  reader->version(),
+                  static_cast<unsigned long long>(stats.records),
+                  static_cast<unsigned long long>(stats.chunks),
+                  static_cast<unsigned long long>(stats.chunks_skipped),
+                  static_cast<unsigned long long>(stats.encoded_bytes), per_record,
+                  ratio, reader->mapped() ? 1 : 0);
+    sink.Section("storage", storage);
     sink.Finish();
   } else {
     TextRenderSink sink(stdout);
