@@ -122,6 +122,9 @@ DispatchTask* TemporalDispatcher::CreateTask(const std::string& name, uint64_t w
   task->dispatcher_ = this;
   task->name_ = name;
   task->weight_ = std::max<uint64_t>(weight, 1);
+  task->lateness_hist_ = obs::Registry::Global().GetHistogram(
+      "dispatcher_task_lateness_ns", {{"task", name}},
+      "Dispatch lateness past the declared window, per task (ns)");
   return task;
 }
 
@@ -218,6 +221,7 @@ size_t TemporalDispatcher::DispatchDue(bool piggyback_pass) {
     DispatchTask* task = req->task;
     task->total_lateness_ += lateness;
     task->worst_lateness_ = std::max(task->worst_lateness_, lateness);
+    task->lateness_hist_->Record(static_cast<uint64_t>(lateness));
     ++task->dispatches_;
     ++dispatched_;
     if (!was_mandatory) {

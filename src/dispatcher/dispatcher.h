@@ -94,6 +94,9 @@ class DispatchTask {
   uint64_t dispatches_ = 0;
   SimDuration total_lateness_ = 0;
   SimDuration worst_lateness_ = 0;
+  // Per-task lateness distribution, labeled {task=<name>}; the scalars
+  // above are its sum and max, which is what the cross-check test pins.
+  obs::Histogram* lateness_hist_ = nullptr;
 };
 
 // The dispatcher.

@@ -153,6 +153,11 @@ FleetView FleetAggregator::TakeView(size_t top_k) const {
     if (status.closed) {
       ++view.hosts_closed;
     }
+    if (!last.slack.slack.empty() || last.slack.canceled > 0 ||
+        last.slack.open > 0) {
+      view.slack.Merge(last.slack);
+      ++view.hosts_reporting_slack;
+    }
     MergeSeries(last.processes, &processes);
     MergeSeries(last.origins, &origins);
     for (const auto& [pattern, timers] : last.patterns) {

@@ -100,6 +100,11 @@ struct FleetView {
   uint64_t decode_errors_total = 0;
   uint64_t dirty_closes_total = 0;
 
+  // Firing-accuracy digests merged across every host (exact: the log2
+  // buckets are fixed fleet-wide), plus how many hosts reported spans.
+  SlackDigest slack;
+  uint64_t hosts_reporting_slack = 0;
+
   std::vector<FleetSeries> processes;  // top-K by fleet sets
   std::vector<FleetSeries> origins;    // top-K by fleet sets
   // Pattern name -> timers fleet-wide.

@@ -60,8 +60,10 @@ SimulatedHost::SimulatedHost(HostSimOptions options)
   live.classifier.stats_label.clear();
   live.classifier.capacity = 256;
   analyzer_ = std::make_unique<live::LiveAnalyzer>(live);
-  drainer_ = std::make_unique<RelayDrainer>(
-      &channels_, [this](const TraceRecord& record) { analyzer_->Ingest(record); });
+  drainer_ = std::make_unique<RelayDrainer>(&channels_, [this](const TraceRecord& record) {
+    analyzer_->Ingest(record);
+    slack_.Ingest(record);
+  });
 }
 
 void SimulatedHost::Log(RelayChannel* channel, const TraceRecord& record) {
@@ -141,7 +143,7 @@ HostSummary SimulatedHost::BuildSummary() {
     drainer_->Poll();
   }
   HostSummary summary = BuildHostSummary(options_.name, ++sequence_,
-                                         analyzer_->TakeSnapshot(), &channels_);
+                                         analyzer_->TakeSnapshot(), &channels_, &slack_);
   summary.metrics.push_back(
       {"relay_accepted",
        static_cast<int64_t>(kernel_channel_->accepted() + outlook_channel_->accepted())});

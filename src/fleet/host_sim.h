@@ -25,6 +25,7 @@
 
 #include "src/fleet/summary.h"
 #include "src/live/live_analyzer.h"
+#include "src/live/slack_tracker.h"
 #include "src/sim/time.h"
 #include "src/trace/callsite.h"
 #include "src/trace/relay.h"
@@ -77,6 +78,7 @@ class SimulatedHost {
 
   const std::string& name() const { return options_.name; }
   const live::LiveAnalyzer& analyzer() const { return *analyzer_; }
+  const live::SlackTracker& slack() const { return slack_; }
   RelayChannelSet* channels() { return &channels_; }
   uint64_t frames_published() const { return sequence_; }
 
@@ -100,6 +102,9 @@ class SimulatedHost {
   RelayChannel* kernel_channel_;
   RelayChannel* outlook_channel_;
   std::unique_ptr<live::LiveAnalyzer> analyzer_;
+  // Empty label, like the analyzer: fleet replicas stay off the obs
+  // registry.
+  live::SlackTracker slack_{""};
   std::unique_ptr<RelayDrainer> drainer_;
   size_t logs_since_poll_ = 0;
   uint64_t sequence_ = 0;

@@ -22,6 +22,16 @@ SeriesSummary FromStats(const live::LiveSeriesStats& stats) {
 
 }  // namespace
 
+SlackDigest DigestFrom(const SlackState& state) {
+  SlackDigest digest;
+  digest.slack = state.total();
+  digest.canceled = state.canceled_spans();
+  digest.rearmed = state.rearmed_spans();
+  digest.early = state.early_fires();
+  digest.open = state.open_spans();
+  return digest;
+}
+
 uint64_t HostSummary::relay_dropped() const {
   uint64_t dropped = 0;
   for (const ChannelSummary& channel : channels) {
@@ -32,7 +42,8 @@ uint64_t HostSummary::relay_dropped() const {
 
 HostSummary BuildHostSummary(const std::string& host, uint64_t sequence,
                              const live::LiveSnapshot& snapshot,
-                             RelayChannelSet* channels) {
+                             RelayChannelSet* channels,
+                             const live::SlackTracker* slack) {
   HostSummary summary;
   summary.host = host;
   summary.sequence = sequence;
@@ -57,6 +68,9 @@ HostSummary BuildHostSummary(const std::string& host, uint64_t sequence,
       summary.channels.push_back(
           {channel->name(), channel->accepted(), channel->dropped()});
     }
+  }
+  if (slack != nullptr) {
+    summary.slack = DigestFrom(slack->state());
   }
   return summary;
 }

@@ -19,7 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/latency.h"
 #include "src/live/live_analyzer.h"
+#include "src/live/slack_tracker.h"
 #include "src/sim/time.h"
 #include "src/trace/relay.h"
 
@@ -61,6 +63,30 @@ struct MetricSummary {
   bool operator==(const MetricSummary&) const = default;
 };
 
+// The host's firing-accuracy digest: the full log2 slack histogram (64
+// fixed buckets, so it merges exactly across hosts — no quantile sketch
+// approximation) plus the span counters around it. Cumulative like the
+// rest of the summary.
+struct SlackDigest {
+  SlackHist slack;  // total (fire - requested) per fired span
+  uint64_t canceled = 0;
+  uint64_t rearmed = 0;
+  uint64_t early = 0;
+  uint64_t open = 0;
+
+  void Merge(const SlackDigest& o) {
+    slack.Merge(o.slack);
+    canceled += o.canceled;
+    rearmed += o.rearmed;
+    early += o.early;
+    open += o.open;
+  }
+  bool operator==(const SlackDigest&) const = default;
+};
+
+// Builds the digest from a tracker's fold.
+SlackDigest DigestFrom(const SlackState& state);
+
 struct HostSummary {
   std::string host;        // fleet-unique host name
   uint64_t sequence = 0;   // publish counter, starts at 1; gaps = lost frames
@@ -78,6 +104,7 @@ struct HostSummary {
 
   std::vector<ChannelSummary> channels;
   std::vector<MetricSummary> metrics;
+  SlackDigest slack;
 
   bool operator==(const HostSummary&) const = default;
 
@@ -87,10 +114,12 @@ struct HostSummary {
 
 // Builds a host's summary from its live analyzer snapshot and relay
 // channel set (either may be what tempotop already displays locally).
-// `channels` may be nullptr. The caller stamps host/sequence/metrics.
+// `channels` and `slack` may be nullptr. The caller stamps
+// host/sequence/metrics.
 HostSummary BuildHostSummary(const std::string& host, uint64_t sequence,
                              const live::LiveSnapshot& snapshot,
-                             RelayChannelSet* channels);
+                             RelayChannelSet* channels,
+                             const live::SlackTracker* slack = nullptr);
 
 }  // namespace fleet
 }  // namespace tempo

@@ -79,6 +79,32 @@ bool ReadSeries(Reader* reader, SeriesSummary* series) {
   return reader->Read64(&series->bursts) && ReadF64(reader, &series->burst_peak_rate);
 }
 
+// The digest's bucket list is sparse: a u32 count of non-empty buckets,
+// each a (u8 index, u64 count) pair.
+constexpr size_t kMinBucketBytes = 1 + 8;
+
+void PutSlackDigest(const SlackDigest& digest, std::vector<uint8_t>* out) {
+  Put64(digest.canceled, out);
+  Put64(digest.rearmed, out);
+  Put64(digest.early, out);
+  Put64(digest.open, out);
+  Put64(digest.slack.count, out);
+  Put64(digest.slack.sum, out);
+  Put64(digest.slack.min, out);
+  Put64(digest.slack.max, out);
+  uint32_t non_empty = 0;
+  for (uint64_t bucket : digest.slack.buckets) {
+    non_empty += bucket != 0 ? 1 : 0;
+  }
+  Put32(non_empty, out);
+  for (size_t i = 0; i < digest.slack.buckets.size(); ++i) {
+    if (digest.slack.buckets[i] != 0) {
+      out->push_back(static_cast<uint8_t>(i));
+      Put64(digest.slack.buckets[i], out);
+    }
+  }
+}
+
 // Reads a u32 element count and rejects counts that could not possibly fit
 // in the bytes remaining — an attacker-controlled (or corrupted) count must
 // not drive a giant allocation before the overrun is noticed.
@@ -87,6 +113,41 @@ bool ReadCount(Reader* reader, size_t min_element_bytes, uint32_t* count) {
     return false;
   }
   return static_cast<size_t>(*count) * min_element_bytes <= reader->remaining();
+}
+
+// Strict digest decode: bucket indexes must be strictly ascending and in
+// range, and the buckets must sum to the advertised count — a digest that
+// contradicts itself is framing damage, not data.
+bool ReadSlackDigest(Reader* reader, SlackDigest* digest) {
+  if (!reader->Read64(&digest->canceled) || !reader->Read64(&digest->rearmed) ||
+      !reader->Read64(&digest->early) || !reader->Read64(&digest->open) ||
+      !reader->Read64(&digest->slack.count) || !reader->Read64(&digest->slack.sum) ||
+      !reader->Read64(&digest->slack.min) || !reader->Read64(&digest->slack.max)) {
+    return false;
+  }
+  uint32_t non_empty = 0;
+  if (!ReadCount(reader, kMinBucketBytes, &non_empty)) {
+    return false;
+  }
+  uint64_t total = 0;
+  int last_index = -1;
+  for (uint32_t i = 0; i < non_empty; ++i) {
+    const uint8_t* index = reader->Raw(1);
+    if (index == nullptr) {
+      return false;
+    }
+    if (*index <= last_index || *index >= SlackHist::kBucketCount) {
+      return false;
+    }
+    last_index = *index;
+    uint64_t bucket = 0;
+    if (!reader->Read64(&bucket) || bucket == 0) {
+      return false;
+    }
+    digest->slack.buckets[*index] = bucket;
+    total += bucket;
+  }
+  return total == digest->slack.count;
 }
 
 // Payload decode; true on success with every byte consumed.
@@ -153,6 +214,9 @@ bool DecodePayload(const uint8_t* data, size_t size, HostSummary* out) {
     }
     metric.value = static_cast<int64_t>(value);
   }
+  if (!ReadSlackDigest(&reader, &out->slack)) {
+    return false;
+  }
   return reader.remaining() == 0;
 }
 
@@ -191,6 +255,7 @@ std::vector<uint8_t> EncodePayload(const HostSummary& summary) {
     PutString(metric.name, &payload);
     Put64(static_cast<uint64_t>(metric.value), &payload);
   }
+  PutSlackDigest(summary.slack, &payload);
   return payload;
 }
 

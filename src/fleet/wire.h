@@ -32,7 +32,9 @@ namespace tempo {
 namespace fleet {
 
 inline constexpr uint8_t kFleetMagic[8] = {'T', 'E', 'M', 'P', 'O', 'F', 'L', 'T'};
-inline constexpr uint32_t kFleetWireVersion = 1;
+// Version history: 1 carried series/pattern/channel/metric lists; 2 appends
+// the host's SlackDigest (firing-accuracy histogram + span counters).
+inline constexpr uint32_t kFleetWireVersion = 2;
 
 // Frames carry one summary; even a pathological host (thousands of series)
 // stays far below this, so a bigger length prefix means framing damage.

@@ -1,0 +1,57 @@
+// Live firing-slack tracking over the relay drain path.
+//
+// A SlackTracker taps the same ordered record stream a LiveAnalyzer does
+// (hook Ingest into the drainer's EmitFn) and folds it through the exact
+// SlackState the offline LatencyPass uses — the live latency pane and the
+// offline report are the same computation over the same records, so "live
+// == offline" is structural, not statistical. On top of the fold it feeds
+// the obs registry: a live_slack_ns log2 histogram recorded per fired
+// span, and SyncObs publishes p50/p99/max gauges plus the open-timer
+// depth, which the Prometheus scrape endpoint then serves.
+//
+// Single-threaded consumer like the drainer that feeds it; the instruments
+// follow the registry's single-writer rule. An empty stats_label disables
+// instrumentation entirely (fleet host replicas).
+
+#ifndef TEMPO_SRC_LIVE_SLACK_TRACKER_H_
+#define TEMPO_SRC_LIVE_SLACK_TRACKER_H_
+
+#include <string>
+
+#include "src/analysis/latency.h"
+#include "src/obs/metrics.h"
+#include "src/trace/record.h"
+
+namespace tempo {
+namespace live {
+
+class SlackTracker {
+ public:
+  explicit SlackTracker(std::string stats_label = "live");
+  SlackTracker(const SlackTracker&) = delete;
+  SlackTracker& operator=(const SlackTracker&) = delete;
+
+  // Consumes one record of the drainer's ordered merge. Hot path.
+  void Ingest(const TraceRecord& record);
+
+  // Publishes slack quantile gauges and the live-timer depth into obs;
+  // call before a registry snapshot.
+  void SyncObs();
+
+  // The fold so far; equal to LatencyPass::state() over the same records.
+  const SlackState& state() const { return state_; }
+
+ private:
+  SlackState state_;
+  obs::Histogram* slack_hist_ = nullptr;
+  obs::Gauge* gauge_p50_ = nullptr;
+  obs::Gauge* gauge_p99_ = nullptr;
+  obs::Gauge* gauge_max_ = nullptr;
+  obs::Gauge* gauge_open_ = nullptr;
+  obs::Counter* counter_early_ = nullptr;
+};
+
+}  // namespace live
+}  // namespace tempo
+
+#endif  // TEMPO_SRC_LIVE_SLACK_TRACKER_H_

@@ -36,13 +36,20 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+// `head_only` sends the headers (with the full body's Content-Length) and
+// omits the body — HEAD semantics. `extra_headers` must be ""- or
+// CRLF-terminated lines (e.g. "Allow: GET, HEAD\r\n").
 std::string Response(int status, const char* reason, const std::string& content_type,
-                     const std::string& body) {
+                     const std::string& body, bool head_only = false,
+                     const std::string& extra_headers = std::string()) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += "Connection: close\r\n\r\n";
-  out += body;
+  if (!head_only) {
+    out += body;
+  }
   return out;
 }
 
@@ -172,22 +179,33 @@ void ScrapeServer::Handle(int fd) {
   if (query != std::string::npos) {
     target.resize(query);
   }
-  if (method != "GET") {
+  if (method != "GET" && method != "HEAD") {
+    // RFC 9110: a 405 names the methods the target does support.
     SendAll(fd, Response(405, "Method Not Allowed", "text/plain",
-                         "only GET is supported\n"));
+                         "only GET and HEAD are supported\n", false,
+                         "Allow: GET, HEAD\r\n"));
     return;
   }
+  const bool head_only = method == "HEAD";
   if (target != options_.path) {
     SendAll(fd, Response(404, "Not Found", "text/plain",
-                         "try " + options_.path + "\n"));
+                         "try " + options_.path + "\n", head_only));
     return;
   }
+  // HEAD still renders the body: its Content-Length must match what the
+  // corresponding GET would return.
   SendAll(fd, Response(200, "OK", "text/plain; version=0.0.4",
-                       body_ ? body_() : std::string()));
+                       body_ ? body_() : std::string(), head_only));
 }
 
 bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
              int* status, std::string* body, std::string* error) {
+  return HttpRequest("GET", host, port, path, status, nullptr, body, error);
+}
+
+bool HttpRequest(const std::string& method, const std::string& host, uint16_t port,
+                 const std::string& path, int* status, std::string* headers,
+                 std::string* body, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     if (error != nullptr) {
@@ -206,7 +224,7 @@ bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
     ::close(fd);
     return false;
   }
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+  const std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
   if (!SendAll(fd, request)) {
     if (error != nullptr) {
@@ -232,6 +250,9 @@ bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
   }
   if (status != nullptr) {
     *status = std::atoi(response.c_str() + 9);
+  }
+  if (headers != nullptr) {
+    *headers = response.substr(0, head_end + 4);
   }
   if (body != nullptr) {
     *body = response.substr(head_end + 4);

@@ -75,6 +75,13 @@ class ScrapeServer {
 bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
              int* status, std::string* body, std::string* error = nullptr);
 
+// HttpGet with an explicit method. `headers` (optional) receives the raw
+// response header block — the status line through the blank line — so
+// tests can assert on Allow: or Content-Length: of a HEAD response.
+bool HttpRequest(const std::string& method, const std::string& host, uint16_t port,
+                 const std::string& path, int* status, std::string* headers,
+                 std::string* body, std::string* error = nullptr);
+
 }  // namespace obs
 }  // namespace tempo
 

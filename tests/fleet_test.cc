@@ -65,6 +65,13 @@ HostSummary RichSummary(const std::string& host = "desktop-7",
   s.windows_evicted = 0;
   s.channels = {{host + "/kernel", 48000, 0}, {host + "/outlook", 86114, 7}};
   s.metrics = {{"relay_accepted", 134114}, {"drainer_emitted", 134107}};
+  s.slack.slack.Record(0);
+  s.slack.slack.Record(1500);       // a ~1.5 us firing
+  s.slack.slack.Record(3999744);    // a ~4 ms rounded jiffy
+  s.slack.canceled = 12;
+  s.slack.rearmed = 3;
+  s.slack.early = 1;
+  s.slack.open = 64;
   return s;
 }
 
@@ -241,6 +248,42 @@ TEST(FleetWireTaxonomy, ChecksumValidButSelfContradictoryPayloadIsCorrupt) {
   EXPECT_EQ(error, FleetReadError::kCorrupt);
 }
 
+TEST(FleetWireTaxonomy, DigestBucketsContradictingTheCountAreCorrupt) {
+  // The digest's bucket list must sum to its advertised span count; a
+  // payload where it does not is framing damage even under a valid
+  // checksum. The digest is the payload's final section, so the last
+  // 8 bytes before the trailer are the last bucket's count — perturb it.
+  HostSummary summary = RichSummary();
+  ASSERT_GT(summary.slack.slack.count, 0u);
+  std::vector<uint8_t> good = EncodeSummaryFrame(summary);
+  std::vector<uint8_t> payload(good.begin() + kFrameHeaderBytes,
+                               good.end() - kFrameTrailerBytes);
+  payload[payload.size() - 8] ^= 0x01;
+  std::vector<uint8_t> frame(good.begin(), good.begin() + kFrameHeaderBytes);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const uint64_t checksum = FleetChecksum(payload.data(), payload.size());
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+  }
+  HostSummary out;
+  FleetReadError error;
+  ASSERT_EQ(DecodeSummaryFrame(frame.data(), frame.size(), &out, &error),
+            FrameDecoder::Status::kError);
+  EXPECT_EQ(error, FleetReadError::kCorrupt);
+}
+
+TEST(FleetWire, EmptySlackDigestRoundTrips) {
+  HostSummary summary = RichSummary();
+  summary.slack = SlackDigest{};
+  const std::vector<uint8_t> frame = EncodeSummaryFrame(summary);
+  HostSummary decoded;
+  FleetReadError error;
+  ASSERT_EQ(DecodeSummaryFrame(frame.data(), frame.size(), &decoded, &error),
+            FrameDecoder::Status::kFrame);
+  EXPECT_EQ(decoded, summary);
+  EXPECT_TRUE(decoded.slack.slack.empty());
+}
+
 TEST(FleetWireTaxonomy, PoisonedStreamStaysPoisoned) {
   std::vector<uint8_t> bad = EncodeSummaryFrame(RichSummary());
   bad[kFrameHeaderBytes] ^= 0x01;
@@ -349,6 +392,32 @@ TEST(FleetAggregatorTest, SeriesMergeAcrossHostsAndBurstCensus) {
   EXPECT_EQ(agg.HostsWithBurst("outlook.exe", 5000.0), 1u);
   EXPECT_EQ(agg.HostsWithBurst("outlook.exe", 7500.0), 0u);
   EXPECT_EQ(agg.HostsWithBurst("Kernel", 1.0), 0u);
+}
+
+TEST(FleetAggregatorTest, SlackDigestsMergeExactlyAcrossHosts) {
+  FleetAggregator agg(Quiet());
+  HostSummary a = RichSummary("a", 1);
+  HostSummary b = RichSummary("b", 1);
+  b.slack.slack.Record(123456789);  // one ~123 ms straggler only host b saw
+  HostSummary quiet = RichSummary("c", 1);
+  quiet.slack = SlackDigest{};  // a host with no spans yet
+  agg.Ingest(a);
+  agg.Ingest(b);
+  agg.Ingest(quiet);
+
+  const FleetView view = agg.TakeView();
+  EXPECT_EQ(view.hosts_reporting_slack, 2u);
+  EXPECT_EQ(view.slack.slack.count, a.slack.slack.count + b.slack.slack.count);
+  EXPECT_EQ(view.slack.slack.sum, a.slack.slack.sum + b.slack.slack.sum);
+  EXPECT_EQ(view.slack.slack.max, 123456789u);
+  EXPECT_EQ(view.slack.canceled, a.slack.canceled + b.slack.canceled);
+  EXPECT_EQ(view.slack.early, a.slack.early + b.slack.early);
+  EXPECT_EQ(view.slack.open, a.slack.open + b.slack.open);
+  // The fold is the same SlackHist::Merge the offline passes use, so the
+  // fleet histogram equals merging the host histograms directly.
+  SlackHist direct = a.slack.slack;
+  direct.Merge(b.slack.slack);
+  EXPECT_EQ(view.slack.slack, direct);
 }
 
 TEST(FleetAggregatorTest, SyncObsPublishesFleetGauges) {

@@ -482,6 +482,59 @@ TEST_F(ObsTest, ScrapeServerSurvivesAnIdleClient) {
   server.Stop();
 }
 
+TEST_F(ObsTest, ScrapeServerAnswersHeadWithHeadersOnly) {
+  // Prometheus and load balancers probe with HEAD; RFC 9110 says the
+  // response carries the headers a GET would — Content-Length included —
+  // with no body.
+  const std::string rendered = "probe_ok 1\nprobe_depth -4\n";
+  obs::ScrapeServer server([&rendered] { return rendered; });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  int status = 0;
+  std::string headers;
+  std::string body;
+  ASSERT_TRUE(obs::HttpRequest("HEAD", "127.0.0.1", server.port(), "/metrics",
+                               &status, &headers, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(body.empty()) << body;
+  EXPECT_NE(headers.find("Content-Length: " + std::to_string(rendered.size())),
+            std::string::npos)
+      << headers;
+
+  // And the GET the HEAD promised: the body whose size HEAD advertised,
+  // still strict-exposition parseable.
+  ASSERT_TRUE(
+      obs::HttpGet("127.0.0.1", server.port(), "/metrics", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, rendered);
+  std::vector<obs::PromSample> samples;
+  ASSERT_TRUE(obs::ParsePrometheusText(body, &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "probe_ok");
+  server.Stop();
+}
+
+TEST_F(ObsTest, ScrapeServerRejectsOtherMethodsWithAllowHeader) {
+  obs::ScrapeServer server([] { return std::string("x 1\n"); });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  for (const char* method : {"POST", "PUT", "DELETE"}) {
+    int status = 0;
+    std::string headers;
+    std::string body;
+    ASSERT_TRUE(obs::HttpRequest(method, "127.0.0.1", server.port(), "/metrics",
+                                 &status, &headers, &body, &error))
+        << method << ": " << error;
+    EXPECT_EQ(status, 405) << method;
+    EXPECT_NE(headers.find("Allow: GET, HEAD"), std::string::npos)
+        << method << ": " << headers;
+  }
+  server.Stop();
+}
+
 TEST_F(ObsTest, ScrapeServerRejectsUnknownPaths) {
   obs::ScrapeServer server([] { return std::string("x 1\n"); });
   std::string error;

@@ -27,10 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/latency.h"
 #include "src/fleet/aggregator.h"
 #include "src/fleet/host_sim.h"
 #include "src/fleet/server.h"
 #include "src/live/live_analyzer.h"
+#include "src/live/slack_tracker.h"
 #include "src/obs/scrape_server.h"
 #include "src/obs/snapshot.h"
 #include "src/sim/simulator.h"
@@ -105,7 +107,8 @@ void PrintSeries(std::FILE* out, const char* title,
 }
 
 void PrintText(std::FILE* out, const std::string& workload,
-               const live::LiveSnapshot& snap, RelayChannelSet* channels) {
+               const live::LiveSnapshot& snap, RelayChannelSet* channels,
+               const std::string& latency_pane) {
   std::fprintf(out, "tempotop — %s @ %.1fs (window %.3fs, %" PRIu64 " records)\n",
                workload.c_str(), ToSeconds(snap.now), ToSeconds(snap.window),
                snap.records);
@@ -118,6 +121,9 @@ void PrintText(std::FILE* out, const std::string& workload,
     }
     std::fprintf(out, "  (tracked %" PRIu64 ", evicted %" PRIu64 ")\n",
                  snap.classifier_tracked, snap.classifier_evictions);
+  }
+  if (!latency_pane.empty()) {
+    std::fputs(latency_pane.c_str(), out);
   }
   std::fprintf(out, "relay:");
   for (size_t i = 0; i < channels->size(); ++i) {
@@ -155,8 +161,24 @@ void PrintJsonSeries(std::string* out, const char* key,
   *out += "]";
 }
 
+void PrintJsonLatency(std::string* json, const SlackState& state) {
+  char buf[512];
+  const SlackHist& total = state.total();
+  std::snprintf(buf, sizeof(buf),
+                "\"latency\":{\"fired\":%" PRIu64 ",\"canceled\":%" PRIu64
+                ",\"rearmed\":%" PRIu64 ",\"open\":%" PRIu64 ",\"early\":%" PRIu64
+                ",\"unmatched\":%" PRIu64
+                ",\"slack_p50_ns\":%.0f,\"slack_p99_ns\":%.0f,\"slack_max_ns\":%" PRIu64
+                "},",
+                state.fired_spans(), state.canceled_spans(), state.rearmed_spans(),
+                state.open_spans(), state.early_fires(), state.unmatched_closes(),
+                total.Quantile(0.50), total.Quantile(0.99), total.max);
+  *json += buf;
+}
+
 void PrintJson(std::FILE* out, const std::string& workload,
-               const live::LiveSnapshot& snap, RelayChannelSet* channels) {
+               const live::LiveSnapshot& snap, RelayChannelSet* channels,
+               const SlackState& slack) {
   std::string json = "{";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -165,6 +187,7 @@ void PrintJson(std::FILE* out, const std::string& workload,
                 JsonEscape(workload).c_str(), ToSeconds(snap.now),
                 ToSeconds(snap.window), snap.records);
   json += buf;
+  PrintJsonLatency(&json, slack);
   PrintJsonSeries(&json, "processes", snap.processes);
   json += ",";
   PrintJsonSeries(&json, "origins", snap.origins);
@@ -309,6 +332,18 @@ void PrintFleetText(std::FILE* out, const fleet::FleetView& view) {
                ToSeconds(view.fleet_now), view.hosts_total, view.hosts_live,
                view.hosts_stale, view.hosts_closed, view.frames_total,
                view.records_total);
+  if (view.hosts_reporting_slack > 0) {
+    const fleet::SlackDigest& d = view.slack;
+    std::fprintf(out,
+                 "fleet slack: %" PRIu64 " fired spans on %" PRIu64
+                 " hosts  p50 %s  p99 %s  max %s  (canceled %" PRIu64
+                 ", early %" PRIu64 ", open %" PRIu64 ")\n",
+                 d.slack.count, view.hosts_reporting_slack,
+                 FormatDuration(static_cast<SimDuration>(d.slack.Quantile(0.50))).c_str(),
+                 FormatDuration(static_cast<SimDuration>(d.slack.Quantile(0.99))).c_str(),
+                 FormatDuration(static_cast<SimDuration>(d.slack.max)).c_str(),
+                 d.canceled, d.early, d.open);
+  }
   PrintFleetSeries(out, "processes:", view.processes);
   PrintFleetSeries(out, "origins:", view.origins);
   if (!view.patterns.empty()) {
@@ -389,6 +424,15 @@ void PrintFleetJson(std::FILE* out, const fleet::FleetView& view) {
     }
     json += "]";
   };
+  std::snprintf(buf, sizeof(buf),
+                "\"slack\":{\"hosts\":%" PRIu64 ",\"fired\":%" PRIu64
+                ",\"canceled\":%" PRIu64 ",\"early\":%" PRIu64 ",\"open\":%" PRIu64
+                ",\"p50_ns\":%.0f,\"p99_ns\":%.0f,\"max_ns\":%" PRIu64 "},",
+                view.hosts_reporting_slack, view.slack.slack.count,
+                view.slack.canceled, view.slack.early, view.slack.open,
+                view.slack.slack.Quantile(0.50), view.slack.slack.Quantile(0.99),
+                view.slack.slack.max);
+  json += buf;
   series_json("processes", view.processes);
   json += ",";
   series_json("origins", view.origins);
@@ -556,6 +600,8 @@ int main(int argc, char** argv) {
       {"burst-clear", 1, "RATE", "sets/s that ends a burst (default 2500)"},
       {"check-burst", 2, "LABEL MIN", "exit 1 unless LABEL burst-peaked >= MIN sets/s"},
       {"check-rate", 3, "LABEL LO HI", "exit 1 unless LABEL mean rate is in [LO, HI]"},
+      {"check-slack", 2, "P99MS MINSPANS",
+       "exit 1 unless slack p99 <= P99MS ms over >= MINSPANS fired spans"},
       {"serve-metrics", 0, "", "serve /metrics over HTTP and self-scrape it"},
       {"cluster", 1, "HOSTS", "fleet mode: simulate HOSTS desktops, aggregate"},
       {"fleet-seconds", 1, "S", "fleet mode: simulated run length (default 8)"},
@@ -610,6 +656,7 @@ int main(int argc, char** argv) {
 
   RelayChannelSet channels;
   std::unique_ptr<live::LiveAnalyzer> analyzer;
+  std::unique_ptr<live::SlackTracker> slack;
   std::unique_ptr<RelayDrainer> drainer;
   LiveTapOptions tap;
   tap.channels = &channels;
@@ -628,8 +675,26 @@ int main(int argc, char** argv) {
     live_options.ring_windows =
         static_cast<size_t>(minutes * 60.0 / window_s) + 16;
     analyzer = std::make_unique<live::LiveAnalyzer>(live_options);
+    slack = std::make_unique<live::SlackTracker>();
     drainer = std::make_unique<RelayDrainer>(
-        &channels, [&a = *analyzer](const TraceRecord& r) { a.Ingest(r); });
+        &channels, [&a = *analyzer, &s = *slack](const TraceRecord& r) {
+          a.Ingest(r);
+          s.Ingest(r);
+        });
+  };
+
+  // The latency pane: the same report body the offline LatencyPass renders,
+  // fed from the live fold.
+  auto latency_pane = [&]() {
+    std::map<Pid, std::string> names;
+    if (tap.processes != nullptr) {
+      for (const Process& p : tap.processes->processes()) {
+        if (p.pid != kKernelPid) {
+          names[p.pid] = p.name;
+        }
+      }
+    }
+    return RenderLatencyReport(slack->state(), tap.callsites, names, 5);
   };
 
   SimTime next_redraw = FromSeconds(refresh_s);
@@ -640,7 +705,7 @@ int main(int argc, char** argv) {
     drainer->Poll();
     if (!once && analyzer->now() >= next_redraw) {
       live::LiveSnapshot snap = analyzer->TakeSnapshot(top_k);
-      PrintText(stdout, which, snap, &channels);
+      PrintText(stdout, which, snap, &channels, latency_pane());
       std::fprintf(stdout, "\n");
       next_redraw = analyzer->now() + FromSeconds(refresh_s);
     }
@@ -687,12 +752,13 @@ int main(int argc, char** argv) {
   channels.CloseAll();
   drainer->Finish();
   analyzer->SyncObs();
+  slack->SyncObs();
 
   const live::LiveSnapshot snap = analyzer->TakeSnapshot(top_k);
   if (format == tools::OutputFormat::kJson) {
-    PrintJson(stdout, which, snap, &channels);
+    PrintJson(stdout, which, snap, &channels, slack->state());
   } else {
-    PrintText(stdout, which, snap, &channels);
+    PrintText(stdout, which, snap, &channels, latency_pane());
     std::fputs("\nmetrics:\n", stdout);
     std::fputs(obs::RenderText(obs::Registry::Global().TakeSnapshot()).c_str(),
                stdout);
@@ -734,6 +800,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "check-rate FAILED: %s mean %.1f sets/s not in [%.1f, %.1f]\n",
                    label.c_str(), s == nullptr ? 0.0 : s->mean_rate, lo, hi);
+      rc = 1;
+    }
+  }
+  if (args.Has("check-slack")) {
+    const double p99_max_ms = args.DoubleValue("check-slack", 0.0, 0);
+    const uint64_t min_spans = args.UintValue("check-slack", 0, 1);
+    const double p99_ms = ToMilliseconds(
+        static_cast<SimDuration>(slack->state().total().Quantile(0.99)));
+    if (slack->state().fired_spans() < min_spans || p99_ms > p99_max_ms) {
+      std::fprintf(stderr,
+                   "check-slack FAILED: %" PRIu64 " fired spans (need >= %" PRIu64
+                   "), slack p99 %.3f ms (budget %.3f ms)\n",
+                   slack->state().fired_spans(), min_spans, p99_ms, p99_max_ms);
       rc = 1;
     }
   }

@@ -15,6 +15,7 @@
 
 #include "src/analysis/classify.h"
 #include "src/analysis/histogram.h"
+#include "src/analysis/latency.h"
 #include "src/analysis/origins.h"
 #include "src/analysis/pipeline.h"
 #include "src/analysis/provenance.h"
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   origin_options.min_percent = 0.5;
   passes.push_back(std::make_unique<OriginsPass>(&reader->callsites(), origin_options));
   passes.push_back(std::make_unique<ProvenancePass>(&reader->callsites()));
+  passes.push_back(std::make_unique<LatencyPass>(&reader->callsites()));
   if (blame_start >= 0 && blame_end > blame_start) {
     passes.push_back(std::make_unique<BlamePass>(&reader->callsites(),
                                                  FromSeconds(blame_start),
